@@ -1,0 +1,326 @@
+package contra
+
+// Benchmark harness: one target per table/figure in the paper's
+// evaluation (§6). Each benchmark runs the same code as
+// cmd/experiments, scaled down so `go test -bench=.` completes in
+// minutes; the figure-quality sweeps live in cmd/experiments.
+//
+//	Fig 9   BenchmarkFig09Compile{Fattree,Random}   compile time
+//	Fig 10  BenchmarkFig10SwitchState               per-switch state
+//	Fig 11  BenchmarkFig11FCTSymmetric              FCT, symmetric DC
+//	Fig 12  BenchmarkFig12FCTAsymmetric             FCT, failed link
+//	Fig 13  BenchmarkFig13QueueCDF                  queue p99
+//	Fig 14  BenchmarkFig14FailureRecovery           recovery time
+//	Fig 15  BenchmarkFig15Abilene                   FCT, WAN
+//	Fig 16  BenchmarkFig16Overhead                  traffic vs ECMP
+//	§6.5    BenchmarkLoopTraffic                    looped packets
+//	Fig 3   BenchmarkPolicyCatalog                  P1-P9 compile
+//	+       BenchmarkAblation*                      design knobs
+
+import (
+	"fmt"
+	"testing"
+
+	"contra/internal/workload"
+)
+
+// dcPolicy matches cmd/experiments: least-utilized shortest paths.
+const dcPolicy = "minimize((path.len, path.util))"
+
+func BenchmarkFig09CompileFattree(b *testing.B) {
+	for _, k := range []int{4, 10, 14} {
+		g := Fattree(k, 0)
+		for name, gen := range StandardPolicies() {
+			src := gen(g)
+			b.Run(fmt.Sprintf("k%d-%s", k, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := CompileSource(src, g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig09CompileRandom(b *testing.B) {
+	for _, n := range []int{100, 200} {
+		g := RandomTopology(n, 4, 42)
+		for name, gen := range StandardPolicies() {
+			src := gen(g)
+			b.Run(fmt.Sprintf("n%d-%s", n, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := CompileSource(src, g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig10SwitchState(b *testing.B) {
+	for _, k := range []int{4, 10} {
+		g := Fattree(k, 0)
+		for name, gen := range StandardPolicies() {
+			src := gen(g)
+			b.Run(fmt.Sprintf("k%d-%s", k, name), func(b *testing.B) {
+				var kb float64
+				for i := 0; i < b.N; i++ {
+					p, err := CompileSource(src, g)
+					if err != nil {
+						b.Fatal(err)
+					}
+					kb = float64(p.MaxStateBytes()) / 1000
+				}
+				b.ReportMetric(kb, "kB-max/switch")
+			})
+		}
+	}
+}
+
+// benchFCT runs a scaled-down FCT experiment and reports mean FCT.
+func benchFCT(b *testing.B, g *Topology, scheme Scheme, dist *workload.Distribution, load float64, policySrc string, capacity float64) {
+	b.Helper()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunFCT(FCTConfig{
+			Topo: g, Scheme: scheme, PolicySrc: policySrc,
+			Dist: dist, Load: load, CapacityBps: capacity,
+			DurationNs: 4_000_000, MaxFlows: 300, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.MeanFCT
+	}
+	b.ReportMetric(mean*1e3, "fct-ms")
+}
+
+func BenchmarkFig11FCTSymmetric(b *testing.B) {
+	g := PaperDataCenter()
+	for _, dist := range []*workload.Distribution{workload.WebSearch(), workload.Cache()} {
+		for _, scheme := range []Scheme{SchemeECMP, SchemeContra, SchemeHula} {
+			for _, load := range []float64{0.2, 0.6} {
+				b.Run(fmt.Sprintf("%s-%s-load%.0f", dist.Name, scheme, load*100), func(b *testing.B) {
+					benchFCT(b, g, scheme, dist, load, dcPolicy, 0)
+				})
+			}
+		}
+	}
+}
+
+func asymmetricDC() *Topology {
+	g := PaperDataCenter()
+	l := g.LinkBetween(g.MustNode("l0"), g.MustNode("s0"))
+	g.SetDown(l.ID, true)
+	return g
+}
+
+func BenchmarkFig12FCTAsymmetric(b *testing.B) {
+	g := asymmetricDC()
+	for _, scheme := range []Scheme{SchemeECMP, SchemeContra, SchemeHula} {
+		for _, load := range []float64{0.2, 0.6} {
+			b.Run(fmt.Sprintf("websearch-%s-load%.0f", scheme, load*100), func(b *testing.B) {
+				benchFCT(b, g, scheme, workload.WebSearch(), load, dcPolicy, 0)
+			})
+		}
+	}
+}
+
+func BenchmarkFig13QueueCDF(b *testing.B) {
+	g := asymmetricDC()
+	for _, scheme := range []Scheme{SchemeContra, SchemeECMP} {
+		b.Run(string(scheme), func(b *testing.B) {
+			var p99 float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFCT(FCTConfig{
+					Topo: g, Scheme: scheme, PolicySrc: dcPolicy,
+					Dist: workload.WebSearch(), Load: 0.6,
+					DurationNs: 4_000_000, MaxFlows: 300, Seed: 1,
+					SampleQueues: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p99 = res.QueueMSS.Quantile(0.99)
+			}
+			b.ReportMetric(p99, "queue-p99-MSS")
+		})
+	}
+}
+
+func BenchmarkFig14FailureRecovery(b *testing.B) {
+	for _, scheme := range []Scheme{SchemeContra, SchemeHula} {
+		b.Run(string(scheme), func(b *testing.B) {
+			var rec float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFailover(FailoverConfig{
+					Topo: PaperDataCenter(), Scheme: scheme, PolicySrc: dcPolicy,
+					FailAtNs: 20_000_000, EndNs: 35_000_000, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec = float64(res.RecoveryNs) / 1e6
+			}
+			b.ReportMetric(rec, "recovery-ms")
+		})
+	}
+}
+
+func BenchmarkFig15Abilene(b *testing.B) {
+	g := AbileneWithHosts(0)
+	for _, scheme := range []Scheme{SchemeSP, SchemeContra, SchemeSpain} {
+		for _, load := range []float64{0.3, 0.6} {
+			b.Run(fmt.Sprintf("%s-load%.0f", scheme, load*100), func(b *testing.B) {
+				benchFCT(b, g, scheme, workload.WebSearch(), load, "minimize(path.util)", 40e9)
+			})
+		}
+	}
+}
+
+func BenchmarkFig16Overhead(b *testing.B) {
+	g := PaperDataCenter()
+	for _, scheme := range []Scheme{SchemeHula, SchemeContra} {
+		b.Run(string(scheme), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				run := func(s Scheme) float64 {
+					res, err := RunFCT(FCTConfig{
+						Topo: g, Scheme: s, PolicySrc: dcPolicy,
+						Dist: workload.WebSearch(), Load: 0.6,
+						DurationNs: 4_000_000, MaxFlows: 300, Seed: 1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					return res.FabricBytes + res.TagBytes
+				}
+				ratio = run(scheme) / run(SchemeECMP)
+			}
+			b.ReportMetric(ratio, "traffic-vs-ecmp")
+		})
+	}
+}
+
+func BenchmarkLoopTraffic(b *testing.B) {
+	cases := []struct {
+		name     string
+		topo     *Topology
+		capacity float64
+	}{
+		{"datacenter", PaperDataCenter(), 0},
+		{"abilene", AbileneWithHosts(0), 40e9},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFCT(FCTConfig{
+					Topo: c.topo, Scheme: SchemeContra,
+					PolicySrc: "minimize(path.util)",
+					Dist:      workload.WebSearch(), Load: 0.6,
+					CapacityBps: c.capacity,
+					DurationNs:  4_000_000, MaxFlows: 300, Seed: 1,
+					TrackLoops: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = res.LoopedFrac
+			}
+			b.ReportMetric(frac*100, "looped-%")
+		})
+	}
+}
+
+func BenchmarkPolicyCatalog(b *testing.B) {
+	g := Abilene()
+	pols := map[string]*Policy{
+		"P1": ShortestPathPolicy(), "P2": MinUtil(), "P3": WidestShortest(),
+		"P4": ShortestWidest(), "P5": Waypoint("KC", "DEN"),
+		"P6": LinkPreference("SEA", "DEN"), "P7": WeightedLink("SEA", "DEN", 10),
+		"P8": SourceLocal("SEA"), "P9": CongestionAware(),
+	}
+	for name, pol := range pols {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(pol, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablations: the design knobs DESIGN.md calls out.
+
+// §5.2: probe frequency. Too-slow probes leave stale routes; the
+// period must exceed half the worst RTT but not by much.
+func BenchmarkAblationProbePeriod(b *testing.B) {
+	g := PaperDataCenter()
+	for _, period := range []int64{64_000, 256_000, 1_024_000} {
+		b.Run(fmt.Sprintf("period%dus", period/1000), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFCT(FCTConfig{
+					Topo: g, Scheme: SchemeContra, PolicySrc: dcPolicy,
+					Dist: workload.WebSearch(), Load: 0.6,
+					DurationNs: 4_000_000, MaxFlows: 300, Seed: 1,
+					ProbePeriodNs: period,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.MeanFCT
+			}
+			b.ReportMetric(mean*1e3, "fct-ms")
+		})
+	}
+}
+
+// §5.3: flowlet timeout trades load balance against reordering.
+func BenchmarkAblationFlowletTimeout(b *testing.B) {
+	g := PaperDataCenter()
+	for _, timeout := range []int64{50_000, 200_000, 1_000_000} {
+		b.Run(fmt.Sprintf("flowlet%dus", timeout/1000), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFCT(FCTConfig{
+					Topo: g, Scheme: SchemeContra, PolicySrc: dcPolicy,
+					Dist: workload.WebSearch(), Load: 0.6,
+					DurationNs: 4_000_000, MaxFlows: 300, Seed: 1,
+					FlowletTimeoutNs: timeout,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.MeanFCT
+			}
+			b.ReportMetric(mean*1e3, "fct-ms")
+		})
+	}
+}
+
+// §5.4: failure detection threshold k vs recovery time.
+func BenchmarkAblationFailureK(b *testing.B) {
+	for _, k := range []int{2, 3, 6} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			var rec float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFailover(FailoverConfig{
+					Topo: PaperDataCenter(), Scheme: SchemeContra,
+					PolicySrc: dcPolicy, FailAtNs: 20_000_000, EndNs: 35_000_000,
+					BinNs:                100_000, // fine bins so k differences resolve
+					FailureDetectPeriods: k, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec = float64(res.RecoveryNs) / 1e6
+			}
+			b.ReportMetric(rec, "recovery-ms")
+		})
+	}
+}

@@ -1,0 +1,137 @@
+// Command contrasim runs a single routing experiment on the
+// packet-level simulator: a flow-completion-time run or a
+// link-failure (failover) run, for Contra or any baseline.
+//
+// Usage:
+//
+//	contrasim -topo dc -scheme contra -dist websearch -load 0.6
+//	contrasim -topo dc -scheme ecmp -load 0.4 -queues
+//	contrasim -topo dc -scheme contra -failover
+//	contrasim -topo abilene+hosts -scheme spain -dist cache -load 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"contra"
+	"contra/internal/cliutil"
+	"contra/internal/workload"
+)
+
+func main() {
+	topoSpec := flag.String("topo", "dc", "topology spec")
+	scheme := flag.String("scheme", "contra", "contra|ecmp|hula|spain|sp")
+	policyArg := flag.String("policy", "minimize(path.util)", "Contra policy source or @file")
+	dist := flag.String("dist", "websearch", "websearch|cache")
+	load := flag.Float64("load", 0.5, "offered load fraction")
+	durationMs := flag.Int("duration", 20, "arrival window in ms")
+	maxFlows := flag.Int("maxflows", 4000, "cap on generated flows")
+	seed := flag.Int64("seed", 1, "workload seed")
+	queues := flag.Bool("queues", false, "print queue length CDF")
+	loops := flag.Bool("loops", false, "track looped traffic")
+	failover := flag.Bool("failover", false, "run the Figure 14 failover experiment instead")
+	failLink := flag.String("fail", "", "pre-fail link `A-B` (asymmetric topology)")
+	flag.Parse()
+
+	if err := run(*topoSpec, *scheme, *policyArg, *dist, *load, *durationMs,
+		*maxFlows, *seed, *queues, *loops, *failover, *failLink); err != nil {
+		fmt.Fprintln(os.Stderr, "contrasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
+	maxFlows int, seed int64, queues, loops, failover bool, failLink string) error {
+	g, err := cliutil.BuildTopology(topoSpec)
+	if err != nil {
+		return err
+	}
+	if failLink != "" {
+		var a, b string
+		if _, err := fmt.Sscanf(failLink, "%s", &a); err != nil || len(failLink) == 0 {
+			return fmt.Errorf("bad -fail %q, want A-B", failLink)
+		}
+		n, err := splitLink(failLink)
+		if err != nil {
+			return err
+		}
+		a, b = n[0], n[1]
+		na, ok := g.NodeByName(a)
+		if !ok {
+			return fmt.Errorf("unknown node %q", a)
+		}
+		nb, ok := g.NodeByName(b)
+		if !ok {
+			return fmt.Errorf("unknown node %q", b)
+		}
+		l := g.LinkBetween(na, nb)
+		if l == nil {
+			return fmt.Errorf("no link %s-%s", a, b)
+		}
+		g.SetDown(l.ID, true)
+	}
+	src, err := cliutil.ReadPolicyArg(policyArg)
+	if err != nil {
+		return err
+	}
+
+	if failover {
+		res, err := contra.RunFailover(contra.FailoverConfig{
+			Topo: g, Scheme: contra.Scheme(scheme), PolicySrc: src, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("baseline %.2f Gbps, dip to %.2f Gbps, recovery %.2f ms after failure\n",
+			res.BaselineBps/1e9, res.MinBps/1e9, float64(res.RecoveryNs)/1e6)
+		for _, p := range res.Series {
+			mark := ""
+			if p.T >= res.FailAtNs && p.T < res.FailAtNs+int64(res.BinNs) {
+				mark = "  <- link fails"
+			}
+			fmt.Printf("t=%6.2fms  %6.2f Gbps%s\n", float64(p.T)/1e6, p.V/1e9, mark)
+		}
+		return nil
+	}
+
+	d, err := workload.ByName(dist)
+	if err != nil {
+		return err
+	}
+	res, err := contra.RunFCT(contra.FCTConfig{
+		Topo: g, Scheme: contra.Scheme(scheme), PolicySrc: src,
+		Dist: d, Load: load, DurationNs: int64(durationMs) * 1_000_000,
+		MaxFlows: maxFlows, Seed: seed,
+		SampleQueues: queues, TrackLoops: loops,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	fmt.Printf("fabric bytes: data=%.0f ack=%.0f probe=%.0f tag=%.0f (probe share %.3f%%)\n",
+		res.DataBytes, res.AckBytes, res.ProbeBytes, res.TagBytes,
+		100*res.ProbeBytes/res.FabricBytes)
+	if loops {
+		fmt.Printf("looped traffic: %.4f%% of data packets, %d loop breaks\n",
+			100*res.LoopedFrac, int64(res.LoopBreaks))
+	}
+	if queues {
+		fmt.Println("queue length CDF (MSS):")
+		for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+			fmt.Printf("  p%-4g %8.1f\n", q*100, res.QueueMSS.Quantile(q))
+		}
+	}
+	fmt.Printf("simulated %v in %v\n", res.SimulatedTime, res.WallTime)
+	return nil
+}
+
+func splitLink(s string) ([2]string, error) {
+	for i := 1; i < len(s)-1; i++ {
+		if s[i] == '-' {
+			return [2]string{s[:i], s[i+1:]}, nil
+		}
+	}
+	return [2]string{}, fmt.Errorf("bad link spec %q, want A-B", s)
+}

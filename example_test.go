@@ -1,0 +1,60 @@
+package contra_test
+
+import (
+	"fmt"
+	"strings"
+
+	"contra"
+)
+
+// ExampleCompileSource shows the minimal compile-and-inspect flow.
+func ExampleCompileSource() {
+	g := contra.Abilene()
+	prog, err := contra.CompileSource("minimize(path.lat)", g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("probe classes:", prog.ProbeClasses())
+	fmt.Println("tag bits:", prog.TagBits())
+	// Output:
+	// probe classes: 1
+	// tag bits: 0
+}
+
+// ExampleSimulation_BestPath runs the compiled protocol on the
+// simulator and reads back a converged route.
+func ExampleSimulation_BestPath() {
+	g := contra.Abilene()
+	prog, err := contra.CompileSource("minimize(path.lat)", g)
+	if err != nil {
+		panic(err)
+	}
+	sim := contra.NewSimulation(prog, 1)
+	sim.WarmUp()
+	path, _, err := sim.BestPath("SEA", "NYC")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(strings.Join(path, "-"))
+	// Output:
+	// SEA-DEN-KC-IND-CHI-NYC
+}
+
+// ExampleWaypoint shows a Figure 3 catalog policy and the analysis the
+// compiler applies to it.
+func ExampleWaypoint() {
+	pol := contra.Waypoint("F1", "F2")
+	fmt.Println(pol.String())
+	// Output:
+	// minimize((if .* (F1 + F2) .* then path.util else inf))
+}
+
+// ExampleParsePolicy validates policy source against a topology's
+// switch names.
+func ExampleParsePolicy() {
+	g := contra.Abilene()
+	_, err := contra.ParsePolicy("minimize(if Z .* then 0 else 1)", g.SortedNames()...)
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}

@@ -1,0 +1,84 @@
+// Widearea: policy programmability on a WAN — waypointing, forbidden
+// links, weighted links, and Propane-style failover preferences, all
+// on the Abilene backbone. This is what distinguishes Contra from
+// point solutions like HULA: the same compiler serves every policy.
+//
+//	go run ./examples/widearea
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"contra"
+)
+
+func show(policySrc, description string, pairs [][2]string) {
+	g := contra.Abilene()
+	prog, err := contra.CompileSource(policySrc, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := contra.NewSimulation(prog, 1)
+	sim.WarmUp()
+	fmt.Printf("-- %s\n   %s\n", description, policySrc)
+	fmt.Printf("   probe classes: %d, tag bits: %d\n",
+		prog.ProbeClasses(), prog.TagBits())
+	for _, pair := range pairs {
+		path, rank, err := sim.BestPath(pair[0], pair[1])
+		if err != nil {
+			fmt.Printf("   %-3s -> %-3s: %v\n", pair[0], pair[1], err)
+			continue
+		}
+		fmt.Printf("   %-3s -> %-3s via %-36s rank=%s\n",
+			pair[0], pair[1], strings.Join(path, "-"), rank)
+	}
+	fmt.Println()
+}
+
+func main() {
+	pairs := [][2]string{{"SEA", "NYC"}, {"LA", "NYC"}, {"SNV", "WDC"}}
+
+	show("minimize(path.lat)",
+		"Baseline: shortest-latency routing", pairs)
+
+	show("minimize(if .* KC .* then path.lat else inf)",
+		"Waypointing (P5): all traffic must cross Kansas City", pairs)
+
+	show("minimize(if .* DEN KC .* then inf else path.lat)",
+		"Forbidden link: never traverse Denver->Kansas City", pairs)
+
+	show("minimize((if .* CHI NYC .* then 100000 else 0) + path.lat)",
+		"Weighted link (P7): make Chicago->New York expensive", pairs)
+
+	show("minimize(if SEA .* then path.util else path.lat)",
+		"Source-local (P8): Seattle optimizes utilization, others latency", pairs)
+
+	// Propane-style failover: prefer the northern route, fall back to
+	// the southern one.
+	g := contra.Abilene()
+	north := []string{"SEA", "DEN", "KC", "IND", "CHI", "NYC"}
+	south := []string{"SEA", "SNV", "LA", "HOU", "ATL", "WDC", "NYC"}
+	prog, err := contra.Compile(contra.Failover(north, south), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := contra.NewSimulation(prog, 1)
+	sim.WarmUp()
+	path, rank, err := sim.BestPath("SEA", "NYC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- Failover preference (Propane-style)\n")
+	fmt.Printf("   primary:  %s rank=%s\n", strings.Join(path, "-"), rank)
+	if err := sim.FailLink("KC", "IND", 0); err != nil {
+		log.Fatal(err)
+	}
+	sim.RunFor(8 * prog.ProbePeriod())
+	path, rank, err = sim.BestPath("SEA", "NYC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   after KC-IND fails: %s rank=%s\n", strings.Join(path, "-"), rank)
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"contra/internal/policy"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	p, err := policy.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	res, err := Analyze(p)
+	if err != nil {
+		t.Fatalf("analyze %q: %v", src, err)
+	}
+	return res
+}
+
+func TestMinUtilIsotone(t *testing.T) {
+	res := analyze(t, "minimize(path.util)")
+	if !res.Isotone || !res.Monotone {
+		t.Fatalf("MU should be isotone and monotone: %s", res.Describe())
+	}
+	if res.NumPids() != 1 {
+		t.Fatalf("MU pids = %d, want 1", res.NumPids())
+	}
+	if res.Subpolicies[0].ConstOnly {
+		t.Fatal("MU pid should carry metrics")
+	}
+}
+
+func TestWaypointSinglePid(t *testing.T) {
+	res := analyze(t, "minimize(if .* (F1 + F2) .* then path.util else inf)")
+	if res.NumPids() != 1 {
+		t.Fatalf("WP pids = %d, want 1 (inf leaf needs no probes): %s", res.NumPids(), res.Describe())
+	}
+	if !res.Monotone {
+		t.Fatalf("WP should be monotone: %s", res.Describe())
+	}
+	if !res.Isotone {
+		t.Fatalf("WP should be isotone (regexes handled by tags): %s", res.Describe())
+	}
+}
+
+func TestCongestionAwareDecomposition(t *testing.T) {
+	res := analyze(t, "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))")
+	if res.Isotone {
+		t.Fatal("CA must be non-isotonic")
+	}
+	if !res.Monotone {
+		t.Fatalf("CA is monotone (1 < 2 on branch flip): %s", res.Describe())
+	}
+	if res.NumPids() != 2 {
+		t.Fatalf("CA pids = %d, want 2: %s", res.NumPids(), res.Describe())
+	}
+	// pid orderings: one by util, one by (len, util).
+	sigs := map[string]bool{}
+	for _, sp := range res.Subpolicies {
+		sigs[sp.Sig] = true
+	}
+	if !sigs["util"] || !sigs["len,util"] {
+		t.Fatalf("CA signatures = %v, want util and len,util", sigs)
+	}
+}
+
+func TestSourceLocalDecomposition(t *testing.T) {
+	res := analyze(t, "minimize(if X .* then path.util else path.lat)")
+	if res.NumPids() != 2 {
+		t.Fatalf("P8 pids = %d, want 2 (util and lat orderings): %s", res.NumPids(), res.Describe())
+	}
+	if res.Isotone {
+		t.Fatal("P8 needs two orderings, so it is not isotone as one probe class")
+	}
+}
+
+func TestLexicographicPreferenceSharesPid(t *testing.T) {
+	// Both branches rank by (len, util); only the leading constant
+	// differs, so one probe class serves both (§4.2's sharing).
+	res := analyze(t, "minimize(if A .* B .* D then (0, path.len, path.util) else if A .* C .* D then (1, path.len, path.util) else inf)")
+	if res.NumPids() != 1 {
+		t.Fatalf("pids = %d, want 1: %s", res.NumPids(), res.Describe())
+	}
+	if res.Subpolicies[0].Sig != "len,util" {
+		t.Fatalf("sig = %q, want len,util", res.Subpolicies[0].Sig)
+	}
+}
+
+func TestWeightedLinkSharesPid(t *testing.T) {
+	// (if .*XY.* then 10 else 0) + path.len: both leaves order by len.
+	res := analyze(t, "minimize((if .* X Y .* then 10 else 0) + path.len)")
+	if res.NumPids() != 1 {
+		t.Fatalf("P7 pids = %d, want 1: %s", res.NumPids(), res.Describe())
+	}
+	if res.Subpolicies[0].Sig != "len" {
+		t.Fatalf("P7 sig = %q, want len", res.Subpolicies[0].Sig)
+	}
+}
+
+func TestStaticPreferenceConstOnly(t *testing.T) {
+	// Propane-style failover: all leaves constant; one
+	// reachability-only pid.
+	res := analyze(t, "minimize(if A B D then 0 else if A C D then 1 else inf)")
+	if res.NumPids() != 1 {
+		t.Fatalf("pids = %d, want 1: %s", res.NumPids(), res.Describe())
+	}
+	if !res.Subpolicies[0].ConstOnly {
+		t.Fatal("failover pid should be reachability-only")
+	}
+	if !res.Monotone || !res.Isotone {
+		t.Fatalf("static policy should be monotone+isotone: %s", res.Describe())
+	}
+}
+
+func TestWidestShortestNotIsotone(t *testing.T) {
+	// (util, len): max-composed before sum-composed.
+	res := analyze(t, "minimize((path.util, path.len))")
+	if res.Isotone {
+		t.Fatal("(util, len) must be flagged non-isotonic")
+	}
+	if len(res.Warnings) == 0 {
+		t.Fatal("expected a warning for the approximation")
+	}
+	// (len, util) is fine.
+	res2 := analyze(t, "minimize((path.len, path.util))")
+	if !res2.Isotone {
+		t.Fatalf("(len, util) should be isotone: %s", res2.Describe())
+	}
+}
+
+func TestNonMonotoneLeafRejected(t *testing.T) {
+	p := policy.MustParse("minimize(-path.len)")
+	if _, err := Analyze(p); err == nil {
+		t.Fatal("negated metric must be rejected as non-monotone")
+	}
+	p2 := policy.MustParse("minimize(10 - path.util)")
+	if _, err := Analyze(p2); err == nil {
+		t.Fatal("const - metric must be rejected")
+	}
+	// Subtracting a constant is fine.
+	p3 := policy.MustParse("minimize(path.len - 1)")
+	if _, err := Analyze(p3); err != nil {
+		t.Fatalf("metric - const should pass: %v", err)
+	}
+}
+
+func TestNonMonotoneConditionalWarned(t *testing.T) {
+	// Large metric flips *down* to a smaller rank: non-monotone.
+	res := analyze(t, "minimize(if path.util < .5 then 2 else 1)")
+	if res.Monotone {
+		t.Fatalf("downward flip should be non-monotone: %s", res.Describe())
+	}
+	if len(res.Warnings) == 0 {
+		t.Fatal("expected a warning")
+	}
+	// Upward flip is monotone.
+	res2 := analyze(t, "minimize(if path.util < .5 then 1 else 2)")
+	if !res2.Monotone {
+		t.Fatalf("upward flip should be monotone: %s", res2.Describe())
+	}
+	// Greater-than comparisons flip the branch roles.
+	res3 := analyze(t, "minimize(if path.util > .5 then 2 else 1)")
+	if !res3.Monotone {
+		t.Fatalf("attr > const with larger then-branch is monotone: %s", res3.Describe())
+	}
+}
+
+func TestAllInfRejected(t *testing.T) {
+	p := policy.MustParse("minimize(inf)")
+	if _, err := Analyze(p); err == nil {
+		t.Fatal("pure inf policy must be rejected")
+	}
+}
+
+func TestEvalRankAndPolicy(t *testing.T) {
+	res := analyze(t, "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))")
+	// MV layout is [util, len].
+	if len(res.MV) != 2 || res.MV[0] != policy.Util || res.MV[1] != policy.Len {
+		t.Fatalf("MV = %v, want [util len]", res.MV)
+	}
+	var utilPid, lenPid int
+	for _, sp := range res.Subpolicies {
+		if sp.Sig == "util" {
+			utilPid = sp.ID
+		} else {
+			lenPid = sp.ID
+		}
+	}
+	mvA := []float64{0.3, 5} // util 0.3, len 5
+	mvB := []float64{0.5, 2}
+	if !res.EvalRank(utilPid, mvA).Better(res.EvalRank(utilPid, mvB)) {
+		t.Fatal("util pid should prefer mvA (lower util)")
+	}
+	if !res.EvalRank(lenPid, mvB).Better(res.EvalRank(lenPid, mvA)) {
+		t.Fatal("len pid should prefer mvB (shorter)")
+	}
+	// Full policy evaluation picks the conditional branch per entry.
+	r := res.EvalPolicy(mvA, func(int) bool { return false })
+	if !r.Equal(policy.Finite(1, 0, 0.3)) {
+		t.Fatalf("policy(mvA) = %v, want (1,0,0.3)", r)
+	}
+	r = res.EvalPolicy([]float64{0.9, 2}, func(int) bool { return false })
+	if !r.Equal(policy.Finite(2, 2, 0.9)) {
+		t.Fatalf("policy(hot) = %v, want (2,2,0.9)", r)
+	}
+}
+
+func TestEvalPolicyWithRegexBranches(t *testing.T) {
+	res := analyze(t, "minimize(if A .* then path.util else path.lat)")
+	mv := make([]float64, len(res.MV))
+	for i, m := range res.MV {
+		switch m {
+		case policy.Util:
+			mv[i] = 0.25
+		case policy.Lat:
+			mv[i] = 0.007
+		}
+	}
+	r := res.EvalPolicy(mv, func(int) bool { return true })
+	if !r.Equal(policy.Finite(0.25)) {
+		t.Fatalf("matching branch = %v, want util 0.25", r)
+	}
+	r = res.EvalPolicy(mv, func(int) bool { return false })
+	if !r.Equal(policy.Finite(0.007)) {
+		t.Fatalf("else branch = %v, want lat 0.007", r)
+	}
+}
+
+func TestDecompositionOptimalityProperty(t *testing.T) {
+	// For the paper's P9: minimum over {full policy applied to the
+	// util-minimal mv, full policy applied to the (len,util)-minimal
+	// mv} must equal the minimum of the full policy over all candidate
+	// paths. This is the soundness argument for recombination.
+	res := analyze(t, "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))")
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(6)
+		mvs := make([][]float64, n)
+		for i := range mvs {
+			mvs[i] = []float64{float64(rng.Intn(11)) / 10, float64(1 + rng.Intn(6))}
+		}
+		// Brute force optimum.
+		best := policy.Infinite()
+		for _, mv := range mvs {
+			r := res.EvalPolicy(mv, func(int) bool { return false })
+			if r.Better(best) {
+				best = r
+			}
+		}
+		// Protocol: keep only per-pid winners, then recombine.
+		got := policy.Infinite()
+		for pid := range res.Subpolicies {
+			win := mvs[0]
+			for _, mv := range mvs[1:] {
+				if res.EvalRank(pid, mv).Better(res.EvalRank(pid, win)) {
+					win = mv
+				}
+			}
+			if r := res.EvalPolicy(win, func(int) bool { return false }); r.Better(got) {
+				got = r
+			}
+		}
+		if !got.Equal(best) {
+			t.Fatalf("recombination lost the optimum: got %v want %v (mvs %v)", got, best, mvs)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	res := analyze(t, "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))")
+	d := res.Describe()
+	for _, want := range []string{"probe classes: 2", "monotone: true", "isotone: false"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestCatalogAnalyzes(t *testing.T) {
+	for name, p := range policy.Catalog([]string{"A", "B", "F1", "F2"}) {
+		res, err := Analyze(p)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.NumPids() < 1 {
+			t.Errorf("%s: no pids", name)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package automata converts the policy language's regular path
+// expressions into deterministic finite automata over a topology's
+// switch alphabet. The Contra compiler builds one DFA per distinct
+// regex — reversed, because probes travel opposite to traffic — and
+// forms their product with the topology (§4.1 of the paper).
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"contra/internal/policy"
+)
+
+// DFA is a deterministic automaton over a fixed, finite alphabet of
+// switch names. It is always complete: every (state, symbol) pair has
+// a transition, with non-matching paths falling into a dead ("garbage")
+// state.
+type DFA struct {
+	Alphabet []string // symbol index -> switch name
+	Start    int
+	Accept   []bool    // per state
+	Trans    [][]int32 // Trans[state][symbol] -> state
+	Live     []bool    // Live[state]: an accepting state is reachable
+
+	symIndex map[string]int
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.Trans) }
+
+// Sym returns the symbol index of a switch name.
+func (d *DFA) Sym(name string) (int, bool) {
+	i, ok := d.symIndex[name]
+	return i, ok
+}
+
+// Step advances the automaton.
+func (d *DFA) Step(state int, sym int) int { return int(d.Trans[state][sym]) }
+
+// StepName advances by switch name; unknown names go to a dead state.
+func (d *DFA) StepName(state int, name string) int {
+	i, ok := d.symIndex[name]
+	if !ok {
+		// Unknown symbols can never match an RSym and match RDot only
+		// if the alphabet covered them; with a topology-derived
+		// alphabet this cannot happen. Fall to a dead state.
+		for s := range d.Live {
+			if !d.Live[s] {
+				return s
+			}
+		}
+		return state
+	}
+	return int(d.Trans[state][i])
+}
+
+// Match runs the automaton over a path of switch names.
+func (d *DFA) Match(path []string) bool {
+	s := d.Start
+	for _, name := range path {
+		i, ok := d.symIndex[name]
+		if !ok {
+			return false
+		}
+		s = int(d.Trans[s][i])
+	}
+	return d.Accept[s]
+}
+
+// String renders a compact description for debugging.
+func (d *DFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DFA %d states, start %d, alphabet %v\n", len(d.Trans), d.Start, d.Alphabet)
+	for s := range d.Trans {
+		mark := " "
+		if d.Accept[s] {
+			mark = "*"
+		}
+		live := " "
+		if !d.Live[s] {
+			live = "†"
+		}
+		fmt.Fprintf(&b, "%s%s%2d:", mark, live, s)
+		for a, t := range d.Trans[s] {
+			fmt.Fprintf(&b, " %s→%d", d.Alphabet[a], t)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Build compiles a regular path expression into a minimal complete DFA
+// over the given alphabet. Symbols mentioned by the regex that are not
+// in the alphabet make the corresponding branches unmatchable (they are
+// simply absent from the topology).
+func Build(r policy.Regex, alphabet []string) *DFA {
+	n := buildNFA(r, alphabet)
+	d := subsetConstruct(n, alphabet)
+	d = minimize(d)
+	d.computeLive()
+	return d
+}
+
+// BuildReversed compiles the reversal of r, which is what probe
+// propagation needs (§4.1: probes travel destination→sources).
+func BuildReversed(r policy.Regex, alphabet []string) *DFA {
+	return Build(policy.Reverse(r), alphabet)
+}
+
+// ---- Thompson NFA over symbol indices ----
+
+type nfa struct {
+	// trans[state] = per-symbol target sets; dotTrans for '.'.
+	symTrans []map[int][]int // state -> symbol -> targets
+	dotTrans [][]int         // state -> targets on any symbol
+	eps      [][]int
+	start    int
+	accept   int
+}
+
+func (n *nfa) addState() int {
+	n.symTrans = append(n.symTrans, nil)
+	n.dotTrans = append(n.dotTrans, nil)
+	n.eps = append(n.eps, nil)
+	return len(n.symTrans) - 1
+}
+
+func (n *nfa) addSym(from, sym, to int) {
+	if n.symTrans[from] == nil {
+		n.symTrans[from] = make(map[int][]int)
+	}
+	n.symTrans[from][sym] = append(n.symTrans[from][sym], to)
+}
+
+func buildNFA(r policy.Regex, alphabet []string) *nfa {
+	idx := make(map[string]int, len(alphabet))
+	for i, s := range alphabet {
+		idx[s] = i
+	}
+	n := &nfa{}
+	n.start = n.addState()
+	n.accept = n.fragment(r, n.start, idx)
+	return n
+}
+
+// fragment wires the NFA fragment for r from state `from`, returning
+// the fragment's accepting state.
+func (n *nfa) fragment(r policy.Regex, from int, idx map[string]int) int {
+	switch x := r.(type) {
+	case *policy.RSym:
+		to := n.addState()
+		if sym, ok := idx[x.Name]; ok {
+			n.addSym(from, sym, to)
+		}
+		// Symbol not in alphabet: no transition; fragment unmatchable.
+		return to
+	case *policy.RDot:
+		to := n.addState()
+		n.dotTrans[from] = append(n.dotTrans[from], to)
+		return to
+	case *policy.RCat:
+		mid := n.fragment(x.L, from, idx)
+		return n.fragment(x.R, mid, idx)
+	case *policy.RAlt:
+		l := n.fragment(x.L, from, idx)
+		r2 := n.fragment(x.R, from, idx)
+		to := n.addState()
+		n.eps[l] = append(n.eps[l], to)
+		n.eps[r2] = append(n.eps[r2], to)
+		return to
+	case *policy.RStar:
+		hub := n.addState()
+		n.eps[from] = append(n.eps[from], hub)
+		end := n.fragment(x.X, hub, idx)
+		n.eps[end] = append(n.eps[end], hub)
+		return hub
+	}
+	panic("automata: unknown regex node")
+}
+
+func (n *nfa) closure(set []int) []int {
+	seen := make(map[int]bool, len(set))
+	stack := append([]int(nil), set...)
+	for _, s := range set {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ---- subset construction ----
+
+func setKey(set []int) string {
+	var b strings.Builder
+	for i, s := range set {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	return b.String()
+}
+
+func subsetConstruct(n *nfa, alphabet []string) *DFA {
+	d := &DFA{Alphabet: append([]string(nil), alphabet...)}
+	d.symIndex = make(map[string]int, len(alphabet))
+	for i, s := range alphabet {
+		d.symIndex[s] = i
+	}
+	nsym := len(alphabet)
+
+	startSet := n.closure([]int{n.start})
+	index := map[string]int{setKey(startSet): 0}
+	sets := [][]int{startSet}
+	d.Trans = append(d.Trans, make([]int32, nsym))
+	var queue = []int{0}
+
+	accepts := func(set []int) bool {
+		for _, s := range set {
+			if s == n.accept {
+				return true
+			}
+		}
+		return false
+	}
+	d.Accept = append(d.Accept, accepts(startSet))
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		set := sets[cur]
+		for sym := 0; sym < nsym; sym++ {
+			var next []int
+			for _, s := range set {
+				next = append(next, n.dotTrans[s]...)
+				if n.symTrans[s] != nil {
+					next = append(next, n.symTrans[s][sym]...)
+				}
+			}
+			nset := n.closure(dedupInts(next))
+			key := setKey(nset)
+			to, ok := index[key]
+			if !ok {
+				to = len(sets)
+				index[key] = to
+				sets = append(sets, nset)
+				d.Trans = append(d.Trans, make([]int32, nsym))
+				d.Accept = append(d.Accept, accepts(nset))
+				queue = append(queue, to)
+			}
+			d.Trans[cur][sym] = int32(to)
+		}
+	}
+	d.Start = 0
+	return d
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ---- Moore minimization ----
+
+func minimize(d *DFA) *DFA {
+	n := len(d.Trans)
+	nsym := len(d.Alphabet)
+	part := make([]int, n) // state -> partition id
+	for s := 0; s < n; s++ {
+		if d.Accept[s] {
+			part[s] = 1
+		}
+	}
+	numParts := 2
+	// Handle all-accepting or none-accepting uniformly.
+	for {
+		// Signature: (part, parts of successors).
+		type sigKey string
+		sigOf := func(s int) sigKey {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d", part[s])
+			for sym := 0; sym < nsym; sym++ {
+				fmt.Fprintf(&b, ",%d", part[d.Trans[s][sym]])
+			}
+			return sigKey(b.String())
+		}
+		index := make(map[sigKey]int)
+		newPart := make([]int, n)
+		next := 0
+		for s := 0; s < n; s++ {
+			k := sigOf(s)
+			id, ok := index[k]
+			if !ok {
+				id = next
+				next++
+				index[k] = id
+			}
+			newPart[s] = id
+		}
+		if next == numParts {
+			part = newPart
+			break
+		}
+		part, numParts = newPart, next
+	}
+
+	nd := &DFA{
+		Alphabet: d.Alphabet,
+		symIndex: d.symIndex,
+		Start:    part[d.Start],
+		Accept:   make([]bool, numParts),
+		Trans:    make([][]int32, numParts),
+	}
+	for s := 0; s < n; s++ {
+		p := part[s]
+		if nd.Trans[p] == nil {
+			nd.Trans[p] = make([]int32, nsym)
+			for sym := 0; sym < nsym; sym++ {
+				nd.Trans[p][sym] = int32(part[d.Trans[s][sym]])
+			}
+			nd.Accept[p] = d.Accept[s]
+		}
+	}
+	return nd
+}
+
+// computeLive marks states from which some accepting state is
+// reachable. Dead (non-live) states are the paper's "garbage" states:
+// probes reaching an all-dead state vector are dropped.
+func (d *DFA) computeLive() {
+	n := len(d.Trans)
+	rev := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		for _, t := range d.Trans[s] {
+			rev[t] = append(rev[t], int32(s))
+		}
+	}
+	live := make([]bool, n)
+	var stack []int32
+	for s := 0; s < n; s++ {
+		if d.Accept[s] {
+			live[s] = true
+			stack = append(stack, int32(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	d.Live = live
+}

@@ -1,0 +1,126 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation (§6.1): ECMP and shortest-path routing (static,
+// load-oblivious), HULA (utilization-aware probes on Clos topologies),
+// and SPAIN (offline multipath sets with static spreading). Each is a
+// sim.Router, so they run on the identical substrate as Contra.
+package baseline
+
+import (
+	"contra/internal/sim"
+	"contra/internal/topo"
+)
+
+// base carries the plumbing shared by all baseline routers.
+type base struct {
+	sw       *sim.SwitchDev
+	hostEdge map[topo.NodeID]topo.NodeID
+}
+
+func (b *base) init(sw *sim.SwitchDev) {
+	b.sw = sw
+	b.hostEdge = make(map[topo.NodeID]topo.NodeID)
+	for _, h := range sw.Net.Topo.Hosts() {
+		b.hostEdge[h] = sw.Net.Topo.HostEdge(h)
+	}
+}
+
+// pre handles TTL and local delivery; it returns the destination edge
+// switch and false when the packet has been consumed.
+func (b *base) pre(pkt *sim.Packet) (topo.NodeID, bool) {
+	if pkt.TTL == 0 {
+		b.sw.Drop(pkt, "drop_ttl")
+		return 0, false
+	}
+	pkt.TTL--
+	dstEdge, ok := b.hostEdge[pkt.Dst]
+	if !ok {
+		b.sw.Drop(pkt, "drop_nohost")
+		return 0, false
+	}
+	if dstEdge == b.sw.ID {
+		b.sw.DeliverLocal(pkt)
+		return 0, false
+	}
+	return dstEdge, true
+}
+
+// flowHash gives the per-flow hash used for static spreading.
+func flowHash(flowID uint64) uint64 {
+	x := flowID * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	return x ^ (x >> 32)
+}
+
+// ECMP hashes each flow uniformly across the shortest-path next hops,
+// with no load awareness: the paper's primary data center baseline.
+type ECMP struct {
+	base
+	next map[topo.NodeID][]int // destination switch -> candidate ports
+	// Single, when true, always uses the first candidate: shortest
+	// path routing (the paper's SP baseline for general topologies).
+	Single bool
+}
+
+// NewECMP returns an ECMP router.
+func NewECMP() *ECMP { return &ECMP{} }
+
+// NewSP returns a shortest-path router (ECMP restricted to one path).
+func NewSP() *ECMP { return &ECMP{Single: true} }
+
+// Attach implements sim.Router: precompute next-hop sets on the
+// topology as currently up (static schemes recompute offline, so a
+// failed-from-the-start link is excluded — §6.3's asymmetric setup).
+func (r *ECMP) Attach(sw *sim.SwitchDev) {
+	r.init(sw)
+	r.next = make(map[topo.NodeID][]int)
+	g := sw.Net.Topo
+	for _, dst := range g.Switches() {
+		if dst == sw.ID {
+			continue
+		}
+		var ports []int
+		for _, nh := range g.ECMPNextHops(dst)[sw.ID] {
+			ports = append(ports, g.PortTo(sw.ID, nh))
+		}
+		if len(ports) > 0 {
+			r.next[dst] = ports
+		}
+	}
+}
+
+// Handle implements sim.Router.
+func (r *ECMP) Handle(pkt *sim.Packet, inPort int) {
+	if pkt.Kind == sim.Probe {
+		r.sw.Drop(pkt, "drop_probe_unsupported")
+		return
+	}
+	dstEdge, ok := r.pre(pkt)
+	if !ok {
+		return
+	}
+	ports := r.next[dstEdge]
+	if len(ports) == 0 {
+		r.sw.Drop(pkt, "drop_noroute")
+		return
+	}
+	idx := 0
+	if !r.Single && len(ports) > 1 {
+		idx = int(flowHash(pkt.FlowID) % uint64(len(ports)))
+	}
+	r.sw.Send(ports[idx], pkt)
+}
+
+// DeployECMP installs ECMP on every switch.
+func DeployECMP(n *sim.Network) {
+	for _, s := range n.Topo.Switches() {
+		n.SetRouter(s, NewECMP())
+	}
+}
+
+// DeploySP installs single shortest-path routing on every switch.
+func DeploySP(n *sim.Network) {
+	for _, s := range n.Topo.Switches() {
+		n.SetRouter(s, NewSP())
+	}
+}

@@ -1,0 +1,261 @@
+package baseline
+
+import (
+	"contra/internal/sim"
+	"contra/internal/topo"
+)
+
+// Hula reimplements HULA (Katta et al., SOSR 2016): utilization-aware
+// load balancing specialized to Clos/fat-tree topologies. Every
+// top-of-rack (edge) switch floods a probe per period along up-down
+// paths; switches remember the best (least-utilized) next hop toward
+// every ToR and pin flowlets to it. Unlike Contra it relies on the
+// tree structure for loop freedom and path exploration, which is
+// exactly the generality gap the paper highlights.
+type Hula struct {
+	base
+	periodNs  int64
+	flowletNs int64
+	ageNs     int64
+
+	level    map[topo.NodeID]int // 0 edge, 1 agg, 2 core
+	bestPort map[topo.NodeID]int
+	bestUtil map[topo.NodeID]float64
+	updated  map[topo.NodeID]int64
+	// updatedVia tracks freshness per (destination, port): a flowlet
+	// pinned to a port whose probes stopped must expire even while the
+	// destination stays reachable through other ports.
+	updatedVia map[hulaVia]int64
+
+	flowlets map[hulaFlowKey]*hulaFlowlet
+	probeSz  int
+}
+
+type hulaVia struct {
+	dst  topo.NodeID
+	port int
+}
+
+type hulaFlowKey struct {
+	dst topo.NodeID
+	fid uint32
+}
+
+type hulaFlowlet struct {
+	port    int
+	lastPkt int64
+}
+
+// HulaConfig parameterizes the HULA deployment.
+type HulaConfig struct {
+	ProbePeriodNs    int64 // default 256us (§6.3)
+	FlowletTimeoutNs int64 // default 200us
+}
+
+// NewHula builds one HULA switch router.
+func NewHula(cfg HulaConfig) *Hula {
+	if cfg.ProbePeriodNs == 0 {
+		cfg.ProbePeriodNs = 256_000
+	}
+	if cfg.FlowletTimeoutNs == 0 {
+		cfg.FlowletTimeoutNs = 200_000
+	}
+	return &Hula{
+		periodNs:   cfg.ProbePeriodNs,
+		flowletNs:  cfg.FlowletTimeoutNs,
+		ageNs:      3*cfg.ProbePeriodNs + cfg.ProbePeriodNs,
+		bestPort:   make(map[topo.NodeID]int),
+		bestUtil:   make(map[topo.NodeID]float64),
+		updated:    make(map[topo.NodeID]int64),
+		updatedVia: make(map[hulaVia]int64),
+		flowlets:   make(map[hulaFlowKey]*hulaFlowlet),
+		probeSz:    64,
+	}
+}
+
+// DeployHula installs HULA on every switch. The topology must carry
+// Clos roles (edge/agg/core), as produced by topo.Fattree and
+// topo.LeafSpine.
+func DeployHula(n *sim.Network, cfg HulaConfig) map[topo.NodeID]*Hula {
+	routers := make(map[topo.NodeID]*Hula)
+	for _, s := range n.Topo.Switches() {
+		r := NewHula(cfg)
+		routers[s] = r
+		n.SetRouter(s, r)
+	}
+	return routers
+}
+
+func roleLevel(r topo.Role) int {
+	switch r {
+	case topo.RoleEdge:
+		return 0
+	case topo.RoleAgg:
+		return 1
+	case topo.RoleCore:
+		return 2
+	}
+	return -1
+}
+
+// Attach implements sim.Router.
+func (r *Hula) Attach(sw *sim.SwitchDev) {
+	r.init(sw)
+	r.level = make(map[topo.NodeID]int)
+	g := sw.Net.Topo
+	for _, s := range g.Switches() {
+		lvl := roleLevel(g.Node(s).Role)
+		if lvl < 0 {
+			panic("baseline: HULA requires a Clos topology with switch roles")
+		}
+		r.level[s] = lvl
+	}
+	if g.Node(sw.ID).Role == topo.RoleEdge {
+		offset := (int64(sw.ID) * 7919) % r.periodNs
+		sw.Net.Eng.Every(offset, r.periodNs, r.originate)
+	}
+}
+
+// originate floods a fresh probe from this ToR upward.
+func (r *Hula) originate() {
+	for port := 0; port < r.sw.PortCount(); port++ {
+		if !r.sw.IsSwitchPort(port) {
+			continue
+		}
+		p := r.sw.Net.NewPacket()
+		p.Kind = sim.Probe
+		p.Size = r.probeSz
+		p.Origin = r.sw.ID
+		p.Up = true
+		p.TTL = sim.InitialTTL
+		r.sw.Send(port, p)
+	}
+}
+
+// Handle implements sim.Router.
+func (r *Hula) Handle(pkt *sim.Packet, inPort int) {
+	if pkt.Kind == sim.Probe {
+		r.handleProbe(pkt, inPort)
+		return
+	}
+	dstEdge, ok := r.pre(pkt)
+	if !ok {
+		return
+	}
+	now := r.sw.Now()
+	// The flowlet key's fid must be direction-sensitive so a flow's
+	// data and its acks never share an entry (see dataplane package).
+	fid := uint32(flowHash(pkt.FlowID ^ uint64(pkt.Dst)<<40))
+	key := hulaFlowKey{dst: dstEdge, fid: fid}
+	if fe := r.flowlets[key]; fe != nil && now-fe.lastPkt < r.flowletNs && !r.stale(dstEdge, fe.port, now) {
+		fe.lastPkt = now
+		r.sw.Send(fe.port, pkt)
+		return
+	}
+	port, ok := r.bestFresh(dstEdge, now)
+	if !ok {
+		r.sw.Drop(pkt, "drop_noroute")
+		return
+	}
+	r.flowlets[key] = &hulaFlowlet{port: port, lastPkt: now}
+	r.sw.Send(port, pkt)
+}
+
+// stale reports whether routing toward dst via port relies on
+// information older than the aging threshold: probes on that port have
+// stopped, so the port is presumed failed for this destination.
+func (r *Hula) stale(dst topo.NodeID, port int, now int64) bool {
+	last, ok := r.updatedVia[hulaVia{dst: dst, port: port}]
+	return !ok || now-last > r.ageNs
+}
+
+func (r *Hula) bestFresh(dst topo.NodeID, now int64) (int, bool) {
+	port, ok := r.bestPort[dst]
+	if !ok || now-r.updated[dst] > r.ageNs || r.stale(dst, port, now) {
+		// The recorded best went stale; fall back to any fresh port.
+		bestUtil := 2.0
+		found := false
+		for p := 0; p < r.sw.PortCount(); p++ {
+			if !r.sw.IsSwitchPort(p) {
+				continue
+			}
+			if last, ok := r.updatedVia[hulaVia{dst: dst, port: p}]; ok && now-last <= r.ageNs {
+				u := r.sw.TxUtil(p)
+				if !found || u < bestUtil {
+					bestUtil = u
+					port = p
+					found = true
+				}
+			}
+		}
+		if !found {
+			return 0, false
+		}
+		r.bestPort[dst] = port
+		r.updated[dst] = now
+		return port, true
+	}
+	return port, true
+}
+
+// handleProbe applies HULA's update rule and the up-down propagation
+// constraint.
+func (r *Hula) handleProbe(pkt *sim.Packet, inPort int) {
+	if pkt.Origin == r.sw.ID {
+		r.sw.Net.Free(pkt)
+		return
+	}
+	now := r.sw.Now()
+	// Path utilization toward the origin via inPort: max of probe's
+	// bottleneck and our transmit utilization on that port.
+	util := pkt.MV[0]
+	if u := r.sw.TxUtil(inPort); u > util {
+		util = u
+	}
+	r.updatedVia[hulaVia{dst: pkt.Origin, port: inPort}] = now
+	cur, have := r.bestUtil[pkt.Origin]
+	fresh := now-r.updated[pkt.Origin] <= r.ageNs
+	better := !have || !fresh || util < cur || r.bestPort[pkt.Origin] == inPort
+	if !better {
+		r.sw.Net.Free(pkt)
+		return
+	}
+	r.bestUtil[pkt.Origin] = util
+	r.bestPort[pkt.Origin] = inPort
+	r.updated[pkt.Origin] = now
+
+	// Propagate along reverse up-down paths: a probe that has started
+	// descending (arrived from a switch above us) may only continue
+	// descending.
+	fromLevel := r.level[r.sw.Peer(inPort)]
+	myLevel := r.level[r.sw.ID]
+	goingUpStill := pkt.Up && fromLevel < myLevel
+	pkt.MV[0] = util
+	sent := false
+	for port := 0; port < r.sw.PortCount(); port++ {
+		if port == inPort || !r.sw.IsSwitchPort(port) {
+			continue
+		}
+		peerLevel := r.level[r.sw.Peer(port)]
+		down := peerLevel < myLevel
+		up := peerLevel > myLevel
+		if !(down || (up && goingUpStill)) {
+			continue
+		}
+		cp := r.sw.Net.Clone(pkt)
+		cp.Up = goingUpStill && up
+		r.sw.Send(port, cp)
+		sent = true
+	}
+	_ = sent
+	r.sw.Net.Free(pkt)
+}
+
+// BestNextHop exposes HULA's current decision (tests/diagnostics).
+func (r *Hula) BestNextHop(dst topo.NodeID) (int, float64) {
+	port, ok := r.bestFresh(dst, r.sw.Now())
+	if !ok {
+		return -1, 1
+	}
+	return port, r.bestUtil[dst]
+}

@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"contra/internal/sim"
+	"contra/internal/topo"
+)
+
+// Spain reimplements SPAIN (Mudigonda et al., NSDI 2010): an offline
+// algorithm precomputes a set of (near-)disjoint paths between every
+// pair of edge switches and maps them onto VLANs; at runtime each flow
+// is statically hashed onto one VLAN and follows that path. It gets
+// multipath spreading on arbitrary topologies but — unlike Contra —
+// cannot react to load.
+type Spain struct {
+	base
+	k int
+	// vlanNext[(vlan, dstEdge)] -> out port on this switch.
+	vlanNext map[spainKey]int
+	// numPaths[(srcEdge, dstEdge)] -> how many VLANs are usable.
+	numPaths map[pairKey]int
+	fallback map[topo.NodeID]int // shortest-path port per destination
+}
+
+type spainKey struct {
+	vlan int32
+	dst  topo.NodeID
+}
+
+type pairKey struct {
+	src, dst topo.NodeID
+}
+
+// SpainConfig parameterizes path precomputation.
+type SpainConfig struct {
+	K int // paths per pair; default 4
+}
+
+// DeploySpain computes the VLAN path sets once (offline, on the
+// topology as currently up) and installs per-switch routers.
+func DeploySpain(n *sim.Network, cfg SpainConfig) map[topo.NodeID]*Spain {
+	if cfg.K <= 0 {
+		cfg.K = 4
+	}
+	g := n.Topo
+	vlanNext := make(map[topo.NodeID]map[spainKey]int)
+	numPaths := make(map[pairKey]int)
+	for _, s := range g.Switches() {
+		vlanNext[s] = make(map[spainKey]int)
+	}
+	switches := g.Switches()
+	for _, src := range switches {
+		for _, dst := range switches {
+			if src == dst {
+				continue
+			}
+			paths := g.KShortestPaths(src, dst, cfg.K)
+			numPaths[pairKey{src, dst}] = len(paths)
+			for vlan, p := range paths {
+				for i := 0; i+1 < len(p); i++ {
+					port := g.PortTo(p[i], p[i+1])
+					vlanNext[p[i]][spainKey{vlan: int32(vlan), dst: dst}] = port
+				}
+			}
+		}
+	}
+	routers := make(map[topo.NodeID]*Spain)
+	for _, s := range switches {
+		r := &Spain{k: cfg.K, vlanNext: vlanNext[s], numPaths: numPaths}
+		routers[s] = r
+		n.SetRouter(s, r)
+	}
+	return routers
+}
+
+// Attach implements sim.Router.
+func (r *Spain) Attach(sw *sim.SwitchDev) {
+	r.init(sw)
+	r.fallback = make(map[topo.NodeID]int)
+	g := sw.Net.Topo
+	for _, dst := range g.Switches() {
+		if dst == sw.ID {
+			continue
+		}
+		if p := g.ShortestPath(sw.ID, dst); p != nil {
+			r.fallback[dst] = g.PortTo(sw.ID, p[1])
+		}
+	}
+}
+
+// Handle implements sim.Router.
+func (r *Spain) Handle(pkt *sim.Packet, inPort int) {
+	if pkt.Kind == sim.Probe {
+		r.sw.Drop(pkt, "drop_probe_unsupported")
+		return
+	}
+	dstEdge, ok := r.pre(pkt)
+	if !ok {
+		return
+	}
+	if r.sw.IsHostPort(inPort) || !pkt.HasTag {
+		// Source edge switch: hash the flow onto a VLAN.
+		np := r.numPaths[pairKey{r.sw.ID, dstEdge}]
+		if np == 0 {
+			r.sw.Drop(pkt, "drop_noroute")
+			return
+		}
+		pkt.Tag = int32(flowHash(pkt.FlowID) % uint64(np))
+		pkt.HasTag = true
+		pkt.Size += sim.TagHeaderBytes
+	}
+	if port, ok := r.vlanNext[spainKey{vlan: pkt.Tag, dst: dstEdge}]; ok {
+		r.sw.Send(port, pkt)
+		return
+	}
+	// Not on this VLAN's path (e.g. after reroute); fall back to the
+	// shortest path, as SPAIN falls back to VLAN 1.
+	if port, ok := r.fallback[dstEdge]; ok {
+		r.sw.Send(port, pkt)
+		return
+	}
+	r.sw.Drop(pkt, "drop_noroute")
+}

@@ -1,0 +1,92 @@
+// Package cliutil holds the small helpers shared by the command-line
+// tools: topology specification parsing and text table rendering.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"contra/internal/topo"
+)
+
+// BuildTopology resolves a topology spec:
+//
+//	abilene            the Internet2 backbone (§6.4)
+//	abilene+hosts      one host per switch
+//	dc                 the paper's data center (32 hosts, §6.3)
+//	fattree:K[:H]      k-ary fat-tree, H hosts per edge switch
+//	leafspine:L:S[:H]  two-tier Clos
+//	random:N[:SEED]    connected random graph, average degree 4
+//	@file              the text format parsed by topo.Parse
+func BuildTopology(spec string) (*topo.Graph, error) {
+	if strings.HasPrefix(spec, "@") {
+		f, err := os.Open(spec[1:])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topo.Parse(f, spec[1:])
+	}
+	parts := strings.Split(spec, ":")
+	atoi := func(i, def int) int {
+		if i >= len(parts) {
+			return def
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return def
+		}
+		return v
+	}
+	switch parts[0] {
+	case "abilene":
+		return topo.Abilene(), nil
+	case "abilene+hosts":
+		return topo.AbileneWithHosts(0), nil
+	case "dc", "datacenter":
+		return topo.PaperDataCenter(), nil
+	case "fattree":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("fattree needs k, e.g. fattree:8")
+		}
+		return topo.Fattree(atoi(1, 4), atoi(2, 0)), nil
+	case "leafspine":
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("leafspine needs leaves:spines, e.g. leafspine:4:2")
+		}
+		return topo.LeafSpine(topo.LeafSpineConfig{
+			Leaves: atoi(1, 4), Spines: atoi(2, 2), HostsPerLeaf: atoi(3, 0),
+		}), nil
+	case "random":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("random needs a size, e.g. random:100")
+		}
+		return topo.RandomConnected(atoi(1, 100), 4, int64(atoi(2, 1))), nil
+	}
+	return nil, fmt.Errorf("unknown topology spec %q", spec)
+}
+
+// Table renders rows with aligned columns to stdout.
+func Table(header []string, rows [][]string) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+}
+
+// ReadPolicyArg resolves a policy argument: literal source, or @file.
+func ReadPolicyArg(arg string) (string, error) {
+	if strings.HasPrefix(arg, "@") {
+		b, err := os.ReadFile(arg[1:])
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	return arg, nil
+}

@@ -1,0 +1,78 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildTopologySpecs(t *testing.T) {
+	cases := []struct {
+		spec     string
+		switches int
+		hosts    int
+	}{
+		{"abilene", 11, 0},
+		{"abilene+hosts", 11, 11},
+		{"dc", 6, 32},
+		{"fattree:4", 20, 0},
+		{"fattree:4:2", 20, 16},
+		{"leafspine:4:2:8", 6, 32},
+		{"random:50", 50, 0},
+		{"random:50:7", 50, 0},
+	}
+	for _, c := range cases {
+		g, err := BuildTopology(c.spec)
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if got := len(g.Switches()); got != c.switches {
+			t.Errorf("%s: switches = %d, want %d", c.spec, got, c.switches)
+		}
+		if got := len(g.Hosts()); got != c.hosts {
+			t.Errorf("%s: hosts = %d, want %d", c.spec, got, c.hosts)
+		}
+	}
+}
+
+func TestBuildTopologyErrors(t *testing.T) {
+	for _, spec := range []string{"nope", "fattree", "leafspine:3", "random", "@/does/not/exist"} {
+		if _, err := BuildTopology(spec); err == nil {
+			t.Errorf("%s: expected error", spec)
+		}
+	}
+}
+
+func TestBuildTopologyFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.topo")
+	src := "node A switch\nnode B switch\nlink A B 10G 1us\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildTopology("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumLinks() != 1 {
+		t.Fatalf("parsed shape wrong: %s", g)
+	}
+}
+
+func TestReadPolicyArg(t *testing.T) {
+	if got, err := ReadPolicyArg("minimize(path.len)"); err != nil || got != "minimize(path.len)" {
+		t.Fatalf("literal: %q, %v", got, err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(path, []byte("minimize(path.util)"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadPolicyArg("@" + path); err != nil || got != "minimize(path.util)" {
+		t.Fatalf("file: %q, %v", got, err)
+	}
+	if _, err := ReadPolicyArg("@/does/not/exist"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,252 @@
+// Package core is the Contra compiler: it analyzes a policy jointly
+// with a topology (§4) and produces per-switch data-plane programs that
+// collectively implement the specialized distance-vector protocol —
+// tag transition tables, probe multicast trees, probe origination
+// specs, and the table schemas the runtime populates. It also accounts
+// for switch state (Figure 10) and emits P4-16 source mirroring the
+// paper's artifact.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"contra/internal/analysis"
+	"contra/internal/pg"
+	"contra/internal/policy"
+	"contra/internal/topo"
+)
+
+// Options tune compilation.
+type Options struct {
+	// ProbePeriodNs overrides the probe period; 0 derives it from the
+	// topology per §5.2 (>= 0.5 x worst-case RTT).
+	ProbePeriodNs int64
+
+	// FlowletTimeoutNs is the flowlet gap after which a new flowlet
+	// starts; 0 uses the paper's 200us.
+	FlowletTimeoutNs int64
+
+	// FailureDetectPeriods is k: a link with no probe for k periods is
+	// considered failed (§5.4). 0 uses 3.
+	FailureDetectPeriods int
+
+	// LoopTTLDelta is the max observed TTL spread per packet hash
+	// before the loop breaker fires (§5.5). 0 uses 4.
+	LoopTTLDelta int
+}
+
+func (o *Options) fill(t *topo.Graph) {
+	if o.ProbePeriodNs == 0 {
+		min := t.MaxSwitchRTT() / 2
+		if min < 50_000 {
+			min = 50_000 // 50us floor for tiny topologies
+		}
+		o.ProbePeriodNs = min
+	}
+	if o.FlowletTimeoutNs == 0 {
+		o.FlowletTimeoutNs = 200_000 // 200us (§6.1)
+	}
+	if o.FailureDetectPeriods == 0 {
+		o.FailureDetectPeriods = 3
+	}
+	if o.LoopTTLDelta == 0 {
+		o.LoopTTLDelta = 4
+	}
+}
+
+// SwitchProgram is the compiled artifact for one switch: everything the
+// data-plane runtime needs that is static for a given policy+topology.
+type SwitchProgram struct {
+	Switch topo.NodeID
+
+	// VNodes are this switch's virtual nodes (product graph states).
+	VNodes []pg.NodeID
+
+	// InTransition maps a probe's carried tag (the sender's virtual
+	// node) to this switch's virtual node: NEXTPGNODE of Figure 7.
+	InTransition map[pg.NodeID]pg.NodeID
+
+	// ProbeOut maps a local virtual node to the egress ports its
+	// probes multicast to (the product graph out-edges).
+	ProbeOut map[pg.NodeID][]int
+
+	// Origin, when non-nil, makes this switch originate probes.
+	Origin *OriginSpec
+
+	// ReachableOrigins counts destinations whose probes can reach this
+	// switch (sizes FwdT; the paper's "minimizing the forwarding table
+	// sizes" optimization).
+	ReachableOrigins int
+}
+
+// OriginSpec describes probe origination for a destination switch.
+type OriginSpec struct {
+	VNode pg.NodeID // the probe-sending state (§4.1)
+	Pids  []int     // one probe per pid per period
+}
+
+// Compiled is the full compilation result.
+type Compiled struct {
+	Topo     *topo.Graph
+	Policy   *policy.Policy
+	Analysis *analysis.Result
+	PG       *pg.Graph
+	Switches map[topo.NodeID]*SwitchProgram
+	Opts     Options
+	Stats    Stats
+}
+
+// Stats reports compile-time measurements (Figures 9 and 10).
+type Stats struct {
+	CompileTime     time.Duration
+	SwitchCount     int
+	PGNodes         int
+	TagBits         int
+	Pids            int
+	MVWidth         int
+	ProbeBytes      int // wire size of one probe
+	StateBytes      map[topo.NodeID]int
+	MaxStateBytes   int
+	MeanStateBytes  float64
+	TotalStateBytes int
+}
+
+// Compile runs the full pipeline: analysis, product graph, per-switch
+// program generation, and state accounting.
+func Compile(t *topo.Graph, pol *policy.Policy, opts Options) (*Compiled, error) {
+	start := time.Now()
+	opts.fill(t)
+
+	res, err := analysis.Analyze(pol)
+	if err != nil {
+		return nil, err
+	}
+	graph, err := pg.Build(t, pol)
+	if err != nil {
+		return nil, err
+	}
+	if graph.NumNodes() == 0 {
+		return nil, fmt.Errorf("core: policy %q admits no path on topology %s (every virtual node pruned)",
+			pol.String(), t.Name)
+	}
+
+	c := &Compiled{
+		Topo:     t,
+		Policy:   pol,
+		Analysis: res,
+		PG:       graph,
+		Switches: make(map[topo.NodeID]*SwitchProgram),
+		Opts:     opts,
+	}
+
+	pids := make([]int, res.NumPids())
+	for i := range pids {
+		pids[i] = i
+	}
+
+	for _, x := range t.Switches() {
+		sp := &SwitchProgram{
+			Switch:       x,
+			VNodes:       append([]pg.NodeID(nil), graph.VirtualNodes(x)...),
+			InTransition: make(map[pg.NodeID]pg.NodeID),
+			ProbeOut:     make(map[pg.NodeID][]int),
+		}
+		for _, v := range sp.VNodes {
+			// Incoming: probes from neighbor virtual node u transition
+			// to v.
+			for _, u := range graph.In(v) {
+				sp.InTransition[u] = v
+			}
+			// Outgoing: multicast to the ports leading to successor
+			// switches.
+			var ports []int
+			for _, u := range graph.Out(v) {
+				nb := graph.Node(u).Topo
+				if port := t.PortTo(x, nb); port >= 0 {
+					ports = append(ports, port)
+				}
+			}
+			sort.Ints(ports)
+			sp.ProbeOut[v] = ports
+		}
+		if send, ok := graph.SendState(x); ok {
+			sp.Origin = &OriginSpec{VNode: send, Pids: pids}
+		}
+		c.Switches[x] = sp
+	}
+
+	c.countReachability()
+	c.accountState()
+	c.Stats.CompileTime = time.Since(start)
+	c.Stats.SwitchCount = len(c.Switches)
+	c.Stats.PGNodes = graph.NumNodes()
+	c.Stats.TagBits = graph.TagBits()
+	c.Stats.Pids = res.NumPids()
+	c.Stats.MVWidth = len(res.MV)
+	c.Stats.ProbeBytes = c.probeWireBytes()
+	return c, nil
+}
+
+// countReachability computes, per switch, how many origins' probes can
+// reach it (BFS per origin over the product graph).
+func (c *Compiled) countReachability() {
+	reach := make(map[topo.NodeID]map[topo.NodeID]bool) // switch -> set of origins
+	for _, x := range c.Topo.Switches() {
+		send, ok := c.PG.SendState(x)
+		if !ok {
+			continue
+		}
+		seen := make([]bool, c.PG.NumNodes())
+		stack := []pg.NodeID{send}
+		seen[send] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sw := c.PG.Node(v).Topo
+			if reach[sw] == nil {
+				reach[sw] = make(map[topo.NodeID]bool)
+			}
+			reach[sw][x] = true
+			for _, u := range c.PG.Out(v) {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	for sw, origins := range reach {
+		if sp := c.Switches[sw]; sp != nil {
+			sp.ReachableOrigins = len(origins)
+		}
+	}
+}
+
+// ProbePeriod returns the configured probe period.
+func (c *Compiled) ProbePeriod() time.Duration {
+	return time.Duration(c.Opts.ProbePeriodNs)
+}
+
+// probeWireBytes estimates the wire size of one probe: origin (2B),
+// pid (1B), version (2B), tag (tag bits rounded up), plus 2 bytes per
+// metric — matching the compact fixed-point encodings data planes use.
+func (c *Compiled) probeWireBytes() int {
+	tagBytes := (c.PG.TagBits() + 7) / 8
+	if tagBytes == 0 {
+		tagBytes = 1
+	}
+	return 2 + 1 + 2 + tagBytes + 2*len(c.Analysis.MV)
+}
+
+// Describe renders a human-readable compilation report.
+func (c *Compiled) Describe() string {
+	s := c.Stats
+	return fmt.Sprintf(
+		"compiled %q on %s\n  %s\n  pids=%d mv=%v tagBits=%d probeBytes=%d\n  state: max=%dB mean=%.0fB total=%dB\n  probe period=%v flowlet timeout=%v\n",
+		c.Policy.String(), c.Topo.String(), c.PG.String(),
+		s.Pids, c.Analysis.MV, s.TagBits, s.ProbeBytes,
+		s.MaxStateBytes, s.MeanStateBytes, s.TotalStateBytes,
+		time.Duration(c.Opts.ProbePeriodNs), time.Duration(c.Opts.FlowletTimeoutNs))
+}

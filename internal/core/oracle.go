@@ -1,0 +1,43 @@
+package core
+
+import (
+	"contra/internal/policy"
+	"contra/internal/topo"
+)
+
+// LinkMetrics supplies ground-truth per-directed-link metrics to the
+// Oracle: utilization of the a→b direction in [0,1]. Latency and hop
+// count come from the topology itself.
+type LinkMetrics func(from, to topo.NodeID) float64
+
+// Oracle computes the optimal policy-compliant route by brute force:
+// it enumerates simple paths (bounded by maxHops), evaluates the
+// reference rank of each, and returns the best rank with every path
+// achieving it. The compiled protocol must converge to one of these
+// paths under stable metrics — this is the "Optimal" objective of
+// Figure 1, and the ground truth for the convergence tests.
+func (c *Compiled) Oracle(src, dst topo.NodeID, util LinkMetrics, maxHops int) (policy.Rank, []topo.Path) {
+	best := policy.Infinite()
+	var bestPaths []topo.Path
+	for _, p := range c.Topo.AllSimplePaths(src, dst, maxHops, 0) {
+		info := policy.PathInfo{Nodes: c.Topo.Names(p)}
+		var latNs float64
+		for i := 0; i+1 < len(p); i++ {
+			if u := util(p[i], p[i+1]); u > info.Util {
+				info.Util = u
+			}
+			latNs += float64(c.Topo.LinkBetween(p[i], p[i+1]).Delay)
+		}
+		info.Lat = latNs / 1e9
+		r := c.Policy.RankPath(info)
+		switch cmp := r.Cmp(best); {
+		case cmp < 0:
+			best = r
+			bestPaths = bestPaths[:0]
+			bestPaths = append(bestPaths, p)
+		case cmp == 0 && !r.IsInf():
+			bestPaths = append(bestPaths, p)
+		}
+	}
+	return best, bestPaths
+}

@@ -1,0 +1,93 @@
+package dataplane
+
+import (
+	"testing"
+
+	"contra/internal/core"
+	"contra/internal/policy"
+	"contra/internal/sim"
+	"contra/internal/topo"
+)
+
+// BenchmarkProbeProcessing measures the switch runtime's probe hot
+// path (PROCESSPROBE): the per-probe cost a P4 target would pay in
+// pipeline stages shows up here as pure CPU.
+func BenchmarkProbeProcessing(b *testing.B) {
+	g := topo.Fattree(4, 0)
+	pol := policy.MustParse("minimize(path.util)")
+	comp, err := core.Compile(g, pol, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	routers := Deploy(n, comp)
+	n.Start()
+	e.Run(2 * comp.Opts.ProbePeriodNs) // tables warm
+
+	sw := g.MustNode("e0_0")
+	r := routers[sw]
+	origin := g.MustNode("e1_0")
+	send, _ := comp.PG.SendState(origin)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.NewPacket()
+		p.Kind = sim.Probe
+		p.Origin = origin
+		p.Version = uint32(i + 10)
+		p.Tag = int32(send)
+		p.MV[0] = 0.25
+		// Port 0 attaches an agg on e0_0.
+		r.Handle(p, 0)
+		// Drain whatever the multicast scheduled.
+		e.Run(e.Now() + 1)
+	}
+}
+
+// BenchmarkDataForwarding measures SWIFORWARDPKT with a warm flowlet
+// table.
+func BenchmarkDataForwarding(b *testing.B) {
+	g := topo.PaperDataCenter()
+	pol := policy.MustParse("minimize((path.len, path.util))")
+	comp, err := core.Compile(g, pol, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	routers := Deploy(n, comp)
+	n.Start()
+	e.Run(12 * comp.Opts.ProbePeriodNs)
+
+	l0 := g.MustNode("l0")
+	r := routers[l0]
+	srcHost := g.MustNode("h0_0")
+	dstHost := g.MustNode("h1_0")
+	hostPort := g.PortTo(l0, srcHost)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.NewPacket()
+		p.Kind = sim.Data
+		p.Size = 1500
+		p.Src, p.Dst = srcHost, dstHost
+		p.FlowID = 42
+		p.Seq = int64(i)
+		p.TTL = sim.InitialTTL
+		p.Tag = -1
+		r.Handle(p, hostPort)
+		e.Run(e.Now() + 1)
+	}
+}
+
+// BenchmarkCompileFattreeMU isolates the compiler on the figure 9
+// mid-size point.
+func BenchmarkCompileFattreeMU(b *testing.B) {
+	g := topo.Fattree(10, 0)
+	pol := policy.MustParse("minimize(path.util)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(g, pol, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,588 @@
+// Package dataplane is the Contra switch runtime: it interprets the
+// compiler's per-switch programs exactly the way a P4 target would run
+// the generated code. It implements PROCESSPROBE and SWIFORWARDPKT
+// (Figure 7) with the paper's refinements: versioned probes (§5.1),
+// policy-aware flowlet switching (§5.3), failure detection with metric
+// expiration (§5.4), and lazy loop breaking via TTL spread (§5.5).
+package dataplane
+
+import (
+	"contra/internal/analysis"
+	"contra/internal/core"
+	"contra/internal/pg"
+	"contra/internal/policy"
+	"contra/internal/sim"
+	"contra/internal/topo"
+)
+
+// fwdKey keys FwdT: destination switch, local virtual node, probe id.
+type fwdKey struct {
+	origin topo.NodeID
+	vnode  pg.NodeID
+	pid    uint8
+}
+
+// fwdEntry is one FwdT row: the best known metric vector for this key,
+// where it came from, and when.
+type fwdEntry struct {
+	mv      [4]float64
+	ntag    pg.NodeID // the upstream (probe-sender) virtual node: the packet's next tag
+	nhop    int       // egress port toward it
+	version uint32
+	updated int64
+	rank    policy.Rank // cached full-policy rank (recombination input)
+}
+
+// flowKey keys the policy-aware flowlet table (§5.3): tag, pid and
+// flowlet hash, so pinning never crosses a policy constraint.
+type flowKey struct {
+	vnode pg.NodeID
+	pid   uint8
+	fid   uint32
+}
+
+type flowletEntry struct {
+	nhop    int
+	ntag    pg.NodeID
+	lastPkt int64
+}
+
+// srcKey keys the source-switch pin: destination switch + flowlet hash.
+type srcKey struct {
+	dst topo.NodeID
+	fid uint32
+}
+
+type srcPin struct {
+	nhop    int
+	ntag    pg.NodeID
+	pid     uint8
+	lastPkt int64
+}
+
+// loopSlots is the size of the loop-detection register array (§5.5).
+const loopSlots = 512
+
+type loopSlot struct {
+	sig    uint64
+	minTTL uint8
+	maxTTL uint8
+	set    bool
+}
+
+// Contra is the per-switch router.
+type Contra struct {
+	comp *core.Compiled
+	prog *core.SwitchProgram
+	res  *analysis.Result
+	sw   *sim.SwitchDev
+
+	fwd      map[fwdKey]*fwdEntry
+	best     map[topo.NodeID]fwdKey
+	flowlets map[flowKey]*flowletEntry
+	srcPins  map[srcKey]*srcPin
+	loopTbl  [loopSlots]loopSlot
+
+	hostEdge  map[topo.NodeID]topo.NodeID // host -> its edge switch
+	version   uint32
+	lastProbe []int64 // per port: last probe arrival (failure detection)
+
+	probeSize int
+
+	// LoopBreaks counts §5.5 flowlet flushes (exported for tests and
+	// the evaluation harness).
+	LoopBreaks int64
+}
+
+// Deploy attaches a Contra router built from comp to every switch in
+// the network. The routers share the compiled artifact but keep
+// independent table state, exactly like distinct devices.
+func Deploy(n *sim.Network, comp *core.Compiled) map[topo.NodeID]*Contra {
+	routers := make(map[topo.NodeID]*Contra)
+	for _, swID := range n.Topo.Switches() {
+		r := New(comp, swID)
+		routers[swID] = r
+		n.SetRouter(swID, r)
+	}
+	return routers
+}
+
+// New builds the router for one switch.
+func New(comp *core.Compiled, swID topo.NodeID) *Contra {
+	return &Contra{
+		comp:      comp,
+		prog:      comp.Switches[swID],
+		res:       comp.Analysis,
+		fwd:       make(map[fwdKey]*fwdEntry),
+		best:      make(map[topo.NodeID]fwdKey),
+		flowlets:  make(map[flowKey]*flowletEntry),
+		srcPins:   make(map[srcKey]*srcPin),
+		hostEdge:  make(map[topo.NodeID]topo.NodeID),
+		probeSize: comp.Stats.ProbeBytes + 18, // + minimal L2 framing
+	}
+}
+
+// Attach implements sim.Router: initialize port state and start the
+// probe generator.
+func (c *Contra) Attach(sw *sim.SwitchDev) {
+	c.sw = sw
+	c.lastProbe = make([]int64, sw.PortCount())
+	for _, h := range sw.Net.Topo.Hosts() {
+		c.hostEdge[h] = sw.Net.Topo.HostEdge(h)
+	}
+	period := c.comp.Opts.ProbePeriodNs
+	if c.prog.Origin != nil {
+		// Stagger origins deterministically to avoid a synchronized
+		// probe burst every period.
+		offset := (int64(c.prog.Switch) * 7919) % period
+		sw.Net.Eng.Every(offset, period, c.originate)
+	}
+	// Housekeeping: sweep expired flowlet entries.
+	sw.Net.Eng.Every(period, 16*period, c.sweep)
+}
+
+// originate emits one probe per pid from the switch's probe-sending
+// state (INITPROBE of Figure 7).
+func (c *Contra) originate() {
+	c.version++
+	org := c.prog.Origin
+	ports := c.prog.ProbeOut[org.VNode]
+	for _, pid := range org.Pids {
+		for _, port := range ports {
+			p := c.sw.Net.NewPacket()
+			p.Kind = sim.Probe
+			p.Size = c.probeSize
+			p.Origin = c.prog.Switch
+			p.Pid = uint8(pid)
+			p.Version = c.version
+			p.Tag = int32(org.VNode)
+			p.TTL = sim.InitialTTL
+			c.sw.Send(port, p)
+		}
+	}
+}
+
+// Handle implements sim.Router.
+func (c *Contra) Handle(pkt *sim.Packet, inPort int) {
+	switch pkt.Kind {
+	case sim.Probe:
+		c.handleProbe(pkt, inPort)
+	default:
+		c.handleData(pkt, inPort)
+	}
+}
+
+// handleProbe is PROCESSPROBE (Figure 7) plus §5 refinements.
+func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
+	now := c.sw.Now()
+	c.lastProbe[inPort] = now
+
+	// Probes never travel through their own origin: traffic for that
+	// destination would already have been delivered here.
+	if pkt.Origin == c.prog.Switch {
+		c.sw.Net.Free(pkt)
+		return
+	}
+	// NEXTPGNODE: the sender's virtual node determines ours.
+	v, ok := c.prog.InTransition[pg.NodeID(pkt.Tag)]
+	if !ok {
+		c.sw.Drop(pkt, "drop_probe_notrans")
+		return
+	}
+	// UPDATEMVEC: fold the traffic-direction link metric. Probes flow
+	// opposite to traffic, so the relevant direction is out of inPort.
+	mv := pkt.MV
+	for i, m := range c.res.MV {
+		switch m {
+		case policy.Util:
+			if u := c.sw.TxUtil(inPort); u > mv[i] {
+				mv[i] = u
+			}
+		case policy.Lat:
+			mv[i] += float64(c.sw.PortDelay(inPort)) / 1e9
+		case policy.Len:
+			mv[i]++
+		}
+	}
+
+	key := fwdKey{origin: pkt.Origin, vnode: v, pid: pkt.Pid}
+	e := c.fwd[key]
+	accept := false
+	switch {
+	case e == nil:
+		accept = true
+	case pkt.Version < e.version:
+		// Outdated probe: discard (§5.1).
+	case inPort == e.nhop && pg.NodeID(pkt.Tag) == e.ntag:
+		// DSDV/Babel rule: the route's own upstream always refreshes
+		// the entry, even when its metric worsened — stale good news
+		// must not shadow fresh bad news.
+		accept = true
+	case c.expired(e):
+		// §5.4 metric expiration: once the entry's upstream has gone
+		// silent for k probe periods, any fresh alternative replaces
+		// it — this is how switches route around failures.
+		accept = true
+	default:
+		// Live entries are displaced only by strict improvement, which
+		// keeps route churn (and hence transient loops) bounded.
+		accept = c.evalRank(pkt.Pid, mv).Better(c.evalRank(pkt.Pid, e.mv))
+	}
+	if !accept {
+		c.sw.Net.Free(pkt)
+		return
+	}
+	if e == nil {
+		e = &fwdEntry{}
+		c.fwd[key] = e
+	}
+	e.mv = mv
+	e.ntag = pg.NodeID(pkt.Tag)
+	e.nhop = inPort
+	e.version = pkt.Version
+	e.updated = now
+	e.rank = c.policyRank(v, mv)
+
+	c.updateBest(pkt.Origin, key, e)
+
+	// Retag and multicast along product graph out-edges.
+	pkt.Tag = int32(v)
+	pkt.MV = mv
+	outPorts := c.prog.ProbeOut[v]
+	if len(outPorts) == 0 {
+		c.sw.Net.Free(pkt)
+		return
+	}
+	for i, port := range outPorts {
+		if i == len(outPorts)-1 {
+			c.sw.Send(port, pkt)
+		} else {
+			c.sw.Send(port, c.sw.Net.Clone(pkt))
+		}
+	}
+}
+
+// evalRank is f(pid, mv): the pid's propagation order.
+func (c *Contra) evalRank(pid uint8, mv [4]float64) policy.Rank {
+	return c.res.EvalRank(int(pid), mv[:len(c.res.MV)])
+}
+
+// policyRank evaluates the full policy for an entry at virtual node v:
+// the recombination step (the "asterisk" choice of §4.2).
+func (c *Contra) policyRank(v pg.NodeID, mv [4]float64) policy.Rank {
+	node := c.comp.PG.Node(v)
+	return c.res.EvalPolicy(mv[:len(c.res.MV)], func(id int) bool {
+		return node.Accept[id]
+	})
+}
+
+// updateBest maintains BestT for one origin given a just-updated entry.
+func (c *Contra) updateBest(origin topo.NodeID, key fwdKey, e *fwdEntry) {
+	cur, ok := c.best[origin]
+	if !ok || cur == key {
+		// No previous best, or the best itself changed (possibly for
+		// the worse): rescan.
+		c.rescanBest(origin)
+		return
+	}
+	curE := c.fwd[cur]
+	if curE == nil || !c.alive(cur, curE) || e.rank.Better(curE.rank) {
+		c.rescanBest(origin)
+	}
+}
+
+// rescanBest recomputes the best (tag, pid) for an origin across all
+// live entries, evaluating the full policy per entry.
+func (c *Contra) rescanBest(origin topo.NodeID) {
+	bestRank := policy.Infinite()
+	var bestKey fwdKey
+	found := false
+	for _, v := range c.prog.VNodes {
+		for pid := 0; pid < c.res.NumPids(); pid++ {
+			key := fwdKey{origin: origin, vnode: v, pid: uint8(pid)}
+			e := c.fwd[key]
+			if e == nil || !c.alive(key, e) {
+				continue
+			}
+			if !found || e.rank.Better(bestRank) {
+				bestRank = e.rank
+				bestKey = key
+				found = true
+			}
+		}
+	}
+	if found && !bestRank.IsInf() {
+		c.best[origin] = bestKey
+	} else {
+		delete(c.best, origin)
+	}
+}
+
+// expired reports §5.4 metric expiration: the entry has not been
+// refreshed for k probe periods (plus one period of slack for probe
+// jitter).
+func (c *Contra) expired(e *fwdEntry) bool {
+	ageOut := int64(c.comp.Opts.FailureDetectPeriods) * c.comp.Opts.ProbePeriodNs
+	return c.sw.Now()-e.updated > ageOut+c.comp.Opts.ProbePeriodNs
+}
+
+// alive reports whether an entry is usable: recently refreshed (§5.4
+// metric expiration) and its port not presumed failed.
+func (c *Contra) alive(key fwdKey, e *fwdEntry) bool {
+	return !c.expired(e) && !c.portDead(e.nhop)
+}
+
+// portDead is the §5.4 failure detector: no probes on the port for k
+// periods.
+func (c *Contra) portDead(port int) bool {
+	now := c.sw.Now()
+	k := int64(c.comp.Opts.FailureDetectPeriods)
+	return now-c.lastProbe[port] > k*c.comp.Opts.ProbePeriodNs && now > k*c.comp.Opts.ProbePeriodNs
+}
+
+// handleData is SWIFORWARDPKT (Figure 7) with policy-aware flowlet
+// switching, failure expiry, and lazy loop breaking.
+func (c *Contra) handleData(pkt *sim.Packet, inPort int) {
+	if pkt.TTL == 0 {
+		c.sw.Drop(pkt, "drop_ttl")
+		return
+	}
+	pkt.TTL--
+
+	dstEdge, ok := c.hostEdge[pkt.Dst]
+	if !ok {
+		c.sw.Drop(pkt, "drop_nohost")
+		return
+	}
+	if dstEdge == c.prog.Switch {
+		c.sw.DeliverLocal(pkt)
+		return
+	}
+	now := c.sw.Now()
+	fid := flowletHash(pkt.FlowID, pkt.Dst)
+
+	if c.sw.IsHostPort(inPort) || !pkt.HasTag {
+		c.forwardFromSource(pkt, dstEdge, fid, now)
+		return
+	}
+	c.forwardTransit(pkt, dstEdge, fid, now)
+}
+
+// forwardFromSource makes the source-switch decision: BestT selects
+// the (tag, pid), pinned per flowlet.
+func (c *Contra) forwardFromSource(pkt *sim.Packet, dstEdge topo.NodeID, fid uint32, now int64) {
+	sk := srcKey{dst: dstEdge, fid: fid}
+	pin := c.srcPins[sk]
+	flowletNs := c.comp.Opts.FlowletTimeoutNs
+	if pin != nil && now-pin.lastPkt < flowletNs && !c.portDead(pin.nhop) {
+		// The pin freezes the resolved decision for the flowlet's
+		// lifetime (§5.3): the first packet picked the then-best path
+		// and the rest of the flowlet inherits it even as BestT moves.
+		pin.lastPkt = now
+		c.emit(pkt, pin.nhop, pin.ntag, pin.pid)
+		return
+	}
+	key, ok := c.best[dstEdge]
+	e := c.fwd[key]
+	if !ok || e == nil || !c.alive(key, e) {
+		c.rescanBest(dstEdge)
+		key, ok = c.best[dstEdge]
+		if !ok {
+			c.sw.Drop(pkt, "drop_noroute")
+			return
+		}
+		e = c.fwd[key]
+	}
+	if pin == nil {
+		pin = &srcPin{}
+		c.srcPins[sk] = pin
+	}
+	pin.nhop = e.nhop
+	pin.ntag = e.ntag
+	pin.pid = key.pid
+	pin.lastPkt = now
+	c.emit(pkt, e.nhop, e.ntag, key.pid)
+}
+
+// emit tags and transmits a packet (the source-side half of
+// SWIFORWARDPKT: set pid from BestT, tag from the entry).
+func (c *Contra) emit(pkt *sim.Packet, nhop int, ntag pg.NodeID, pid uint8) {
+	if !pkt.HasTag {
+		pkt.HasTag = true
+		pkt.Size += sim.TagHeaderBytes
+	}
+	pkt.Pid = pid
+	pkt.Tag = int32(ntag)
+	c.sw.Send(nhop, pkt)
+}
+
+// forwardTransit forwards an already-tagged packet: flowlet table
+// first, falling back to FwdT, with loop breaking.
+func (c *Contra) forwardTransit(pkt *sim.Packet, dstEdge topo.NodeID, fid uint32, now int64) {
+	v := pg.NodeID(pkt.Tag)
+	fk := flowKey{vnode: v, pid: pkt.Pid, fid: fid}
+
+	// §5.5: lazy loop detection on TTL spread.
+	if c.loopDetect(pkt) {
+		delete(c.flowlets, fk)
+		c.LoopBreaks++
+		c.sw.Net.Counters.Add("loop_break", 1)
+	}
+
+	flowletNs := c.comp.Opts.FlowletTimeoutNs
+	if fe := c.flowlets[fk]; fe != nil && now-fe.lastPkt < flowletNs && !c.portDead(fe.nhop) {
+		fe.lastPkt = now
+		pkt.Tag = int32(fe.ntag)
+		c.sw.Send(fe.nhop, pkt)
+		return
+	}
+
+	// FwdT lookup for this tag; try the packet's pid first, then the
+	// other pids (same tag keeps it policy-compliant).
+	var e *fwdEntry
+	pidOrder := make([]uint8, 0, c.res.NumPids())
+	pidOrder = append(pidOrder, pkt.Pid)
+	for pid := 0; pid < c.res.NumPids(); pid++ {
+		if uint8(pid) != pkt.Pid {
+			pidOrder = append(pidOrder, uint8(pid))
+		}
+	}
+	usedPid := pkt.Pid
+	for _, pid := range pidOrder {
+		key := fwdKey{origin: dstEdge, vnode: v, pid: pid}
+		if cand := c.fwd[key]; cand != nil && c.alive(key, cand) {
+			e = cand
+			usedPid = pid
+			break
+		}
+	}
+	if e == nil {
+		c.sw.Drop(pkt, "drop_noroute")
+		return
+	}
+	c.flowlets[fk] = &flowletEntry{nhop: e.nhop, ntag: e.ntag, lastPkt: now}
+	pkt.Pid = usedPid
+	pkt.Tag = int32(e.ntag)
+	c.sw.Send(e.nhop, pkt)
+}
+
+// loopDetect updates the TTL-range register for this packet and
+// reports whether the spread exceeds the threshold (§5.5).
+func (c *Contra) loopDetect(pkt *sim.Packet) bool {
+	sig := pktHash(pkt.FlowID, pkt.Dst, pkt.Seq)
+	slot := &c.loopTbl[sig%loopSlots]
+	if !slot.set || slot.sig != sig {
+		slot.set = true
+		slot.sig = sig
+		slot.minTTL = pkt.TTL
+		slot.maxTTL = pkt.TTL
+		return false
+	}
+	if pkt.TTL < slot.minTTL {
+		slot.minTTL = pkt.TTL
+	}
+	if pkt.TTL > slot.maxTTL {
+		slot.maxTTL = pkt.TTL
+	}
+	if int(slot.maxTTL)-int(slot.minTTL) >= c.comp.Opts.LoopTTLDelta {
+		slot.set = false // reset after firing
+		return true
+	}
+	return false
+}
+
+// sweep drops expired flowlet and source-pin entries to bound memory,
+// mirroring hardware table aging.
+func (c *Contra) sweep() {
+	now := c.sw.Now()
+	horizon := 4 * c.comp.Opts.FlowletTimeoutNs
+	for k, fe := range c.flowlets {
+		if now-fe.lastPkt > horizon {
+			delete(c.flowlets, k)
+		}
+	}
+	for k, pin := range c.srcPins {
+		if now-pin.lastPkt > horizon {
+			delete(c.srcPins, k)
+		}
+	}
+}
+
+// BestNextHop exposes the current decision for a destination switch
+// (diagnostics and tests): the neighbor the switch would send new
+// flowlets toward, or -1.
+func (c *Contra) BestNextHop(dst topo.NodeID) (port int, rank policy.Rank) {
+	key, ok := c.best[dst]
+	if !ok {
+		c.rescanBest(dst)
+		key, ok = c.best[dst]
+		if !ok {
+			return -1, policy.Infinite()
+		}
+	}
+	e := c.fwd[key]
+	if e == nil {
+		return -1, policy.Infinite()
+	}
+	return e.nhop, e.rank
+}
+
+// BestEntry returns the source-switch decision for a destination: the
+// (virtual node, pid) a fresh flowlet would be tagged with, plus its
+// rank. Walking entries from here reproduces the exact path a packet
+// takes (tags included), unlike chaining per-switch BestNextHop calls.
+func (c *Contra) BestEntry(dst topo.NodeID) (vnode pg.NodeID, pid uint8, rank policy.Rank, ok bool) {
+	key, found := c.best[dst]
+	if !found {
+		c.rescanBest(dst)
+		key, found = c.best[dst]
+		if !found {
+			return 0, 0, policy.Infinite(), false
+		}
+	}
+	e := c.fwd[key]
+	if e == nil {
+		return 0, 0, policy.Infinite(), false
+	}
+	return key.vnode, key.pid, e.rank, true
+}
+
+// Entry resolves one FwdT row: the egress port and the next tag for a
+// packet tagged (vnode, pid) heading to dst, preferring the given pid
+// but falling back to other pids on the same tag, exactly as the
+// forwarding path does.
+func (c *Contra) Entry(dst topo.NodeID, vnode pg.NodeID, pid uint8) (nhop int, ntag pg.NodeID, ok bool) {
+	order := make([]uint8, 0, c.res.NumPids())
+	order = append(order, pid)
+	for p := 0; p < c.res.NumPids(); p++ {
+		if uint8(p) != pid {
+			order = append(order, uint8(p))
+		}
+	}
+	for _, p := range order {
+		key := fwdKey{origin: dst, vnode: vnode, pid: p}
+		if e := c.fwd[key]; e != nil && c.alive(key, e) {
+			return e.nhop, e.ntag, true
+		}
+	}
+	return -1, 0, false
+}
+
+// flowletHash maps a flow to a flowlet key: the stand-in for the
+// 5-tuple hash of §5.3. The destination must participate so that a
+// flow's data and its reverse-direction acks (same flow id) never
+// share a flowlet entry at a switch both directions traverse.
+func flowletHash(flowID uint64, dst topo.NodeID) uint32 {
+	x := (flowID ^ uint64(dst)<<40) * 0x9e3779b97f4a7c15
+	return uint32(x >> 32)
+}
+
+// pktHash is the per-packet CRC stand-in used by loop detection;
+// direction-sensitive for the same reason as flowletHash.
+func pktHash(flowID uint64, dst topo.NodeID, seq int64) uint64 {
+	x := flowID ^ uint64(dst)<<40 ^ uint64(seq)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return x
+}

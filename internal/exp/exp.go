@@ -1,0 +1,478 @@
+// Package exp is the experiment harness: it assembles topology +
+// scheme + workload into the runs behind every evaluation figure
+// (Figures 9-16 and the §6.5 loop statistics), so the benchmark
+// targets, the CLI driver, and tests all execute the same code.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"contra/internal/baseline"
+	"contra/internal/core"
+	"contra/internal/dataplane"
+	"contra/internal/policy"
+	"contra/internal/sim"
+	"contra/internal/stats"
+	"contra/internal/topo"
+	"contra/internal/workload"
+)
+
+// Scheme names a routing system under test.
+type Scheme string
+
+// Supported schemes.
+const (
+	SchemeContra Scheme = "contra"
+	SchemeECMP   Scheme = "ecmp"
+	SchemeHula   Scheme = "hula"
+	SchemeSpain  Scheme = "spain"
+	SchemeSP     Scheme = "sp"
+)
+
+// FCTConfig drives one flow-completion-time run.
+type FCTConfig struct {
+	Topo      *topo.Graph
+	Scheme    Scheme
+	PolicySrc string // Contra only; default minimize(path.util)
+
+	Dist        *workload.Distribution
+	Load        float64
+	CapacityBps float64 // 0: derived from the topology's fabric links
+	DurationNs  int64   // arrival window; default 20ms
+	DrainNs     int64   // post-arrival drain budget; default 1s
+	MaxFlows    int     // cap on generated flows; default 4000
+	Seed        int64
+
+	ProbePeriodNs        int64 // Contra and HULA; default 256us (§6.3)
+	FlowletTimeoutNs     int64 // default 200us (§6.3); ablation knob
+	FailureDetectPeriods int   // Contra's k (§5.4); default 3
+
+	// Pairs restricts traffic to fixed sender/receiver host pairs, as
+	// in the Abilene experiment (§6.4: "randomly chose four pairs").
+	Pairs [][2]topo.NodeID
+
+	SampleQueues bool // record fabric queue lengths (Figure 13)
+	TrackLoops   bool // record looped-packet fraction (§6.5)
+}
+
+func (c *FCTConfig) fill() {
+	if c.PolicySrc == "" {
+		c.PolicySrc = "minimize(path.util)"
+	}
+	if c.Dist == nil {
+		c.Dist = workload.WebSearch()
+	}
+	if c.DurationNs == 0 {
+		c.DurationNs = 20_000_000
+	}
+	if c.MaxFlows == 0 {
+		c.MaxFlows = 4000
+	}
+	if c.ProbePeriodNs == 0 {
+		c.ProbePeriodNs = 256_000
+	}
+	if c.CapacityBps == 0 {
+		c.CapacityBps = FabricCapacity(c.Topo)
+	}
+}
+
+// FabricCapacity sums edge-uplink bandwidth (edge/leaf to the rest of
+// the fabric), the reference the paper's load fractions normalize
+// against. Down links still count: the asymmetric experiments keep the
+// symmetric load reference ("75% of capacity remains").
+func FabricCapacity(g *topo.Graph) float64 {
+	var total float64
+	for _, l := range g.Links() {
+		a, b := g.Node(l.A), g.Node(l.B)
+		if a.Kind != topo.Switch || b.Kind != topo.Switch {
+			continue
+		}
+		if a.Role == topo.RoleEdge || b.Role == topo.RoleEdge {
+			total += l.Bandwidth
+		}
+	}
+	if total == 0 {
+		// Non-hierarchical (WAN) topology: use a single link's worth,
+		// scaled by sender count elsewhere.
+		for _, l := range g.Links() {
+			if g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch {
+				total = l.Bandwidth
+				break
+			}
+		}
+	}
+	return total
+}
+
+// FCTResult summarizes one run.
+type FCTResult struct {
+	Scheme    Scheme
+	Load      float64
+	Dist      string
+	Flows     int
+	Completed int64
+
+	MeanFCT float64 // seconds
+	P50FCT  float64
+	P99FCT  float64
+
+	FabricBytes   float64
+	DataBytes     float64
+	AckBytes      float64
+	ProbeBytes    float64
+	TagBytes      float64
+	QueueDrops    float64
+	LoopedFrac    float64
+	LoopBreaks    float64
+	QueueMSS      *stats.Sample
+	SimulatedTime time.Duration
+	WallTime      time.Duration
+}
+
+// String renders one result row.
+func (r *FCTResult) String() string {
+	return fmt.Sprintf("%-7s load=%.0f%% %-9s flows=%d done=%d meanFCT=%.3fms p99=%.3fms probes=%.2f%% drops=%.0f",
+		r.Scheme, r.Load*100, r.Dist, r.Flows, r.Completed,
+		r.MeanFCT*1e3, r.P99FCT*1e3,
+		100*r.ProbeBytes/maxf(r.FabricBytes, 1), r.QueueDrops)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Deploy installs a scheme's routers on a network, returning the
+// Contra routers when applicable (for diagnostics).
+func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options) (map[topo.NodeID]*dataplane.Contra, *core.Compiled, error) {
+	switch scheme {
+	case SchemeContra:
+		pol, err := policy.Parse(policySrc, policy.ParseOptions{Symbols: g.SortedNames()})
+		if err != nil {
+			return nil, nil, err
+		}
+		comp, err := core.Compile(g, pol, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		routers := dataplane.Deploy(n, comp)
+		return routers, comp, nil
+	case SchemeECMP:
+		baseline.DeployECMP(n)
+	case SchemeSP:
+		baseline.DeploySP(n)
+	case SchemeHula:
+		baseline.DeployHula(n, baseline.HulaConfig{
+			ProbePeriodNs:    opts.ProbePeriodNs,
+			FlowletTimeoutNs: opts.FlowletTimeoutNs,
+		})
+	case SchemeSpain:
+		baseline.DeploySpain(n, baseline.SpainConfig{})
+	default:
+		return nil, nil, fmt.Errorf("exp: unknown scheme %q", scheme)
+	}
+	return nil, nil, nil
+}
+
+// RunFCT executes one FCT experiment: warm up the control plane,
+// offer the workload, drain, and collect statistics.
+func RunFCT(cfg FCTConfig) (*FCTResult, error) {
+	cfg.fill()
+	wallStart := time.Now()
+	g := cfg.Topo
+	e := sim.NewEngine(cfg.Seed + 1)
+	n := sim.NewNetwork(e, g, sim.Config{TrackVisited: cfg.TrackLoops})
+	_, _, err := Deploy(n, cfg.Scheme, g, cfg.PolicySrc, core.Options{
+		ProbePeriodNs:        cfg.ProbePeriodNs,
+		FlowletTimeoutNs:     cfg.FlowletTimeoutNs,
+		FailureDetectPeriods: cfg.FailureDetectPeriods,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.Start()
+
+	warmup := 12 * cfg.ProbePeriodNs
+	e.Run(warmup)
+
+	senders, receivers := workload.SplitHosts(g)
+	flows := workload.Generate(g, workload.Config{
+		Dist: cfg.Dist, Senders: senders, Receivers: receivers,
+		Pairs: cfg.Pairs,
+		Load:  cfg.Load, CapacityBps: cfg.CapacityBps,
+		StartNs: warmup, DurationNs: cfg.DurationNs,
+		Seed: cfg.Seed, MaxFlows: cfg.MaxFlows,
+	})
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("exp: workload produced no flows (load %.2f)", cfg.Load)
+	}
+	n.StartFlows(flows)
+
+	if cfg.SampleQueues {
+		e.Every(warmup, 100_000, n.SampleQueues)
+	}
+
+	// Run until all flows complete or the drain budget expires; under
+	// extreme load some flows stay incomplete and the FCT statistics
+	// cover the completed ones, as in testbed practice.
+	drain := cfg.DrainNs
+	if drain == 0 {
+		drain = 1_000_000_000
+	}
+	deadline := warmup + cfg.DurationNs + drain
+	for e.Now() < deadline && n.CompletedFlows() < int64(len(flows)) {
+		e.Run(e.Now() + 10_000_000)
+	}
+
+	res := &FCTResult{
+		Scheme:        cfg.Scheme,
+		Load:          cfg.Load,
+		Dist:          cfg.Dist.Name,
+		Flows:         len(flows),
+		Completed:     n.CompletedFlows(),
+		MeanFCT:       n.FCT.Mean(),
+		P50FCT:        n.FCT.Quantile(0.5),
+		P99FCT:        n.FCT.Quantile(0.99),
+		FabricBytes:   n.FabricBytes(),
+		DataBytes:     n.Counters.Get("bytes_data"),
+		AckBytes:      n.Counters.Get("bytes_ack"),
+		ProbeBytes:    n.Counters.Get("bytes_probe"),
+		TagBytes:      n.Counters.Get("bytes_tag_overhead"),
+		QueueDrops:    n.Counters.Get("drop_queue"),
+		LoopBreaks:    n.Counters.Get("loop_break"),
+		QueueMSS:      n.QueueMSS,
+		SimulatedTime: time.Duration(e.Now()),
+		WallTime:      time.Since(wallStart),
+	}
+	if n.DataPkts > 0 {
+		res.LoopedFrac = float64(n.LoopedPkts) / float64(n.DataPkts)
+	}
+	return res, nil
+}
+
+// FailoverConfig drives the Figure 14 experiment: steady UDP load, a
+// link failure mid-run, and a throughput time series around it.
+type FailoverConfig struct {
+	Topo                 *topo.Graph
+	Scheme               Scheme // contra or hula
+	PolicySrc            string
+	RateBps              float64 // aggregate offered UDP rate; default 4.25 Gbps
+	FailAtNs             int64   // default 50ms
+	EndNs                int64   // default 80ms
+	BinNs                int64   // default 500us
+	ProbePeriodNs        int64   // default 256us
+	FailureDetectPeriods int     // Contra's k (§5.4); default 3
+	Seed                 int64
+}
+
+// FailoverResult reports the throughput series and the recovery time.
+type FailoverResult struct {
+	Series []stats.Point // bin start ns -> delivered bits/sec
+	BinNs  int64
+
+	FailAtNs    int64
+	DetectNs    int64 // first bin after failure with >90% of baseline
+	RecoveryNs  int64 // DetectNs - FailAtNs
+	BaselineBps float64
+	MinBps      float64 // deepest dip after failure
+}
+
+// RunFailover executes the Figure 14 experiment.
+func RunFailover(cfg FailoverConfig) (*FailoverResult, error) {
+	if cfg.RateBps == 0 {
+		cfg.RateBps = 4.25e9
+	}
+	if cfg.FailAtNs == 0 {
+		cfg.FailAtNs = 50_000_000
+	}
+	if cfg.EndNs == 0 {
+		cfg.EndNs = 80_000_000
+	}
+	if cfg.BinNs == 0 {
+		cfg.BinNs = 500_000
+	}
+	if cfg.ProbePeriodNs == 0 {
+		cfg.ProbePeriodNs = 256_000
+	}
+	if cfg.PolicySrc == "" {
+		cfg.PolicySrc = "minimize(path.util)"
+	}
+	g := cfg.Topo
+	e := sim.NewEngine(cfg.Seed + 5)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	routers, comp, err := Deploy(n, cfg.Scheme, g, cfg.PolicySrc, core.Options{
+		ProbePeriodNs:        cfg.ProbePeriodNs,
+		FailureDetectPeriods: cfg.FailureDetectPeriods,
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = routers
+	_ = comp
+	n.RxSeries = stats.NewTimeseries(cfg.BinNs)
+	n.Start()
+
+	warmup := 12 * cfg.ProbePeriodNs
+	senders, receivers := workload.SplitHosts(g)
+	per := cfg.RateBps / float64(len(senders))
+	// Snap the per-flow packet gap to divide the measurement bin, so
+	// bins hold an integral packet count: otherwise a slow beat between
+	// the CBR period and the bin width shows up as phantom throughput
+	// dips that drown the failure signal.
+	pktBits := float64((sim.MSS + sim.FrameHeader) * 8)
+	gapRaw := pktBits / per * 1e9
+	divisions := int64(float64(cfg.BinNs)/gapRaw + 0.5)
+	if divisions < 1 {
+		divisions = 1
+	}
+	per = pktBits * float64(divisions) / float64(cfg.BinNs) * 1e9
+	// Pair each sender with a receiver in a different part of the
+	// fabric (offset by a quarter of the host set) so that every flow
+	// crosses the core and the failed link actually carries traffic.
+	var flows []sim.FlowSpec
+	for i, s := range senders {
+		dst := receivers[(i+len(receivers)/4+1)%len(receivers)]
+		for tries := 0; g.HostEdge(s) == g.HostEdge(dst) && tries < len(receivers); tries++ {
+			dst = receivers[(i+len(receivers)/4+1+tries)%len(receivers)]
+		}
+		flows = append(flows, sim.FlowSpec{
+			ID: uint64(i + 1), Src: s, Dst: dst,
+			RateBps: per, Start: warmup,
+		})
+	}
+	n.StartFlows(flows)
+
+	// Fail the first edge-core (or edge-agg) fabric link of leaf 0.
+	var fail topo.LinkID = -1
+	for _, l := range g.Links() {
+		if g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch {
+			if g.Node(l.A).Role == topo.RoleEdge || g.Node(l.B).Role == topo.RoleEdge {
+				fail = l.ID
+				break
+			}
+		}
+	}
+	if fail < 0 {
+		return nil, fmt.Errorf("exp: no fabric link to fail")
+	}
+	n.FailLink(fail, cfg.FailAtNs)
+	e.Run(cfg.EndNs)
+
+	res := &FailoverResult{BinNs: cfg.BinNs, FailAtNs: cfg.FailAtNs}
+	pts := n.RxSeries.Points()
+	res.Series = make([]stats.Point, len(pts))
+	for i, p := range pts {
+		res.Series[i] = stats.Point{T: p.T, V: n.RxSeries.Rate(p.V)}
+	}
+	// Baseline: mean and floor of the bins in the 10ms before the
+	// failure. Residual measurement noise shows up in the pre-failure
+	// floor, so "depressed" means below that floor, not below the
+	// mean.
+	var base, cnt float64
+	floor := -1.0
+	for _, p := range res.Series {
+		if p.T >= cfg.FailAtNs-10_000_000 && p.T < cfg.FailAtNs-cfg.BinNs {
+			base += p.V
+			cnt++
+			if floor < 0 || p.V < floor {
+				floor = p.V
+			}
+		}
+	}
+	if cnt > 0 {
+		base /= cnt
+	}
+	res.BaselineBps = base
+	res.MinBps = base
+	res.DetectNs = -1
+	// Recovery: the end of the last bin still depressed below 99% of
+	// the pre-failure floor. A failure whose dip never crosses the
+	// threshold recovered within one bin.
+	lastLow := int64(-1)
+	for _, p := range res.Series {
+		if p.T < cfg.FailAtNs || p.T >= cfg.EndNs-cfg.BinNs {
+			continue
+		}
+		if p.V < res.MinBps {
+			res.MinBps = p.V
+		}
+		if p.V < 0.99*floor {
+			lastLow = p.T + cfg.BinNs
+		}
+	}
+	if base <= 0 {
+		res.RecoveryNs = -1
+	} else if lastLow < 0 {
+		res.RecoveryNs = cfg.BinNs
+	} else {
+		res.RecoveryNs = lastLow - cfg.FailAtNs
+	}
+	res.DetectNs = cfg.FailAtNs + res.RecoveryNs
+	return res, nil
+}
+
+// CompileRow is one Figure 9/10 measurement.
+type CompileRow struct {
+	Topology    string
+	Switches    int
+	Policy      string
+	CompileTime time.Duration
+	MaxStateKB  float64
+	MeanStateKB float64
+	PGNodes     int
+	TagBits     int
+	Pids        int
+}
+
+// CompileSweep measures compilation across topologies and policies
+// (Figures 9 and 10). The policies map names (MU/WP/CA) to source
+// generators given the topology.
+func CompileSweep(topos []*topo.Graph, policies map[string]func(g *topo.Graph) string) ([]CompileRow, error) {
+	var rows []CompileRow
+	for _, g := range topos {
+		for name, gen := range policies {
+			src := gen(g)
+			pol, err := policy.Parse(src, policy.ParseOptions{Symbols: g.SortedNames()})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", name, g.Name, err)
+			}
+			comp, err := core.Compile(g, pol, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", name, g.Name, err)
+			}
+			rows = append(rows, CompileRow{
+				Topology:    g.Name,
+				Switches:    len(g.Switches()),
+				Policy:      name,
+				CompileTime: comp.Stats.CompileTime,
+				MaxStateKB:  float64(comp.Stats.MaxStateBytes) / 1000,
+				MeanStateKB: comp.Stats.MeanStateBytes / 1000,
+				PGNodes:     comp.Stats.PGNodes,
+				TagBits:     comp.Stats.TagBits,
+				Pids:        comp.Stats.Pids,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// StandardPolicies returns the MU / WP / CA policy generators used by
+// the scalability experiments (§6.2): minimum utilization, a
+// three-waypoint policy, and the non-isotonic congestion-aware policy.
+func StandardPolicies() map[string]func(g *topo.Graph) string {
+	return map[string]func(g *topo.Graph) string{
+		"MU": func(*topo.Graph) string { return "minimize(path.util)" },
+		"WP": func(g *topo.Graph) string {
+			names := g.SortedNames()
+			k := len(names) / 2
+			w1, w2, w3 := names[k], names[k/2], names[len(names)-1]
+			return fmt.Sprintf("minimize(if .* (%s + %s + %s) .* then path.util else inf)", w1, w2, w3)
+		},
+		"CA": func(*topo.Graph) string {
+			return "minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))"
+		},
+	}
+}

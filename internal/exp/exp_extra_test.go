@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"testing"
+
+	"contra/internal/core"
+	"contra/internal/policy"
+	"contra/internal/topo"
+	"contra/internal/workload"
+)
+
+func TestRunFCTWithPairs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := topo.AbileneWithHostsScaled(0, 0.002)
+	pairs := [][2]topo.NodeID{
+		{g.MustNode("H_SEA"), g.MustNode("H_NYC")},
+		{g.MustNode("H_LA"), g.MustNode("H_CHI")},
+	}
+	res, err := RunFCT(FCTConfig{
+		Topo: g, Scheme: SchemeContra, PolicySrc: "minimize(path.util)",
+		Dist: workload.Cache(), Load: 0.3, CapacityBps: 40e9,
+		Pairs:      pairs,
+		DurationNs: 4_000_000, MaxFlows: 200, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed < int64(res.Flows)*9/10 {
+		t.Fatalf("completed %d/%d", res.Completed, res.Flows)
+	}
+}
+
+func TestRunFCTDrainBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := topo.PaperDataCenter()
+	// A tiny drain budget cuts the run short; the harness must still
+	// return statistics for the flows that finished.
+	res, err := RunFCT(FCTConfig{
+		Topo: g, Scheme: SchemeECMP, Dist: workload.WebSearch(),
+		Load: 0.5, DurationNs: 4_000_000, DrainNs: 10_000_000,
+		MaxFlows: 300, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no flows completed within the drain budget")
+	}
+	if res.SimulatedTime <= 0 {
+		t.Fatal("no simulated time recorded")
+	}
+}
+
+func TestFailoverBaselineSanity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := RunFailover(FailoverConfig{
+		Topo: topo.PaperDataCenter(), Scheme: SchemeContra,
+		PolicySrc: "minimize((path.len, path.util))",
+		FailAtNs:  15_000_000, EndNs: 30_000_000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapped CBR rate should land near the requested 4.25 Gbps.
+	if res.BaselineBps < 3.8e9 || res.BaselineBps > 4.7e9 {
+		t.Fatalf("baseline %.2f Gbps not near 4.25", res.BaselineBps/1e9)
+	}
+	// The failure must actually be visible: flows cross the fabric.
+	if res.MinBps > 0.9*res.BaselineBps {
+		t.Fatalf("failure invisible: dip only to %.2f of baseline", res.MinBps/res.BaselineBps)
+	}
+	if res.RecoveryNs <= 0 || res.RecoveryNs > 5_000_000 {
+		t.Fatalf("recovery = %.2fms, want (0, 5ms]", float64(res.RecoveryNs)/1e6)
+	}
+}
+
+func TestStandardPoliciesCompileEverywhere(t *testing.T) {
+	for _, g := range []*topo.Graph{topo.Fattree(4, 0), topo.RandomConnected(30, 4, 3), topo.Abilene()} {
+		for name, gen := range StandardPolicies() {
+			src := gen(g)
+			pol, err := policy.Parse(src, policy.ParseOptions{Symbols: g.SortedNames()})
+			if err != nil {
+				t.Fatalf("%s on %s: parse: %v", name, g.Name, err)
+			}
+			if _, err := core.Compile(g, pol, core.Options{}); err != nil {
+				t.Fatalf("%s on %s: compile: %v", name, g.Name, err)
+			}
+		}
+	}
+}

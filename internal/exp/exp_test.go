@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"testing"
+
+	"contra/internal/topo"
+	"contra/internal/workload"
+)
+
+func TestRunFCTAllSchemesOnDataCenter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := topo.PaperDataCenter()
+	for _, scheme := range []Scheme{SchemeContra, SchemeECMP, SchemeHula} {
+		res, err := RunFCT(FCTConfig{
+			Topo: g, Scheme: scheme, Dist: workload.Cache(),
+			Load: 0.3, DurationNs: 5_000_000, MaxFlows: 300, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.Completed < int64(res.Flows)*95/100 {
+			t.Errorf("%s: only %d/%d flows completed", scheme, res.Completed, res.Flows)
+		}
+		if res.MeanFCT <= 0 {
+			t.Errorf("%s: zero FCT", scheme)
+		}
+		t.Logf("%s", res)
+	}
+}
+
+func TestRunFCTWANSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := topo.AbileneWithHosts(0)
+	for _, scheme := range []Scheme{SchemeContra, SchemeSP, SchemeSpain} {
+		res, err := RunFCT(FCTConfig{
+			Topo: g, Scheme: scheme, Dist: workload.Cache(),
+			Load: 0.3, CapacityBps: 40e9,
+			DurationNs: 5_000_000, MaxFlows: 200, Seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.Completed < int64(res.Flows)*9/10 {
+			t.Errorf("%s: only %d/%d flows completed", scheme, res.Completed, res.Flows)
+		}
+	}
+}
+
+func TestContraProbeOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := topo.PaperDataCenter()
+	res, err := RunFCT(FCTConfig{
+		Topo: g, Scheme: SchemeContra, Dist: workload.WebSearch(),
+		Load: 0.4, DurationNs: 10_000_000, MaxFlows: 500, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := res.ProbeBytes / res.FabricBytes
+	// §6.5: Contra's overhead over ECMP is ~0.8%; probes should be a
+	// small share of fabric bytes.
+	if frac > 0.05 {
+		t.Fatalf("probe fraction = %.3f, want < 0.05", frac)
+	}
+	if res.ProbeBytes == 0 {
+		t.Fatal("no probe traffic recorded")
+	}
+}
+
+func TestRunFailoverContra(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	g := topo.PaperDataCenter()
+	res, err := RunFailover(FailoverConfig{
+		Topo: g, Scheme: SchemeContra,
+		FailAtNs: 20_000_000, EndNs: 40_000_000, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineBps < 1e9 {
+		t.Fatalf("baseline throughput %.2g bps too low", res.BaselineBps)
+	}
+	if res.RecoveryNs < 0 {
+		t.Fatal("throughput never recovered after failure")
+	}
+	// Paper: recovery within ~1ms of detection (3 probe periods
+	// ~768us); allow a few ms of slack for binning.
+	if res.RecoveryNs > 10_000_000 {
+		t.Fatalf("recovery took %dms, want < 10ms", res.RecoveryNs/1_000_000)
+	}
+}
+
+func TestCompileSweepSmall(t *testing.T) {
+	topos := []*topo.Graph{topo.Fattree(4, 0), topo.RandomConnected(50, 4, 1)}
+	rows, err := CompileSweep(topos, StandardPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.CompileTime <= 0 || r.MaxStateKB <= 0 {
+			t.Errorf("row %+v has empty measurements", r)
+		}
+		if r.Policy == "CA" && r.Pids != 2 {
+			t.Errorf("CA pids = %d, want 2", r.Pids)
+		}
+		if r.Policy == "WP" && r.TagBits < 1 {
+			t.Errorf("WP tag bits = %d, want >= 1", r.TagBits)
+		}
+	}
+}
+
+func TestFabricCapacity(t *testing.T) {
+	g := topo.PaperDataCenter()
+	// 4 leaves x 2 spines x 10G = 80G of leaf uplinks.
+	if got := FabricCapacity(g); got != 80e9 {
+		t.Fatalf("capacity = %g, want 80e9", got)
+	}
+	ab := topo.AbileneWithHosts(0)
+	if got := FabricCapacity(ab); got != 40e9 {
+		t.Fatalf("abilene reference = %g, want one 40G link", got)
+	}
+}
+
+func TestDeployUnknownScheme(t *testing.T) {
+	g := topo.PaperDataCenter()
+	_, err := RunFCT(FCTConfig{Topo: g, Scheme: "bogus", Load: 0.1})
+	if err == nil {
+		t.Fatal("unknown scheme should fail")
+	}
+}

@@ -1,0 +1,46 @@
+package policy
+
+import "testing"
+
+func BenchmarkParseSimple(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("minimize(path.util)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseComplex(b *testing.B) {
+	src := "minimize(if A .* B .* D then (0, path.len, path.util) else if A .* C .* D then (1, path.len, path.util) else inf)"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalRank(b *testing.B) {
+	p := MustParse("minimize(if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util))")
+	env := &MapEnv{Attrs: map[Metric]float64{Util: 0.5, Len: 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(env)
+	}
+}
+
+func BenchmarkRankCmp(b *testing.B) {
+	x := Finite(1, 3, 0.5)
+	y := Finite(1, 3, 0.6)
+	for i := 0; i < b.N; i++ {
+		_ = x.Cmp(y)
+	}
+}
+
+func BenchmarkMatchPath(b *testing.B) {
+	p := MustParse("minimize(if .* W .* then 0 else 1)")
+	path := []string{"A", "B", "W", "C", "D"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatchPath(p.Regexes[0], path)
+	}
+}

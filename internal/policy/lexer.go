@@ -1,0 +1,237 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokMinimize
+	tokIf
+	tokThen
+	tokElse
+	tokNot
+	tokAnd
+	tokOr
+	tokInf
+	tokPath
+	tokDot
+	tokStar
+	tokPlus
+	tokMinus
+	tokLParen
+	tokRParen
+	tokComma
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokEQ
+	tokNE
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokMinimize:
+		return "'minimize'"
+	case tokIf:
+		return "'if'"
+	case tokThen:
+		return "'then'"
+	case tokElse:
+		return "'else'"
+	case tokNot:
+		return "'not'"
+	case tokAnd:
+		return "'and'"
+	case tokOr:
+		return "'or'"
+	case tokInf:
+		return "'inf'"
+	case tokPath:
+		return "'path'"
+	case tokDot:
+		return "'.'"
+	case tokStar:
+		return "'*'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'=='"
+	case tokNE:
+		return "'!='"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	pos  int // byte offset in source, for error messages
+}
+
+var keywords = map[string]tokKind{
+	"minimize": tokMinimize,
+	"if":       tokIf,
+	"then":     tokThen,
+	"else":     tokElse,
+	"not":      tokNot,
+	"and":      tokAnd,
+	"or":       tokOr,
+	"inf":      tokInf,
+	"path":     tokPath,
+}
+
+// lex tokenizes policy source. The only context-sensitivity is '.'
+// followed by a digit, which is lexed as a number (".8"); all other
+// dots are tokDot (the regex wildcard and the path.attr separator).
+func lex(src string) ([]token, error) {
+	var toks []token
+	runes := []rune(src)
+	i := 0
+	n := len(runes)
+	for i < n {
+		c := runes[i]
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, pos: i})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tokStar, pos: i})
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tokPlus, pos: i})
+			i++
+		case c == '-':
+			toks = append(toks, token{kind: tokMinus, pos: i})
+			i++
+		case c == '∞':
+			toks = append(toks, token{kind: tokInf, pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokLE, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokLT, pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokGE, pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokGT, pos: i})
+				i++
+			}
+		case c == '=':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokEQ, pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("policy: offset %d: single '=' (use '==')", i)
+			}
+		case c == '!':
+			if i+1 < n && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokNE, pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("policy: offset %d: unexpected '!'", i)
+			}
+		case c == '.':
+			if i+1 < n && unicode.IsDigit(runes[i+1]) {
+				start := i
+				i++
+				for i < n && unicode.IsDigit(runes[i]) {
+					i++
+				}
+				text := string(runes[start:i])
+				v, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("policy: offset %d: bad number %q", start, text)
+				}
+				toks = append(toks, token{kind: tokNumber, text: text, num: v, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokDot, pos: i})
+				i++
+			}
+		case unicode.IsDigit(c):
+			start := i
+			for i < n && (unicode.IsDigit(runes[i]) || runes[i] == '.') {
+				i++
+			}
+			// Scientific notation: 1e9, 2.5e-3.
+			if i < n && (runes[i] == 'e' || runes[i] == 'E') {
+				j := i + 1
+				if j < n && (runes[j] == '+' || runes[j] == '-') {
+					j++
+				}
+				if j < n && unicode.IsDigit(runes[j]) {
+					i = j
+					for i < n && unicode.IsDigit(runes[i]) {
+						i++
+					}
+				}
+			}
+			text := string(runes[start:i])
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("policy: offset %d: bad number %q", start, text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: v, pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				i++
+			}
+			text := string(runes[start:i])
+			if kw, ok := keywords[text]; ok {
+				toks = append(toks, token{kind: kw, text: text, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: text, pos: start})
+			}
+		default:
+			return nil, fmt.Errorf("policy: offset %d: unexpected character %q", i, string(c))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"contra/internal/topo"
+)
+
+// BenchmarkEventLoop measures raw scheduler throughput.
+func BenchmarkEventLoop(b *testing.B) {
+	e := NewEngine(1)
+	var count int
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(10, tick)
+		}
+	}
+	e.After(0, tick)
+	b.ResetTimer()
+	e.Run(int64(b.N)*10 + 100)
+}
+
+// BenchmarkPacketTransit measures the full per-packet path: transmit,
+// queue model, delivery, static forwarding, host receive.
+func BenchmarkPacketTransit(b *testing.B) {
+	g := topo.New("line")
+	s0 := g.AddNode("S0", topo.Switch)
+	s1 := g.AddNode("S1", topo.Switch)
+	h0 := g.AddNode("H0", topo.Host)
+	h1 := g.AddNode("H1", topo.Host)
+	g.AddLink(s0, s1, 100e9, 1000)
+	g.AddLink(s0, h0, 100e9, 1000)
+	g.AddLink(s1, h1, 100e9, 1000)
+
+	e := NewEngine(1)
+	n := NewNetwork(e, g, Config{})
+	for _, s := range g.Switches() {
+		n.SetRouter(s, &benchRouter{})
+	}
+	n.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.NewPacket()
+		p.Kind = Data
+		p.Size = 1500
+		p.Src, p.Dst = h0, h1
+		p.FlowID = 7
+		p.TTL = InitialTTL
+		n.transmit(h0, 0, p)
+		e.Run(e.Now() + 10_000)
+	}
+}
+
+type benchRouter struct{ sw *SwitchDev }
+
+func (r *benchRouter) Attach(sw *SwitchDev) { r.sw = sw }
+func (r *benchRouter) Handle(pkt *Packet, inPort int) {
+	g := r.sw.Net.Topo
+	if g.Node(pkt.Dst).Kind == topo.Host && g.HostEdge(pkt.Dst) == r.sw.ID {
+		r.sw.DeliverLocal(pkt)
+		return
+	}
+	for p := 0; p < r.sw.PortCount(); p++ {
+		if p != inPort && r.sw.IsSwitchPort(p) {
+			r.sw.Send(p, pkt)
+			return
+		}
+	}
+	r.sw.Drop(pkt, "drop_noroute")
+}

@@ -1,0 +1,108 @@
+// Package sim is a deterministic discrete-event, packet-level network
+// simulator: the execution substrate standing in for the paper's ns-3
+// setup. It models links with finite bandwidth, propagation delay and
+// drop-tail queues, switches running pluggable forwarding logic (the
+// Contra data plane or a baseline), hosts with a window-based AIMD
+// transport, and the measurement plumbing the evaluation needs (flow
+// completion times, queue length CDFs, traffic accounting, throughput
+// time series, loop detection).
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Engine is the event loop. Times are int64 nanoseconds. Execution is
+// single-threaded and deterministic: ties in time break by scheduling
+// order.
+type Engine struct {
+	now   int64
+	seq   uint64
+	queue eventHeap
+	rng   *rand.Rand
+}
+
+// NewEngine returns an engine with a deterministic PRNG.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time in ns.
+func (e *Engine) Now() int64 { return e.now }
+
+// Rand returns the engine's deterministic PRNG.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute time t (>= now).
+func (e *Engine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
+
+// Every schedules fn every period ns starting at start, until the
+// returned cancel function is called.
+func (e *Engine) Every(start, period int64, fn func()) (cancel func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		e.After(period, tick)
+	}
+	e.At(start, tick)
+	return func() { stopped = true }
+}
+
+// Run processes events until the queue is empty or time exceeds until.
+func (e *Engine) Run(until int64) {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.at > until {
+			e.now = until
+			return
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of scheduled events (for tests).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

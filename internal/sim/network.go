@@ -1,0 +1,391 @@
+package sim
+
+import (
+	"fmt"
+
+	"contra/internal/stats"
+	"contra/internal/topo"
+)
+
+// Config tunes the network model.
+type Config struct {
+	// BufferBytes is the per-direction link buffer; the paper uses
+	// 1000 MSS (§6.3).
+	BufferBytes int
+
+	// DRETauNs is the utilization estimator time constant.
+	DRETauNs float64
+
+	// TrackVisited enables per-packet visited-switch bitmasks for loop
+	// accounting (topologies up to 64 switches).
+	TrackVisited bool
+
+	// MinRTONs is the transport's minimum retransmission timeout;
+	// 0 uses the conservative 2ms default of real TCP stacks. Packet
+	// loss costs roughly this much, which is what makes congestion
+	// expensive and load-aware routing valuable.
+	MinRTONs int64
+}
+
+func (c *Config) fill() {
+	if c.BufferBytes == 0 {
+		c.BufferBytes = 1000 * 1500
+	}
+	if c.DRETauNs == 0 {
+		c.DRETauNs = 200_000 // 200us, CONGA/HULA-style smoothing
+	}
+	if c.MinRTONs == 0 {
+		c.MinRTONs = defaultMinRTONs
+	}
+}
+
+// minRTO returns the configured transport floor.
+func (n *Network) minRTO() float64 { return float64(n.Cfg.MinRTONs) }
+
+// Router is the forwarding logic attached to a switch: the Contra data
+// plane or one of the baselines. Handle owns the packet: it must either
+// forward it via sw.Send, deliver it via sw.DeliverLocal, or drop it
+// via sw.Drop.
+type Router interface {
+	Attach(sw *SwitchDev) // called once before the simulation starts
+	Handle(pkt *Packet, inPort int)
+}
+
+// channel is one direction of a link: a rate limiter with a drop-tail
+// virtual queue, a propagation delay, and a DRE utilization estimator.
+type channel struct {
+	from, to   topo.NodeID
+	bytesPerNs float64
+	delayNs    int64
+	capBytes   float64
+	busyUntil  int64
+	down       bool
+	dre        *stats.DRE
+	fabric     bool // switch-switch (vs host-attach) link
+
+	txBytes   float64
+	drops     int64
+	dropBytes float64
+}
+
+// queuedBytes returns the backlog at time t.
+func (ch *channel) queuedBytes(t int64) float64 {
+	if ch.busyUntil <= t {
+		return 0
+	}
+	return float64(ch.busyUntil-t) * ch.bytesPerNs
+}
+
+// Network couples an Engine with a topology instance: devices, links,
+// and measurement.
+type Network struct {
+	Eng  *Engine
+	Topo *topo.Graph
+	Cfg  Config
+
+	switches map[topo.NodeID]*SwitchDev
+	hosts    map[topo.NodeID]*HostDev
+	chans    []channel // 2 per link: linkID*2 (A->B), linkID*2+1 (B->A)
+
+	pool  pool
+	flows map[uint64]*flowState
+
+	// Measurement.
+	Counters   *stats.Counter
+	FCT        *stats.Sample // seconds, all completed flows
+	FCTSmall   *stats.Sample // flows < 100KB
+	FCTLarge   *stats.Sample // flows >= 1MB
+	QueueMSS   *stats.Sample // sampled fabric queue lengths in MSS
+	RxSeries   *stats.Timeseries
+	LoopedPkts int64
+	DataPkts   int64
+
+	// FlowDone, when set, fires on each flow completion.
+	FlowDone func(f FlowSpec, fctNs int64)
+
+	// OnHostRx, when set, observes every data packet arriving at a
+	// host (policy-compliance assertions in tests use the Visited
+	// bitmask).
+	OnHostRx func(pkt *Packet)
+}
+
+// NewNetwork builds the device and channel state for a topology. Call
+// SetRouter for every switch, then Start.
+func NewNetwork(e *Engine, g *topo.Graph, cfg Config) *Network {
+	cfg.fill()
+	n := &Network{
+		Eng:      e,
+		Topo:     g,
+		Cfg:      cfg,
+		switches: make(map[topo.NodeID]*SwitchDev),
+		hosts:    make(map[topo.NodeID]*HostDev),
+		chans:    make([]channel, 2*g.NumLinks()),
+		flows:    make(map[uint64]*flowState),
+		Counters: stats.NewCounter(),
+		FCT:      stats.NewSample(),
+		FCTSmall: stats.NewSample(),
+		FCTLarge: stats.NewSample(),
+		QueueMSS: stats.NewReservoir(1<<16, 11),
+	}
+	for _, l := range g.Links() {
+		fabric := g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch
+		for d := 0; d < 2; d++ {
+			ch := &n.chans[int(l.ID)*2+d]
+			ch.from, ch.to = l.A, l.B
+			if d == 1 {
+				ch.from, ch.to = l.B, l.A
+			}
+			ch.bytesPerNs = l.Bandwidth / 8 / 1e9
+			ch.delayNs = l.Delay
+			ch.capBytes = float64(cfg.BufferBytes)
+			ch.dre = stats.NewDRE(cfg.DRETauNs)
+			ch.fabric = fabric
+			// Links marked down in the topology (pre-failed,
+			// "asymmetric" setups) start down in the simulator too.
+			ch.down = l.Down
+		}
+	}
+	for _, node := range g.Nodes() {
+		switch node.Kind {
+		case topo.Switch:
+			n.switches[node.ID] = &SwitchDev{Net: n, ID: node.ID}
+		case topo.Host:
+			n.hosts[node.ID] = &HostDev{net: n, id: node.ID}
+		}
+	}
+	return n
+}
+
+// SetRouter installs forwarding logic on a switch.
+func (n *Network) SetRouter(sw topo.NodeID, r Router) {
+	dev, ok := n.switches[sw]
+	if !ok {
+		panic(fmt.Sprintf("sim: %d is not a switch", sw))
+	}
+	dev.router = r
+}
+
+// Start attaches all routers. Every switch must have one.
+func (n *Network) Start() {
+	for id, dev := range n.switches {
+		if dev.router == nil {
+			panic(fmt.Sprintf("sim: switch %s has no router", n.Topo.Node(id).Name))
+		}
+	}
+	// Deterministic attach order.
+	for _, id := range n.Topo.Switches() {
+		n.switches[id].router.Attach(n.switches[id])
+	}
+}
+
+// Switch returns a switch device.
+func (n *Network) Switch(id topo.NodeID) *SwitchDev { return n.switches[id] }
+
+// channelFor returns the directed channel leaving `from` on local port
+// index `port`.
+func (n *Network) channelFor(from topo.NodeID, port int) *channel {
+	p := n.Topo.Ports(from)[port]
+	l := n.Topo.Link(p.Link)
+	d := 0
+	if l.B == from {
+		d = 1
+	}
+	return &n.chans[int(l.ID)*2+d]
+}
+
+// FailLink marks both directions of a link down at time t.
+func (n *Network) FailLink(id topo.LinkID, at int64) {
+	n.Eng.At(at, func() {
+		n.chans[int(id)*2].down = true
+		n.chans[int(id)*2+1].down = true
+	})
+}
+
+// RecoverLink brings a link back up at time t.
+func (n *Network) RecoverLink(id topo.LinkID, at int64) {
+	n.Eng.At(at, func() {
+		n.chans[int(id)*2].down = false
+		n.chans[int(id)*2+1].down = false
+	})
+}
+
+// transmit pushes a packet onto a directed channel, applying the
+// drop-tail queue and scheduling delivery at the far end.
+func (n *Network) transmit(from topo.NodeID, port int, pkt *Packet) {
+	ch := n.channelFor(from, port)
+	now := n.Eng.Now()
+	if ch.down {
+		n.countDrop(ch, pkt, "drop_linkdown")
+		n.Free(pkt)
+		return
+	}
+	if ch.queuedBytes(now)+float64(pkt.Size) > ch.capBytes {
+		n.countDrop(ch, pkt, "drop_queue")
+		n.Free(pkt)
+		return
+	}
+	txStart := ch.busyUntil
+	if txStart < now {
+		txStart = now
+	}
+	txDur := int64(float64(pkt.Size) / ch.bytesPerNs)
+	if txDur < 1 {
+		txDur = 1
+	}
+	ch.busyUntil = txStart + txDur
+	ch.dre.Add(now, pkt.Size)
+	ch.txBytes += float64(pkt.Size)
+	n.accountTx(ch, pkt)
+
+	to := ch.to
+	arrive := ch.busyUntil + ch.delayNs
+	n.Eng.At(arrive, func() {
+		if ch.down {
+			// Link died while in flight.
+			n.countDrop(ch, pkt, "drop_linkdown")
+			n.Free(pkt)
+			return
+		}
+		n.deliver(to, from, pkt)
+	})
+}
+
+func (n *Network) accountTx(ch *channel, pkt *Packet) {
+	if !ch.fabric {
+		return
+	}
+	switch pkt.Kind {
+	case Data:
+		n.Counters.Add("bytes_data", float64(pkt.Size))
+	case Ack:
+		n.Counters.Add("bytes_ack", float64(pkt.Size))
+	case Probe:
+		n.Counters.Add("bytes_probe", float64(pkt.Size))
+	}
+	if pkt.HasTag && pkt.Kind == Data {
+		n.Counters.Add("bytes_tag_overhead", TagHeaderBytes)
+	}
+}
+
+func (n *Network) countDrop(ch *channel, pkt *Packet, label string) {
+	ch.drops++
+	ch.dropBytes += float64(pkt.Size)
+	n.Counters.Add(label, 1)
+	if pkt.Kind == Data {
+		n.Counters.Add("drop_data_bytes", float64(pkt.Size))
+	}
+}
+
+// deliver hands a packet to the receiving device.
+func (n *Network) deliver(to, from topo.NodeID, pkt *Packet) {
+	if sw, ok := n.switches[to]; ok {
+		inPort := n.Topo.PortTo(to, from)
+		if n.Cfg.TrackVisited && pkt.Kind == Data {
+			bit := uint64(1) << (uint(to) & 63)
+			if int(to) < 64 {
+				if pkt.Visited&bit != 0 {
+					n.LoopedPkts++
+				}
+				pkt.Visited |= bit
+			}
+		}
+		sw.router.Handle(pkt, inPort)
+		return
+	}
+	if h, ok := n.hosts[to]; ok {
+		h.receive(pkt)
+		return
+	}
+	n.Free(pkt)
+}
+
+// SampleQueues records the instantaneous backlog of every fabric
+// channel, in MSS units (Figure 13).
+func (n *Network) SampleQueues() {
+	now := n.Eng.Now()
+	for i := range n.chans {
+		ch := &n.chans[i]
+		if !ch.fabric {
+			continue
+		}
+		n.QueueMSS.Add(ch.queuedBytes(now) / 1500)
+	}
+}
+
+// FabricBytes returns total bytes transmitted on switch-switch links,
+// the Figure 16 traffic-overhead metric.
+func (n *Network) FabricBytes() float64 {
+	return n.Counters.Get("bytes_data") + n.Counters.Get("bytes_ack") + n.Counters.Get("bytes_probe")
+}
+
+// SwitchDev is a switch instance: ports plus the attached Router.
+type SwitchDev struct {
+	Net    *Network
+	ID     topo.NodeID
+	router Router
+}
+
+// PortCount returns the number of ports.
+func (s *SwitchDev) PortCount() int { return len(s.Net.Topo.Ports(s.ID)) }
+
+// Peer returns the node on the far side of a port.
+func (s *SwitchDev) Peer(port int) topo.NodeID { return s.Net.Topo.Ports(s.ID)[port].Peer }
+
+// IsHostPort reports whether a port attaches a host.
+func (s *SwitchDev) IsHostPort(port int) bool {
+	return s.Net.Topo.Node(s.Peer(port)).Kind == topo.Host
+}
+
+// IsSwitchPort reports whether a port attaches another switch.
+func (s *SwitchDev) IsSwitchPort(port int) bool { return !s.IsHostPort(port) }
+
+// Send transmits a packet out a port.
+func (s *SwitchDev) Send(port int, pkt *Packet) { s.Net.transmit(s.ID, port, pkt) }
+
+// TxUtil returns the utilization of the outgoing direction of a port:
+// what a Contra probe arriving on that port folds into its metric
+// vector (traffic flows opposite to probes).
+func (s *SwitchDev) TxUtil(port int) float64 {
+	ch := s.Net.channelFor(s.ID, port)
+	return ch.dre.Utilization(s.Net.Eng.Now(), ch.bytesPerNs*8e9)
+}
+
+// PortDelay returns the propagation delay of a port's link in ns.
+func (s *SwitchDev) PortDelay(port int) int64 {
+	return s.Net.channelFor(s.ID, port).delayNs
+}
+
+// PortDown reports whether the port's link is administratively down.
+// Data planes cannot see this directly — they infer failures from
+// missing probes (§5.4) — but baselines with static tables use it to
+// model offline recomputation, and tests use it for assertions.
+func (s *SwitchDev) PortDown(port int) bool {
+	return s.Net.channelFor(s.ID, port).down
+}
+
+// DeliverLocal sends a packet to a locally attached host, stripping
+// the scheme tag.
+func (s *SwitchDev) DeliverLocal(pkt *Packet) {
+	port := s.Net.Topo.PortTo(s.ID, pkt.Dst)
+	if port < 0 {
+		s.Drop(pkt, "drop_nolocal")
+		return
+	}
+	if pkt.HasTag {
+		pkt.Size -= TagHeaderBytes
+		pkt.HasTag = false
+	}
+	s.Send(port, pkt)
+}
+
+// Drop discards a packet, counting the reason.
+func (s *SwitchDev) Drop(pkt *Packet, reason string) {
+	s.Net.Counters.Add(reason, 1)
+	s.Net.Free(pkt)
+}
+
+// Now returns the simulation time.
+func (s *SwitchDev) Now() int64 { return s.Net.Eng.Now() }
+
+// Name returns the switch's topology name (for diagnostics).
+func (s *SwitchDev) Name() string { return s.Net.Topo.Node(s.ID).Name }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"contra/internal/topo"
+)
+
+// Kind classifies packets.
+type Kind uint8
+
+// Packet kinds.
+const (
+	Data Kind = iota
+	Ack
+	Probe
+)
+
+// Header sizes in bytes. Data and ack packets pay Ethernet+IP+TCP-ish
+// framing; schemes that tag packets (Contra, SPAIN) pay TagHeaderBytes
+// extra, which the traffic-overhead accounting of Figure 16 captures.
+const (
+	MSS            = 1460
+	FrameHeader    = 58 // 14 eth + 20 ip + 20 tcp + 4 fcs
+	AckSize        = FrameHeader + 6
+	TagHeaderBytes = 4
+	InitialTTL     = 64
+)
+
+// Packet is the single on-wire unit. One struct serves data, acks and
+// probes to keep the hot path free of interface dispatch and type
+// switches (a packet arrives every few hundred ns of simulated time).
+type Packet struct {
+	Kind Kind
+	Size int // total bytes on the wire
+
+	// Flow addressing: hosts for data/acks.
+	Src, Dst topo.NodeID
+	FlowID   uint64
+	Seq      int64 // packet sequence within the flow (data), or echoed seq (ack)
+	Ack      int64 // cumulative ack: next expected packet seq
+	TTL      uint8
+
+	// Scheme fields: Contra tag/pid, SPAIN vlan (in Tag), Hula origin.
+	Tag    int32 // product-graph virtual node id, or -1
+	Pid    uint8
+	HasTag bool
+
+	// Probe fields.
+	Origin  topo.NodeID // destination switch the probe advertises
+	Version uint32
+	Up      bool       // Hula: probe still traveling upward
+	MV      [4]float64 // metric vector, laid out per the compiled policy
+
+	// Diagnostics.
+	Hops    uint8
+	Visited uint64 // bitmask of visited switches (loop accounting, <=64 switches)
+
+	next *Packet // freelist
+}
+
+// pool is a trivial freelist; the simulator is single-threaded.
+type pool struct{ head *Packet }
+
+func (p *pool) get() *Packet {
+	if p.head == nil {
+		return &Packet{}
+	}
+	pkt := p.head
+	p.head = pkt.next
+	*pkt = Packet{}
+	return pkt
+}
+
+func (p *pool) put(pkt *Packet) {
+	pkt.next = p.head
+	p.head = pkt
+}
+
+// NewPacket returns a zeroed packet from the pool.
+func (n *Network) NewPacket() *Packet { return n.pool.get() }
+
+// Clone copies a packet (for multicast).
+func (n *Network) Clone(pkt *Packet) *Packet {
+	c := n.pool.get()
+	*c = *pkt
+	c.next = nil
+	return c
+}
+
+// Free returns a packet to the pool. Devices must not retain packets
+// after freeing.
+func (n *Network) Free(pkt *Packet) { n.pool.put(pkt) }

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+
+	"contra/internal/topo"
+)
+
+// FlowSpec describes one flow to simulate.
+type FlowSpec struct {
+	ID      uint64
+	Src     topo.NodeID // source host
+	Dst     topo.NodeID // destination host
+	Size    int64       // bytes to deliver (TCP-like flows)
+	Start   int64       // ns
+	RateBps float64     // when > 0 the flow is constant-bit-rate UDP-like
+}
+
+// Transport constants: a NewReno-style window protocol, scaled for
+// data center RTTs.
+const (
+	initCwnd        = 10.0
+	defaultMinRTONs = 2_000_000 // 2ms: conservative, like real stacks
+	initRTONs       = 4_000_000
+	maxRTONs        = 100_000_000
+	dupackThin      = 3
+)
+
+type flowState struct {
+	spec  FlowSpec
+	npkts int64
+
+	// Sender.
+	nextSeq    int64
+	cumAck     int64
+	cwnd       float64
+	ssthresh   float64
+	dupAcks    int
+	srttNs     float64
+	rttvarNs   float64
+	rtoNs      float64
+	rtoArmed   int64 // epoch of the armed timer; re-arming bumps it
+	rttSeq     int64 // seq being timed, -1 if none
+	rttSent    int64
+	senderDone bool
+
+	// Receiver.
+	rcvBitmap []uint64
+	rcvCum    int64
+	rcvCount  int64
+	done      bool
+}
+
+func (f *flowState) rcvHas(seq int64) bool {
+	return f.rcvBitmap[seq>>6]&(1<<(uint(seq)&63)) != 0
+}
+
+func (f *flowState) rcvSet(seq int64) {
+	f.rcvBitmap[seq>>6] |= 1 << (uint(seq) & 63)
+}
+
+// HostDev is an end host: it runs the sending and receiving sides of
+// the transport for flows that start or end here.
+type HostDev struct {
+	net *Network
+	id  topo.NodeID
+}
+
+// port returns the host's single uplink port (index 0).
+func (h *HostDev) send(pkt *Packet) { h.net.transmit(h.id, 0, pkt) }
+
+// StartFlows registers flows and schedules their start events.
+func (n *Network) StartFlows(flows []FlowSpec) {
+	for _, f := range flows {
+		f := f
+		if _, dup := n.flows[f.ID]; dup {
+			panic(fmt.Sprintf("sim: duplicate flow id %d", f.ID))
+		}
+		if n.Topo.Node(f.Src).Kind != topo.Host || n.Topo.Node(f.Dst).Kind != topo.Host {
+			panic("sim: flows connect hosts")
+		}
+		if f.RateBps > 0 {
+			n.startCBR(f)
+			continue
+		}
+		npkts := (f.Size + MSS - 1) / MSS
+		if npkts == 0 {
+			npkts = 1
+		}
+		st := &flowState{
+			spec:      f,
+			npkts:     npkts,
+			cwnd:      initCwnd,
+			ssthresh:  1 << 20,
+			rtoNs:     initRTONs,
+			rttSeq:    -1,
+			rcvBitmap: make([]uint64, (npkts+63)/64),
+		}
+		n.flows[f.ID] = st
+		src := n.hosts[f.Src]
+		n.Eng.At(f.Start, func() { src.pump(st) })
+	}
+}
+
+// startCBR emits fixed-size packets at a constant rate until the
+// simulation ends (Figure 14's UDP workload).
+func (n *Network) startCBR(f FlowSpec) {
+	src := n.hosts[f.Src]
+	size := MSS + FrameHeader
+	gapNs := int64(float64(size*8) / f.RateBps * 1e9)
+	if gapNs < 1 {
+		gapNs = 1
+	}
+	var seq int64
+	n.Eng.Every(f.Start, gapNs, func() {
+		pkt := n.pool.get()
+		pkt.Kind = Data
+		pkt.Size = size
+		pkt.Src, pkt.Dst = f.Src, f.Dst
+		pkt.FlowID = f.ID
+		pkt.Seq = seq
+		pkt.TTL = InitialTTL
+		pkt.Tag = -1
+		seq++
+		src.send(pkt)
+	})
+}
+
+// pump sends as much of the window as allowed.
+func (h *HostDev) pump(st *flowState) {
+	if st.senderDone {
+		return
+	}
+	for st.nextSeq < st.npkts && float64(st.nextSeq-st.cumAck) < st.cwnd {
+		h.emit(st, st.nextSeq)
+		if st.rttSeq < 0 {
+			st.rttSeq = st.nextSeq
+			st.rttSent = h.net.Eng.Now()
+		}
+		st.nextSeq++
+	}
+	h.armRTO(st)
+}
+
+func (h *HostDev) emit(st *flowState, seq int64) {
+	payload := int64(MSS)
+	if rem := st.spec.Size - seq*MSS; rem < payload {
+		payload = rem
+	}
+	if payload <= 0 {
+		payload = 1
+	}
+	pkt := h.net.pool.get()
+	pkt.Kind = Data
+	pkt.Size = int(payload) + FrameHeader
+	pkt.Src, pkt.Dst = st.spec.Src, st.spec.Dst
+	pkt.FlowID = st.spec.ID
+	pkt.Seq = seq
+	pkt.TTL = InitialTTL
+	pkt.Tag = -1
+	h.net.DataPkts++
+	h.send(pkt)
+}
+
+func (h *HostDev) armRTO(st *flowState) {
+	if st.senderDone || st.cumAck >= st.npkts {
+		return
+	}
+	st.rtoArmed++
+	epoch := st.rtoArmed
+	h.net.Eng.After(int64(st.rtoNs), func() {
+		if st.rtoArmed != epoch || st.senderDone || st.done {
+			return
+		}
+		h.onRTO(st)
+	})
+}
+
+func (h *HostDev) onRTO(st *flowState) {
+	// Timeout: multiplicative backoff, go-back-N from the last
+	// cumulative ack.
+	st.ssthresh = st.cwnd / 2
+	if st.ssthresh < 2 {
+		st.ssthresh = 2
+	}
+	st.cwnd = initCwnd / 2
+	if st.cwnd < 1 {
+		st.cwnd = 1
+	}
+	st.rtoNs *= 2
+	if st.rtoNs > maxRTONs {
+		st.rtoNs = maxRTONs
+	}
+	st.nextSeq = st.cumAck
+	st.rttSeq = -1
+	st.dupAcks = 0
+	h.net.Counters.Add("rto", 1)
+	h.pump(st)
+}
+
+// receive dispatches an arriving packet on a host.
+func (h *HostDev) receive(pkt *Packet) {
+	st := h.net.flows[pkt.FlowID]
+	if st == nil {
+		// CBR traffic or unknown: count throughput and discard.
+		if pkt.Kind == Data {
+			h.net.recordRx(pkt)
+		}
+		h.net.Free(pkt)
+		return
+	}
+	switch pkt.Kind {
+	case Data:
+		h.onData(st, pkt)
+	case Ack:
+		h.onAck(st, pkt)
+	default:
+		h.net.Free(pkt)
+	}
+}
+
+func (h *HostDev) onData(st *flowState, pkt *Packet) {
+	h.net.recordRx(pkt)
+	seq := pkt.Seq
+	if seq < st.npkts && !st.rcvHas(seq) {
+		st.rcvSet(seq)
+		st.rcvCount++
+		for st.rcvCum < st.npkts && st.rcvHas(st.rcvCum) {
+			st.rcvCum++
+		}
+		if st.rcvCount == st.npkts && !st.done {
+			st.done = true
+			fct := h.net.Eng.Now() - st.spec.Start
+			h.net.recordFCT(st.spec, fct)
+		}
+	}
+	ack := h.net.pool.get()
+	ack.Kind = Ack
+	ack.Size = AckSize
+	ack.Src, ack.Dst = st.spec.Dst, st.spec.Src
+	ack.FlowID = st.spec.ID
+	ack.Seq = seq
+	ack.Ack = st.rcvCum
+	ack.TTL = InitialTTL
+	ack.Tag = -1
+	h.net.Free(pkt)
+	h.send(ack)
+}
+
+func (h *HostDev) onAck(st *flowState, pkt *Packet) {
+	defer h.net.Free(pkt)
+	if st.senderDone {
+		return
+	}
+	// RTT sampling (Karn: only the untouched timed segment).
+	if st.rttSeq >= 0 && pkt.Ack > st.rttSeq {
+		sample := float64(h.net.Eng.Now() - st.rttSent)
+		if st.srttNs == 0 {
+			st.srttNs = sample
+			st.rttvarNs = sample / 2
+		} else {
+			d := sample - st.srttNs
+			if d < 0 {
+				d = -d
+			}
+			st.rttvarNs = 0.75*st.rttvarNs + 0.25*d
+			st.srttNs = 0.875*st.srttNs + 0.125*sample
+		}
+		st.rtoNs = st.srttNs + 4*st.rttvarNs
+		if st.rtoNs < h.net.minRTO() {
+			st.rtoNs = h.net.minRTO()
+		}
+		st.rttSeq = -1
+	}
+	if pkt.Ack > st.cumAck {
+		newly := pkt.Ack - st.cumAck
+		st.cumAck = pkt.Ack
+		st.dupAcks = 0
+		for i := int64(0); i < newly; i++ {
+			if st.cwnd < st.ssthresh {
+				st.cwnd++
+			} else {
+				st.cwnd += 1 / st.cwnd
+			}
+		}
+		if st.cumAck >= st.npkts {
+			st.senderDone = true
+			st.rtoArmed++ // disarm
+			return
+		}
+		h.pump(st)
+		return
+	}
+	// Duplicate cumulative ack.
+	st.dupAcks++
+	if st.dupAcks == dupackThin {
+		st.ssthresh = st.cwnd / 2
+		if st.ssthresh < 2 {
+			st.ssthresh = 2
+		}
+		st.cwnd = st.ssthresh
+		st.dupAcks = 0
+		h.net.Counters.Add("fast_retx", 1)
+		h.emit(st, st.cumAck) // retransmit the missing segment
+		h.armRTO(st)
+	}
+}
+
+func (n *Network) recordRx(pkt *Packet) {
+	if n.RxSeries != nil {
+		n.RxSeries.Add(n.Eng.Now(), float64(pkt.Size))
+	}
+	if n.OnHostRx != nil {
+		n.OnHostRx(pkt)
+	}
+}
+
+func (n *Network) recordFCT(f FlowSpec, fctNs int64) {
+	sec := float64(fctNs) / 1e9
+	n.FCT.Add(sec)
+	if f.Size < 100_000 {
+		n.FCTSmall.Add(sec)
+	}
+	if f.Size >= 1_000_000 {
+		n.FCTLarge.Add(sec)
+	}
+	n.Counters.Add("flows_done", 1)
+	if n.FlowDone != nil {
+		n.FlowDone(f, fctNs)
+	}
+}
+
+// CompletedFlows returns the number of finished flows.
+func (n *Network) CompletedFlows() int64 { return int64(n.Counters.Get("flows_done")) }

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"contra/internal/topo"
+)
+
+func TestMinRTOGovernsLossRecovery(t *testing.T) {
+	// A tail drop with no following traffic can only be repaired by
+	// the retransmission timer, so the flow's completion time is at
+	// least the configured minimum RTO.
+	run := func(minRTO int64) float64 {
+		g := lineTopo(1e9)
+		e := NewEngine(1)
+		n := NewNetwork(e, g, Config{BufferBytes: 4 * 1500, MinRTONs: minRTO})
+		for _, s := range g.Switches() {
+			n.SetRouter(s, &hopRouter{})
+		}
+		n.Start()
+		n.StartFlows([]FlowSpec{{
+			ID: 1, Src: g.MustNode("H0"), Dst: g.MustNode("H1"), Size: 400_000, Start: 0,
+		}})
+		e.Run(30e9)
+		if n.CompletedFlows() != 1 {
+			t.Fatalf("flow incomplete at minRTO=%d", minRTO)
+		}
+		return n.FCT.Quantile(1)
+	}
+	fast := run(300_000)   // 300us floor
+	slow := run(8_000_000) // 8ms floor
+	if slow <= fast {
+		t.Fatalf("larger min RTO should slow lossy flows: %.3fms vs %.3fms",
+			slow*1e3, fast*1e3)
+	}
+}
+
+func TestDefaultMinRTOApplied(t *testing.T) {
+	e := NewEngine(1)
+	n := NewNetwork(e, lineTopo(1e9), Config{})
+	if n.Cfg.MinRTONs != defaultMinRTONs {
+		t.Fatalf("default min RTO = %d, want %d", n.Cfg.MinRTONs, defaultMinRTONs)
+	}
+}
+
+func TestPacketPoolReuse(t *testing.T) {
+	g := lineTopo(10e9)
+	e := NewEngine(1)
+	n := NewNetwork(e, g, Config{})
+	p1 := n.NewPacket()
+	p1.FlowID = 42
+	p1.Visited = 0xff
+	n.Free(p1)
+	p2 := n.NewPacket()
+	if p2.FlowID != 0 || p2.Visited != 0 {
+		t.Fatal("pooled packet not zeroed on reuse")
+	}
+	if p2 != p1 {
+		t.Fatal("pool did not reuse the freed packet")
+	}
+	// Clone copies every field but detaches from the freelist.
+	p2.FlowID = 7
+	p2.Seq = 9
+	c := n.Clone(p2)
+	if c.FlowID != 7 || c.Seq != 9 {
+		t.Fatal("clone lost fields")
+	}
+	if c == p2 {
+		t.Fatal("clone returned the same packet")
+	}
+}
+
+func TestLastPacketShorterThanMSS(t *testing.T) {
+	// A 1 byte flow still completes, with a single small packet.
+	g := lineTopo(10e9)
+	n := runLine(t, g, []FlowSpec{{
+		ID: 1, Src: g.MustNode("H0"), Dst: g.MustNode("H1"), Size: 1, Start: 0,
+	}}, 1e9)
+	if n.CompletedFlows() != 1 {
+		t.Fatal("tiny flow incomplete")
+	}
+}
+
+func TestManySimultaneousSmallFlows(t *testing.T) {
+	g := lineTopo(10e9)
+	var flows []FlowSpec
+	for i := 0; i < 200; i++ {
+		flows = append(flows, FlowSpec{
+			ID: uint64(i + 1), Src: g.MustNode("H0"), Dst: g.MustNode("H1"),
+			Size: 3000, Start: 0,
+		})
+	}
+	n := runLine(t, g, flows, 5e9)
+	if n.CompletedFlows() != 200 {
+		t.Fatalf("completed %d/200", n.CompletedFlows())
+	}
+}
+
+func TestDuplicateFlowIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate flow id")
+		}
+	}()
+	g := lineTopo(10e9)
+	e := NewEngine(1)
+	n := NewNetwork(e, g, Config{})
+	for _, s := range g.Switches() {
+		n.SetRouter(s, &hopRouter{})
+	}
+	n.Start()
+	n.StartFlows([]FlowSpec{
+		{ID: 1, Src: g.MustNode("H0"), Dst: g.MustNode("H1"), Size: 100, Start: 0},
+		{ID: 1, Src: g.MustNode("H0"), Dst: g.MustNode("H1"), Size: 100, Start: 0},
+	})
+}
+
+var _ = topo.Switch // keep the import if cases above change

@@ -1,0 +1,336 @@
+package topo
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+const infDist = int64(1) << 62
+
+// HopsFrom returns the hop-count distance from src to every switch over
+// the switch subgraph (up links only). Unreachable nodes and hosts get
+// a large sentinel value.
+func (g *Graph) HopsFrom(src NodeID) []int32 {
+	dist := make([]int32, len(g.nodes))
+	for i := range dist {
+		dist[i] = math.MaxInt32
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range g.SwitchNeighbors(n) {
+			if dist[m] == math.MaxInt32 {
+				dist[m] = dist[n] + 1
+				queue = append(queue, m)
+			}
+		}
+	}
+	return dist
+}
+
+// LatencyFrom returns shortest-latency distance (ns) from src to every
+// switch over up links (Dijkstra). Unreachable entries are a large
+// sentinel.
+func (g *Graph) LatencyFrom(src NodeID) []int64 {
+	dist := make([]int64, len(g.nodes))
+	for i := range dist {
+		dist[i] = infDist
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeDist)
+		if it.d > dist[it.n] {
+			continue
+		}
+		for _, p := range g.ports[it.n] {
+			l := &g.links[p.Link]
+			if l.Down || g.nodes[p.Peer].Kind != Switch {
+				continue
+			}
+			nd := it.d + l.Delay
+			if nd < dist[p.Peer] {
+				dist[p.Peer] = nd
+				heap.Push(pq, nodeDist{p.Peer, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type nodeDist struct {
+	n NodeID
+	d int64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ECMPNextHops returns, for every switch s, the set of neighbor switches
+// of s that lie on some shortest (hop-count) path from s to dst. The
+// result is indexed by node ID; entries for dst itself and for hosts
+// are nil.
+func (g *Graph) ECMPNextHops(dst NodeID) [][]NodeID {
+	dist := g.HopsFrom(dst) // distance *to* dst == from dst (undirected)
+	out := make([][]NodeID, len(g.nodes))
+	for _, s := range g.Switches() {
+		if s == dst || dist[s] == math.MaxInt32 {
+			continue
+		}
+		var nh []NodeID
+		for _, m := range g.SwitchNeighbors(s) {
+			if dist[m] == dist[s]-1 {
+				nh = append(nh, m)
+			}
+		}
+		sort.Slice(nh, func(i, j int) bool { return nh[i] < nh[j] })
+		out[s] = nh
+	}
+	return out
+}
+
+// Path is a sequence of switch node IDs from source to destination,
+// inclusive.
+type Path []NodeID
+
+// Equal reports whether two paths are identical.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShortestPath returns one shortest hop-count path from src to dst over
+// up switch links, or nil if unreachable. Ties break toward lower node
+// IDs, making the result deterministic.
+func (g *Graph) ShortestPath(src, dst NodeID) Path {
+	if src == dst {
+		return Path{src}
+	}
+	dist := g.HopsFrom(dst)
+	if dist[src] == math.MaxInt32 {
+		return nil
+	}
+	path := Path{src}
+	cur := src
+	for cur != dst {
+		next := NodeID(-1)
+		for _, m := range g.SwitchNeighbors(cur) {
+			if dist[m] == dist[cur]-1 && (next == -1 || m < next) {
+				next = m
+			}
+		}
+		if next == -1 {
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// pathWeight computes total latency of a path, or -1 if any hop is not
+// a live link.
+func (g *Graph) pathWeight(p Path) int64 {
+	var w int64
+	for i := 0; i+1 < len(p); i++ {
+		l := g.LinkBetween(p[i], p[i+1])
+		if l == nil || l.Down {
+			return -1
+		}
+		w += l.Delay
+	}
+	return w
+}
+
+// dijkstraPath returns the minimum-latency path from src to dst over up
+// switch links, avoiding banned links ("a-b" canonical keys) and banned
+// nodes. Returns nil if none exists.
+func (g *Graph) dijkstraPath(src, dst NodeID, bannedLink map[[2]NodeID]bool, bannedNode map[NodeID]bool) Path {
+	dist := make(map[NodeID]int64)
+	prev := make(map[NodeID]NodeID)
+	dist[src] = 0
+	pq := &nodeHeap{{src, 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeDist)
+		if d, ok := dist[it.n]; ok && it.d > d {
+			continue
+		}
+		if it.n == dst {
+			break
+		}
+		for _, p := range g.ports[it.n] {
+			l := &g.links[p.Link]
+			if l.Down || g.nodes[p.Peer].Kind != Switch {
+				continue
+			}
+			if bannedNode[p.Peer] {
+				continue
+			}
+			key := linkKey(it.n, p.Peer)
+			if bannedLink[key] {
+				continue
+			}
+			nd := it.d + l.Delay
+			if d, ok := dist[p.Peer]; !ok || nd < d {
+				dist[p.Peer] = nd
+				prev[p.Peer] = it.n
+				heap.Push(pq, nodeDist{p.Peer, nd})
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok {
+		return nil
+	}
+	var rev Path
+	for cur := dst; ; {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+		cur = prev[cur]
+	}
+	path := make(Path, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path
+}
+
+func linkKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// KShortestPaths returns up to k loop-free minimum-latency paths from
+// src to dst (Yen's algorithm). Used by the SPAIN baseline to build its
+// static path sets.
+func (g *Graph) KShortestPaths(src, dst NodeID, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first := g.dijkstraPath(src, dst, nil, nil)
+	if first == nil {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		for i := 0; i+1 < len(last); i++ {
+			spurNode := last[i]
+			rootPath := last[:i+1]
+			bannedLink := make(map[[2]NodeID]bool)
+			bannedNode := make(map[NodeID]bool)
+			for _, p := range paths {
+				if len(p) > i && Path(p[:i+1]).Equal(rootPath) && len(p) > i+1 {
+					bannedLink[linkKey(p[i], p[i+1])] = true
+				}
+			}
+			for _, n := range rootPath[:len(rootPath)-1] {
+				bannedNode[n] = true
+			}
+			spur := g.dijkstraPath(spurNode, dst, bannedLink, bannedNode)
+			if spur == nil {
+				continue
+			}
+			total := append(append(Path{}, rootPath[:len(rootPath)-1]...), spur...)
+			dup := false
+			for _, c := range candidates {
+				if c.Equal(total) {
+					dup = true
+					break
+				}
+			}
+			for _, p := range paths {
+				if p.Equal(total) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				candidates = append(candidates, total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			wa, wb := g.pathWeight(candidates[a]), g.pathWeight(candidates[b])
+			if wa != wb {
+				return wa < wb
+			}
+			return len(candidates[a]) < len(candidates[b])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+// AllSimplePaths enumerates every loop-free switch path from src to dst
+// with at most maxHops links, stopping after limit paths (0 = no
+// limit). Exponential: intended for small test topologies and
+// brute-force ground truth only.
+func (g *Graph) AllSimplePaths(src, dst NodeID, maxHops, limit int) []Path {
+	var out []Path
+	onPath := make([]bool, len(g.nodes))
+	var cur Path
+	var rec func(n NodeID)
+	rec = func(n NodeID) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		cur = append(cur, n)
+		onPath[n] = true
+		defer func() {
+			cur = cur[:len(cur)-1]
+			onPath[n] = false
+		}()
+		if n == dst {
+			out = append(out, append(Path{}, cur...))
+			return
+		}
+		if len(cur) > maxHops {
+			return
+		}
+		for _, m := range g.SwitchNeighbors(n) {
+			if !onPath[m] {
+				rec(m)
+			}
+		}
+	}
+	rec(src)
+	return out
+}
+
+// Names renders a path as node names (for tests and tracing).
+func (g *Graph) Names(p Path) []string {
+	out := make([]string, len(p))
+	for i, n := range p {
+		out[i] = g.nodes[n].Name
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests for the path algorithms over random connected
+// graphs.
+
+func quickGraph(seed int64) *Graph {
+	n := 5 + int(uint64(seed)%12)
+	return RandomConnected(n, 3, seed)
+}
+
+func TestQuickShortestPathMatchesBFS(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := quickGraph(seed)
+		sw := g.Switches()
+		src := sw[int(a)%len(sw)]
+		dst := sw[int(b)%len(sw)]
+		if src == dst {
+			return true
+		}
+		p := g.ShortestPath(src, dst)
+		d := g.HopsFrom(dst)[src]
+		if d == math.MaxInt32 {
+			return p == nil
+		}
+		return p != nil && int32(len(p)-1) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKShortestSortedAndLoopFree(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := quickGraph(seed)
+		sw := g.Switches()
+		src := sw[int(a)%len(sw)]
+		dst := sw[int(b)%len(sw)]
+		if src == dst {
+			return true
+		}
+		paths := g.KShortestPaths(src, dst, 5)
+		prev := int64(-1)
+		seenKeys := map[string]bool{}
+		for _, p := range paths {
+			// Endpoints.
+			if p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+			// Adjacent hops and loop freedom.
+			seen := map[NodeID]bool{}
+			for i, node := range p {
+				if seen[node] {
+					return false
+				}
+				seen[node] = true
+				if i > 0 && g.LinkBetween(p[i-1], node) == nil {
+					return false
+				}
+			}
+			// Sorted by total latency.
+			w := g.pathWeight(p)
+			if w < prev {
+				return false
+			}
+			prev = w
+			// Distinct.
+			key := ""
+			for _, n := range p {
+				key += g.Node(n).Name + "/"
+			}
+			if seenKeys[key] {
+				return false
+			}
+			seenKeys[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickECMPNextHopsDecreaseDistance(t *testing.T) {
+	f := func(seed int64, b uint8) bool {
+		g := quickGraph(seed)
+		sw := g.Switches()
+		dst := sw[int(b)%len(sw)]
+		dist := g.HopsFrom(dst)
+		nh := g.ECMPNextHops(dst)
+		for _, s := range sw {
+			for _, m := range nh[s] {
+				if dist[m] != dist[s]-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAllSimplePathsAreSimpleAndCompliant(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := quickGraph(seed)
+		sw := g.Switches()
+		src := sw[int(a)%len(sw)]
+		dst := sw[int(b)%len(sw)]
+		if src == dst {
+			return true
+		}
+		for _, p := range g.AllSimplePaths(src, dst, 5, 100) {
+			if p[0] != src || p[len(p)-1] != dst || len(p) > 6 {
+				return false
+			}
+			seen := map[NodeID]bool{}
+			for i, n := range p {
+				if seen[n] {
+					return false
+				}
+				seen[n] = true
+				if i > 0 && g.LinkBetween(p[i-1], n) == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,344 @@
+// Package topo models network topologies: switches, hosts, links with
+// bandwidth and propagation delay, plus the generators and path
+// algorithms used by the Contra compiler, the simulator, and the
+// baseline routing schemes.
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a Graph.
+type NodeID int32
+
+// LinkID identifies a link within a Graph.
+type LinkID int32
+
+// Kind distinguishes forwarding devices from end hosts.
+type Kind uint8
+
+// Node kinds.
+const (
+	Switch Kind = iota
+	Host
+)
+
+func (k Kind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "switch"
+}
+
+// Role labels a switch's tier in hierarchical (data center) topologies.
+// Non-hierarchical topologies leave it as RoleNone.
+type Role uint8
+
+// Switch roles in a Clos/Fattree hierarchy.
+const (
+	RoleNone Role = iota
+	RoleEdge      // top-of-rack / leaf
+	RoleAgg       // aggregation
+	RoleCore      // core / spine
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleEdge:
+		return "edge"
+	case RoleAgg:
+		return "agg"
+	case RoleCore:
+		return "core"
+	}
+	return "none"
+}
+
+// Node is a device in the topology.
+type Node struct {
+	ID   NodeID
+	Name string
+	Kind Kind
+	Role Role
+	Pod  int // pod index in Fattree topologies, -1 otherwise
+}
+
+// Link is an undirected link; the simulator models each direction
+// independently (queues, utilization) but topologically the link is one
+// edge. Bandwidth is bits/second and Delay is one-way propagation in
+// nanoseconds.
+type Link struct {
+	ID        LinkID
+	A, B      NodeID
+	Bandwidth float64
+	Delay     int64
+	Down      bool
+}
+
+// Other returns the endpoint of l that is not n.
+func (l *Link) Other(n NodeID) NodeID {
+	if l.A == n {
+		return l.B
+	}
+	return l.A
+}
+
+// Port is one attachment point of a node: the local port index is the
+// position within Graph.Ports(node).
+type Port struct {
+	Link LinkID
+	Peer NodeID
+}
+
+// Graph is an in-memory topology. The zero value is empty; use New.
+type Graph struct {
+	Name   string
+	nodes  []Node
+	links  []Link
+	ports  [][]Port
+	byName map[string]NodeID
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{Name: name, byName: make(map[string]NodeID)}
+}
+
+// AddNode adds a node and returns its ID. Names must be unique and
+// non-empty.
+func (g *Graph) AddNode(name string, kind Kind) NodeID {
+	return g.AddNodeRole(name, kind, RoleNone, -1)
+}
+
+// AddNodeRole adds a node with an explicit hierarchy role and pod.
+func (g *Graph) AddNodeRole(name string, kind Kind, role Role, pod int) NodeID {
+	if name == "" {
+		panic("topo: empty node name")
+	}
+	if _, dup := g.byName[name]; dup {
+		panic(fmt.Sprintf("topo: duplicate node name %q", name))
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Kind: kind, Role: role, Pod: pod})
+	g.ports = append(g.ports, nil)
+	g.byName[name] = id
+	return id
+}
+
+// AddLink connects a and b with the given bandwidth (bits/s) and one-way
+// propagation delay (ns), returning the link ID.
+func (g *Graph) AddLink(a, b NodeID, bandwidth float64, delayNs int64) LinkID {
+	if a == b {
+		panic("topo: self loop")
+	}
+	if int(a) >= len(g.nodes) || int(b) >= len(g.nodes) || a < 0 || b < 0 {
+		panic("topo: AddLink with unknown node")
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b, Bandwidth: bandwidth, Delay: delayNs})
+	g.ports[a] = append(g.ports[a], Port{Link: id, Peer: b})
+	g.ports[b] = append(g.ports[b], Port{Link: id, Peer: a})
+	return id
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) *Link { return &g.links[id] }
+
+// Nodes returns all nodes in ID order. The slice must not be modified.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Links returns all links in ID order. The slice must not be modified.
+func (g *Graph) Links() []Link { return g.links }
+
+// Ports returns node n's ports; the local port index is the slice index.
+func (g *Graph) Ports(n NodeID) []Port { return g.ports[n] }
+
+// NodeByName returns the node ID for name.
+func (g *Graph) NodeByName(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// MustNode returns the node ID for name or panics.
+func (g *Graph) MustNode(name string) NodeID {
+	id, ok := g.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: no node named %q", name))
+	}
+	return id
+}
+
+// PortTo returns the local port index on from that reaches neighbor to,
+// or -1 if they are not adjacent. With parallel links it returns the
+// first.
+func (g *Graph) PortTo(from, to NodeID) int {
+	for i, p := range g.ports[from] {
+		if p.Peer == to {
+			return i
+		}
+	}
+	return -1
+}
+
+// LinkBetween returns the first link joining a and b, or nil.
+func (g *Graph) LinkBetween(a, b NodeID) *Link {
+	for _, p := range g.ports[a] {
+		if p.Peer == b {
+			return &g.links[p.Link]
+		}
+	}
+	return nil
+}
+
+// Switches returns the IDs of all switch nodes in ID order.
+func (g *Graph) Switches() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == Switch {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Hosts returns the IDs of all host nodes in ID order.
+func (g *Graph) Hosts() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == Host {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// HostEdge returns the switch a host attaches to. Hosts are assumed
+// single-homed; it panics otherwise.
+func (g *Graph) HostEdge(h NodeID) NodeID {
+	ps := g.ports[h]
+	if g.nodes[h].Kind != Host || len(ps) != 1 {
+		panic(fmt.Sprintf("topo: node %s is not a single-homed host", g.nodes[h].Name))
+	}
+	return ps[0].Peer
+}
+
+// SetDown marks a link up or down (failure injection). Path algorithms
+// skip down links.
+func (g *Graph) SetDown(id LinkID, down bool) { g.links[id].Down = down }
+
+// SwitchNeighbors returns the switch neighbors of n over up links,
+// in port order.
+func (g *Graph) SwitchNeighbors(n NodeID) []NodeID {
+	var out []NodeID
+	for _, p := range g.ports[n] {
+		if g.links[p.Link].Down {
+			continue
+		}
+		if g.nodes[p.Peer].Kind == Switch {
+			out = append(out, p.Peer)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: every host single-homed to a
+// switch, and the switch subgraph connected (over up links).
+func (g *Graph) Validate() error {
+	sw := g.Switches()
+	if len(sw) == 0 {
+		return fmt.Errorf("topo %s: no switches", g.Name)
+	}
+	for _, h := range g.Hosts() {
+		ps := g.ports[h]
+		if len(ps) != 1 {
+			return fmt.Errorf("topo %s: host %s has %d links, want 1", g.Name, g.nodes[h].Name, len(ps))
+		}
+		if g.nodes[ps[0].Peer].Kind != Switch {
+			return fmt.Errorf("topo %s: host %s attached to non-switch", g.Name, g.nodes[h].Name)
+		}
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{sw[0]}
+	seen[sw[0]] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range g.SwitchNeighbors(n) {
+			if !seen[m] {
+				seen[m] = true
+				count++
+				stack = append(stack, m)
+			}
+		}
+	}
+	if count != len(sw) {
+		return fmt.Errorf("topo %s: switch graph disconnected (%d of %d reachable)", g.Name, count, len(sw))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph (used to derive failed-link
+// variants without mutating the original).
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		Name:   g.Name,
+		nodes:  append([]Node(nil), g.nodes...),
+		links:  append([]Link(nil), g.links...),
+		ports:  make([][]Port, len(g.ports)),
+		byName: make(map[string]NodeID, len(g.byName)),
+	}
+	for i, ps := range g.ports {
+		ng.ports[i] = append([]Port(nil), ps...)
+	}
+	for k, v := range g.byName {
+		ng.byName[k] = v
+	}
+	return ng
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s: %d nodes (%d switches, %d hosts), %d links",
+		g.Name, len(g.nodes), len(g.Switches()), len(g.Hosts()), len(g.links))
+}
+
+// SortedNames returns all switch names sorted; this is the policy
+// language's alphabet for this topology.
+func (g *Graph) SortedNames() []string {
+	var out []string
+	for _, n := range g.nodes {
+		if n.Kind == Switch {
+			out = append(out, n.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxSwitchRTT returns an upper bound on the round-trip time in ns
+// between any pair of switches, assuming negligible queueing: twice the
+// maximum over shortest-latency paths. Contra's probe period must be at
+// least half this value (§5.2).
+func (g *Graph) MaxSwitchRTT() int64 {
+	var worst int64
+	for _, s := range g.Switches() {
+		dist := g.LatencyFrom(s)
+		for _, t := range g.Switches() {
+			if dist[t] > worst && dist[t] < int64(1)<<62 {
+				worst = dist[t]
+			}
+		}
+	}
+	return 2 * worst
+}

@@ -1,0 +1,234 @@
+// Package workload generates the paper's evaluation traffic (§6.1):
+// flow sizes drawn from the empirical web-search (DCTCP, Alizadeh et
+// al.) and cache (Facebook, Roy et al.) distributions, with Poisson
+// arrivals tuned so the offered load matches a target fraction of
+// network capacity.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"contra/internal/sim"
+	"contra/internal/topo"
+)
+
+// Distribution is an empirical flow-size CDF sampled by inverse
+// transform with log-linear interpolation between knots.
+type Distribution struct {
+	Name  string
+	sizes []float64 // bytes at each knot
+	cum   []float64 // cumulative probability at each knot
+}
+
+// NewDistribution builds a distribution from (bytes, cumulative
+// probability) knots; the last knot must have probability 1.
+func NewDistribution(name string, sizesBytes, cum []float64) *Distribution {
+	if len(sizesBytes) != len(cum) || len(sizesBytes) == 0 {
+		panic("workload: bad distribution knots")
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] || sizesBytes[i] < sizesBytes[i-1] {
+			panic("workload: knots must be non-decreasing")
+		}
+	}
+	if cum[len(cum)-1] != 1 {
+		panic("workload: last knot must have probability 1")
+	}
+	return &Distribution{Name: name, sizes: sizesBytes, cum: cum}
+}
+
+// WebSearch returns the DCTCP web-search flow size distribution: a mix
+// of short queries and multi-megabyte background flows. Knots follow
+// the published CDF.
+func WebSearch() *Distribution {
+	kb := 1000.0
+	return NewDistribution("websearch",
+		[]float64{1 * kb, 6 * kb, 13 * kb, 19 * kb, 33 * kb, 53 * kb, 133 * kb,
+			667 * kb, 1333 * kb, 6667 * kb, 20000 * kb},
+		[]float64{0, 0.15, 0.3, 0.45, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 1})
+}
+
+// Cache returns the Facebook cache-follower flow size distribution:
+// dominated by sub-kilobyte objects with a long heavy tail.
+func Cache() *Distribution {
+	kb := 1000.0
+	return NewDistribution("cache",
+		[]float64{0.07 * kb, 0.15 * kb, 0.3 * kb, 0.6 * kb, 1 * kb, 2 * kb,
+			5 * kb, 10 * kb, 100 * kb, 1000 * kb, 10000 * kb},
+		[]float64{0.1, 0.25, 0.4, 0.55, 0.7, 0.8, 0.9, 0.95, 0.98, 0.996, 1})
+}
+
+// ByName resolves a distribution by its CLI name.
+func ByName(name string) (*Distribution, error) {
+	switch name {
+	case "websearch", "web-search", "web":
+		return WebSearch(), nil
+	case "cache":
+		return Cache(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown distribution %q (want websearch or cache)", name)
+}
+
+// Sample draws one flow size in bytes.
+func (d *Distribution) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cum, u)
+	if i == 0 {
+		return int64(d.sizes[0])
+	}
+	if i >= len(d.cum) {
+		i = len(d.cum) - 1
+	}
+	lo, hi := d.sizes[i-1], d.sizes[i]
+	cl, ch := d.cum[i-1], d.cum[i]
+	if ch == cl || lo <= 0 {
+		return int64(hi)
+	}
+	frac := (u - cl) / (ch - cl)
+	// Log-linear interpolation suits the heavy tail.
+	v := math.Exp(math.Log(lo) + frac*(math.Log(hi)-math.Log(lo)))
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}
+
+// Mean returns the distribution's expected flow size in bytes,
+// integrated over the interpolated CDF.
+func (d *Distribution) Mean() float64 {
+	mean := d.sizes[0] * d.cum[0]
+	for i := 1; i < len(d.sizes); i++ {
+		p := d.cum[i] - d.cum[i-1]
+		lo, hi := d.sizes[i-1], d.sizes[i]
+		var segMean float64
+		if lo <= 0 || hi <= lo {
+			segMean = hi
+		} else {
+			// Mean of the log-linear segment.
+			r := math.Log(hi / lo)
+			if r < 1e-9 {
+				segMean = lo
+			} else {
+				segMean = lo * (math.Expm1(r)) / r
+			}
+		}
+		mean += p * segMean
+	}
+	return mean
+}
+
+// Config drives flow generation.
+type Config struct {
+	Dist *Distribution
+
+	// Senders and Receivers are host sets; flows pick one of each
+	// uniformly (re-picking when they share an edge switch, since
+	// such flows never cross the fabric).
+	Senders   []topo.NodeID
+	Receivers []topo.NodeID
+
+	// Pairs, when non-empty, overrides Senders/Receivers: each flow
+	// picks one fixed (sender, receiver) pair uniformly. The paper's
+	// Abilene experiment uses four such pairs (§6.4).
+	Pairs [][2]topo.NodeID
+
+	// Load is the target offered load as a fraction of CapacityBps.
+	Load float64
+
+	// CapacityBps normalizes load: the evaluation uses the hosts'
+	// aggregate access bandwidth on the sending side.
+	CapacityBps float64
+
+	// StartNs and DurationNs bound the arrival window.
+	StartNs    int64
+	DurationNs int64
+
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// MaxFlows caps the number of generated flows (0 = unlimited).
+	MaxFlows int
+
+	// FirstFlowID numbers flows (IDs must be unique per simulation).
+	FirstFlowID uint64
+}
+
+// Generate produces Poisson arrivals at the requested load.
+func Generate(g *topo.Graph, cfg Config) []sim.FlowSpec {
+	if cfg.Dist == nil || cfg.Load <= 0 || cfg.CapacityBps <= 0 || cfg.DurationNs <= 0 {
+		panic("workload: incomplete config")
+	}
+	if len(cfg.Pairs) == 0 && (len(cfg.Senders) == 0 || len(cfg.Receivers) == 0) {
+		panic("workload: no hosts")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mean := cfg.Dist.Mean()
+	lambda := cfg.Load * cfg.CapacityBps / 8 / mean // flows per second
+	if cfg.FirstFlowID == 0 {
+		cfg.FirstFlowID = 1
+	}
+
+	var flows []sim.FlowSpec
+	t := float64(cfg.StartNs)
+	end := float64(cfg.StartNs + cfg.DurationNs)
+	id := cfg.FirstFlowID
+	for {
+		t += rng.ExpFloat64() / lambda * 1e9
+		if t >= end {
+			break
+		}
+		var src, dst topo.NodeID
+		if len(cfg.Pairs) > 0 {
+			p := cfg.Pairs[rng.Intn(len(cfg.Pairs))]
+			src, dst = p[0], p[1]
+		} else {
+			src = cfg.Senders[rng.Intn(len(cfg.Senders))]
+			dst = cfg.Receivers[rng.Intn(len(cfg.Receivers))]
+			for tries := 0; g.HostEdge(src) == g.HostEdge(dst) && tries < 32; tries++ {
+				dst = cfg.Receivers[rng.Intn(len(cfg.Receivers))]
+			}
+		}
+		if g.HostEdge(src) == g.HostEdge(dst) {
+			continue // degenerate host sets
+		}
+		flows = append(flows, sim.FlowSpec{
+			ID:    id,
+			Src:   src,
+			Dst:   dst,
+			Size:  cfg.Dist.Sample(rng),
+			Start: int64(t),
+		})
+		id++
+		if cfg.MaxFlows > 0 && len(flows) >= cfg.MaxFlows {
+			break
+		}
+	}
+	return flows
+}
+
+// SplitHosts deterministically halves a topology's hosts into senders
+// and receivers, as in §6.3 ("half of these hosts were configured as
+// senders, and the other half receivers").
+func SplitHosts(g *topo.Graph) (senders, receivers []topo.NodeID) {
+	hosts := g.Hosts()
+	for i, h := range hosts {
+		if i%2 == 0 {
+			senders = append(senders, h)
+		} else {
+			receivers = append(receivers, h)
+		}
+	}
+	return senders, receivers
+}
+
+// OfferedBytes sums the generated flow sizes (for load verification).
+func OfferedBytes(flows []sim.FlowSpec) float64 {
+	var total float64
+	for _, f := range flows {
+		total += float64(f.Size)
+	}
+	return total
+}

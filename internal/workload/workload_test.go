@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"contra/internal/topo"
+)
+
+func TestSampleMeanMatchesAnalyticMean(t *testing.T) {
+	for _, d := range []*Distribution{WebSearch(), Cache()} {
+		rng := rand.New(rand.NewSource(1))
+		var sum float64
+		n := 300000
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(rng))
+		}
+		got := sum / float64(n)
+		want := d.Mean()
+		if math.Abs(got-want)/want > 0.1 {
+			t.Errorf("%s: sampled mean %.0f vs analytic %.0f", d.Name, got, want)
+		}
+	}
+}
+
+func TestDistributionShapes(t *testing.T) {
+	// Cache flows are mostly tiny; web-search flows are much larger on
+	// average.
+	ws, ca := WebSearch(), Cache()
+	if ws.Mean() < 10*ca.Mean() {
+		t.Fatalf("web-search mean (%.0f) should dwarf cache mean (%.0f)", ws.Mean(), ca.Mean())
+	}
+	rng := rand.New(rand.NewSource(2))
+	small := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		if ca.Sample(rng) < 2000 {
+			small++
+		}
+	}
+	if frac := float64(small) / float64(n); frac < 0.6 {
+		t.Fatalf("cache: only %.2f of flows under 2KB, want most", frac)
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	d := WebSearch()
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		if d.Sample(a) != d.Sample(b) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestGenerateLoadCalibration(t *testing.T) {
+	g := topo.PaperDataCenter()
+	senders, receivers := SplitHosts(g)
+	capacity := float64(len(senders)) * 10e9
+	for _, load := range []float64{0.2, 0.6} {
+		flows := Generate(g, Config{
+			Dist: WebSearch(), Senders: senders, Receivers: receivers,
+			Load: load, CapacityBps: capacity,
+			DurationNs: 200_000_000, Seed: 3,
+		})
+		if len(flows) == 0 {
+			t.Fatalf("load %.1f: no flows", load)
+		}
+		offered := OfferedBytes(flows) * 8 / 0.2 // bits per second over 200ms
+		ratio := offered / (load * capacity)
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("load %.1f: offered/target = %.2f (n=%d flows)", load, ratio, len(flows))
+		}
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	g := topo.PaperDataCenter()
+	senders, receivers := SplitHosts(g)
+	flows := Generate(g, Config{
+		Dist: Cache(), Senders: senders, Receivers: receivers,
+		Load: 0.5, CapacityBps: 160e9, StartNs: 1_000_000,
+		DurationNs: 50_000_000, Seed: 4, MaxFlows: 500,
+	})
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	seen := map[uint64]bool{}
+	last := int64(0)
+	for _, f := range flows {
+		if seen[f.ID] {
+			t.Fatal("duplicate flow ID")
+		}
+		seen[f.ID] = true
+		if f.Start < 1_000_000 {
+			t.Fatal("flow before start window")
+		}
+		if f.Start < last {
+			t.Fatal("arrivals out of order")
+		}
+		last = f.Start
+		if f.Size <= 0 {
+			t.Fatal("non-positive size")
+		}
+		if g.HostEdge(f.Src) == g.HostEdge(f.Dst) {
+			t.Fatal("flow within one edge switch")
+		}
+	}
+	// Determinism.
+	again := Generate(g, Config{
+		Dist: Cache(), Senders: senders, Receivers: receivers,
+		Load: 0.5, CapacityBps: 160e9, StartNs: 1_000_000,
+		DurationNs: 50_000_000, Seed: 4, MaxFlows: 500,
+	})
+	if len(again) != len(flows) {
+		t.Fatal("same seed, different flow count")
+	}
+	for i := range again {
+		if again[i] != flows[i] {
+			t.Fatal("same seed, different flows")
+		}
+	}
+}
+
+func TestSplitHosts(t *testing.T) {
+	g := topo.PaperDataCenter()
+	s, r := SplitHosts(g)
+	if len(s) != 16 || len(r) != 16 {
+		t.Fatalf("split = %d/%d, want 16/16", len(s), len(r))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if d, err := ByName("websearch"); err != nil || d.Name != "websearch" {
+		t.Fatal("websearch lookup failed")
+	}
+	if d, err := ByName("cache"); err != nil || d.Name != "cache" {
+		t.Fatal("cache lookup failed")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestBadKnotsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad knots")
+		}
+	}()
+	NewDistribution("bad", []float64{10, 5}, []float64{0.5, 1})
+}
