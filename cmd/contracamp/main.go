@@ -1,0 +1,106 @@
+// Command contracamp runs a scenario campaign: it expands a JSON spec
+// (topologies × schemes × loads × event scripts × seeds) into
+// scenarios, executes them on a bounded worker pool, and writes the
+// aggregated results as JSON and/or CSV plus a scheme-comparison
+// table.
+//
+// Usage:
+//
+//	contracamp -spec examples/campaign/campaign.json -workers 8 -out results.json
+//	contracamp -spec campaign.json -workers 1 -csv results.csv -q
+//
+// Campaign output is deterministic: the same spec produces
+// byte-identical JSON/CSV whatever the worker count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"contra/internal/campaign"
+	"contra/internal/cliutil"
+)
+
+func main() {
+	spec := flag.String("spec", "", "campaign spec file (JSON, required)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel scenario workers")
+	out := flag.String("out", "", "write aggregated results JSON to `file` (- for stdout)")
+	csvOut := flag.String("csv", "", "write per-scenario CSV to `file` (- for stdout)")
+	quiet := flag.Bool("q", false, "suppress per-scenario progress")
+	noTable := flag.Bool("notable", false, "skip the scheme-comparison table")
+	flag.Parse()
+
+	if *spec == "" {
+		fmt.Fprintln(os.Stderr, "contracamp: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*spec, *workers, *out, *csvOut, *quiet, *noTable); err != nil {
+		fmt.Fprintln(os.Stderr, "contracamp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath string, workers int, out, csvOut string, quiet, noTable bool) error {
+	spec, err := campaign.LoadFile(specPath)
+	if err != nil {
+		return err
+	}
+	opts := campaign.Options{Workers: workers}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "campaign %q: %d scenarios on %d workers\n",
+			spec.Name, spec.Size(), workers)
+		opts.Progress = func(done, total int, o *campaign.Outcome) {
+			status := "ok"
+			if o.Err != "" {
+				status = "FAIL: " + o.Err
+			} else if o.Result != nil && o.Result.Flows > 0 {
+				status = fmt.Sprintf("done=%d/%d p99=%.3fms",
+					o.Result.Completed, o.Result.Flows, o.Result.P99FCT*1e3)
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-40s %s\n", done, total, o.Scenario.Name, status)
+		}
+	}
+	report, err := campaign.Run(spec, opts)
+	if err != nil {
+		return err
+	}
+
+	if out != "" {
+		if err := writeTo(out, report.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		if err := writeTo(csvOut, report.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if !noTable {
+		header, rows := report.ComparisonTable(spec.Schemes)
+		cliutil.Table(header, rows)
+	}
+	if n := report.Failed(); n > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", n, len(report.Outcomes))
+	}
+	return nil
+}
+
+// writeTo streams an encoder to a file path, "-" meaning stdout.
+func writeTo(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,6 +1,8 @@
 // Command contrasim runs a single routing experiment on the
 // packet-level simulator: a flow-completion-time run or a
-// link-failure (failover) run, for Contra or any baseline.
+// link-failure (failover) run, for Contra or any baseline. Both modes
+// are scenarios under the hood; -fail and -failover simply add events
+// to the scenario's script.
 //
 // Usage:
 //
@@ -8,6 +10,7 @@
 //	contrasim -topo dc -scheme ecmp -load 0.4 -queues
 //	contrasim -topo dc -scheme contra -failover
 //	contrasim -topo abilene+hosts -scheme spain -dist cache -load 0.3
+//	contrasim -topo dc -scheme contra -fail E0-A0 -load 0.5
 package main
 
 import (
@@ -15,9 +18,8 @@ import (
 	"fmt"
 	"os"
 
-	"contra"
 	"contra/internal/cliutil"
-	"contra/internal/workload"
+	"contra/internal/scenario"
 )
 
 func main() {
@@ -44,43 +46,30 @@ func main() {
 
 func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 	maxFlows int, seed int64, queues, loops, failover bool, failLink string) error {
-	g, err := cliutil.BuildTopology(topoSpec)
-	if err != nil {
-		return err
-	}
-	if failLink != "" {
-		var a, b string
-		if _, err := fmt.Sscanf(failLink, "%s", &a); err != nil || len(failLink) == 0 {
-			return fmt.Errorf("bad -fail %q, want A-B", failLink)
-		}
-		n, err := splitLink(failLink)
-		if err != nil {
-			return err
-		}
-		a, b = n[0], n[1]
-		na, ok := g.NodeByName(a)
-		if !ok {
-			return fmt.Errorf("unknown node %q", a)
-		}
-		nb, ok := g.NodeByName(b)
-		if !ok {
-			return fmt.Errorf("unknown node %q", b)
-		}
-		l := g.LinkBetween(na, nb)
-		if l == nil {
-			return fmt.Errorf("no link %s-%s", a, b)
-		}
-		g.SetDown(l.ID, true)
-	}
 	src, err := cliutil.ReadPolicyArg(policyArg)
 	if err != nil {
 		return err
 	}
+	s := scenario.Scenario{
+		Name:         topoSpec + "/" + scheme,
+		TopoSpec:     topoSpec,
+		Scheme:       scenario.Scheme(scheme),
+		Policy:       src,
+		Seed:         seed,
+		SampleQueues: queues,
+		TrackLoops:   loops,
+	}
+	if failLink != "" {
+		// A pre-failed link is a link_down event at t=0: the scenario
+		// engine marks it down in the topology before routers deploy,
+		// so schemes with offline path computation see the asymmetry.
+		s.Events = append(s.Events, scenario.Event{Kind: scenario.LinkDown, AtNs: 0, Link: failLink})
+	}
 
 	if failover {
-		res, err := contra.RunFailover(contra.FailoverConfig{
-			Topo: g, Scheme: contra.Scheme(scheme), PolicySrc: src, Seed: seed,
-		})
+		s.Workload = scenario.Workload{Kind: scenario.WorkloadCBR}
+		s.Events = append(s.Events, scenario.Event{Kind: scenario.LinkDown, AtNs: 50_000_000, Link: "auto"})
+		res, err := scenario.Run(s)
 		if err != nil {
 			return err
 		}
@@ -88,7 +77,7 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 			res.BaselineBps/1e9, res.MinBps/1e9, float64(res.RecoveryNs)/1e6)
 		for _, p := range res.Series {
 			mark := ""
-			if p.T >= res.FailAtNs && p.T < res.FailAtNs+int64(res.BinNs) {
+			if p.T >= res.FailAtNs && p.T < res.FailAtNs+res.BinNs {
 				mark = "  <- link fails"
 			}
 			fmt.Printf("t=%6.2fms  %6.2f Gbps%s\n", float64(p.T)/1e6, p.V/1e9, mark)
@@ -96,23 +85,20 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 		return nil
 	}
 
-	d, err := workload.ByName(dist)
-	if err != nil {
-		return err
+	s.Workload = scenario.Workload{
+		Kind:       scenario.WorkloadFCT,
+		Dist:       dist,
+		Load:       load,
+		DurationNs: int64(durationMs) * 1_000_000,
+		MaxFlows:   maxFlows,
 	}
-	res, err := contra.RunFCT(contra.FCTConfig{
-		Topo: g, Scheme: contra.Scheme(scheme), PolicySrc: src,
-		Dist: d, Load: load, DurationNs: int64(durationMs) * 1_000_000,
-		MaxFlows: maxFlows, Seed: seed,
-		SampleQueues: queues, TrackLoops: loops,
-	})
+	res, err := scenario.Run(s)
 	if err != nil {
 		return err
 	}
 	fmt.Println(res)
 	fmt.Printf("fabric bytes: data=%.0f ack=%.0f probe=%.0f tag=%.0f (probe share %.3f%%)\n",
-		res.DataBytes, res.AckBytes, res.ProbeBytes, res.TagBytes,
-		100*res.ProbeBytes/res.FabricBytes)
+		res.DataBytes, res.AckBytes, res.ProbeBytes, res.TagBytes, 100*res.ProbeFrac())
 	if loops {
 		fmt.Printf("looped traffic: %.4f%% of data packets, %d loop breaks\n",
 			100*res.LoopedFrac, int64(res.LoopBreaks))
@@ -123,15 +109,6 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 			fmt.Printf("  p%-4g %8.1f\n", q*100, res.QueueMSS.Quantile(q))
 		}
 	}
-	fmt.Printf("simulated %v in %v\n", res.SimulatedTime, res.WallTime)
+	fmt.Printf("simulated %.2fms in %v\n", float64(res.SimulatedNs)/1e6, res.WallTime)
 	return nil
-}
-
-func splitLink(s string) ([2]string, error) {
-	for i := 1; i < len(s)-1; i++ {
-		if s[i] == '-' {
-			return [2]string{s[:i], s[i+1:]}, nil
-		}
-	}
-	return [2]string{}, fmt.Errorf("bad link spec %q, want A-B", s)
 }

@@ -23,9 +23,14 @@
 //   - a deterministic packet-level simulator standing in for the
 //     paper's ns-3 testbed (NewSimulation, or the experiment runners
 //     RunFCT / RunFailover / CompileSweep used by the benchmark
-//     harness), and
+//     harness),
 //   - the baselines the paper compares against (ECMP, HULA, SPAIN,
-//     shortest-path) selectable by Scheme.
+//     shortest-path) selectable by Scheme, and
+//   - a declarative scenario engine (RunScenario) with timed event
+//     scripts — failures, recoveries, capacity degradations, traffic
+//     surges — plus a parallel campaign runner (RunCampaign) that
+//     sweeps scenario matrices and aggregates results
+//     deterministically.
 package contra
 
 import (
@@ -33,9 +38,11 @@ import (
 	"io"
 	"time"
 
+	"contra/internal/campaign"
 	"contra/internal/core"
 	"contra/internal/exp"
 	"contra/internal/policy"
+	"contra/internal/scenario"
 	"contra/internal/topo"
 )
 
@@ -231,6 +238,51 @@ const (
 	SchemeSpain  = exp.SchemeSpain
 	SchemeSP     = exp.SchemeSP
 )
+
+// Scenario subsystem re-exports: declarative experiments with timed
+// event scripts, and campaigns that sweep a scenario matrix across a
+// parallel worker pool.
+type (
+	// Scenario is one declarative experiment: topology, scheme,
+	// workload, and a timed event script.
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one timed entry of a scenario's script.
+	ScenarioEvent = scenario.Event
+	// ScenarioWorkload describes a scenario's offered traffic.
+	ScenarioWorkload = scenario.Workload
+	// ScenarioResult summarizes one scenario run.
+	ScenarioResult = scenario.Result
+	// CampaignSpec is a cartesian scenario matrix (topologies ×
+	// schemes × loads × event scripts × seeds).
+	CampaignSpec = campaign.Spec
+	// CampaignScript is a named event script inside a campaign.
+	CampaignScript = campaign.Script
+	// CampaignOptions tunes a campaign run (worker count, progress).
+	CampaignOptions = campaign.Options
+	// CampaignReport aggregates a campaign's per-scenario results.
+	CampaignReport = campaign.Report
+)
+
+// Scenario event kinds.
+const (
+	EventLinkDown = scenario.LinkDown
+	EventLinkUp   = scenario.LinkUp
+	EventDegrade  = scenario.Degrade
+	EventSurge    = scenario.Surge
+)
+
+// RunScenario executes one scenario deterministically.
+func RunScenario(s Scenario) (*ScenarioResult, error) { return scenario.Run(s) }
+
+// LoadCampaign reads a campaign spec file.
+func LoadCampaign(path string) (*CampaignSpec, error) { return campaign.LoadFile(path) }
+
+// RunCampaign expands a campaign matrix and executes it on a bounded
+// worker pool; the aggregated report is identical for any worker
+// count.
+func RunCampaign(spec *CampaignSpec, opts CampaignOptions) (*CampaignReport, error) {
+	return campaign.Run(spec, opts)
+}
 
 // RunFCT executes one flow-completion-time experiment.
 func RunFCT(cfg FCTConfig) (*FCTResult, error) { return exp.RunFCT(cfg) }

@@ -1,0 +1,3 @@
+module contra
+
+go 1.22

@@ -1,0 +1,350 @@
+// Package campaign expands a declarative spec — a cartesian matrix of
+// topologies × schemes × loads × event scripts × seeds — into concrete
+// scenarios, fans them out across a bounded pool of worker goroutines,
+// and aggregates the per-scenario results into JSON, CSV, and a
+// scheme-comparison table.
+//
+// Each scenario's simulation is single-threaded and deterministic, so
+// a campaign parallelizes embarrassingly: results land in a slice
+// indexed by expansion order, which makes the aggregate output
+// byte-identical whether the campaign ran on one worker or sixteen.
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"contra/internal/scenario"
+)
+
+// Script is a named scenario event script.
+type Script struct {
+	Name   string           `json:"name"`
+	Events []scenario.Event `json:"events,omitempty"`
+}
+
+// Spec is the campaign file format: the matrix axes plus the base
+// workload and protocol knobs shared by every cell.
+type Spec struct {
+	Name string `json:"name,omitempty"`
+
+	// Matrix axes. Empty Scripts means one steady-state script; empty
+	// Seeds means seed 1.
+	Topos   []string          `json:"topos"`
+	Schemes []scenario.Scheme `json:"schemes"`
+	Loads   []float64         `json:"loads"`
+	Scripts []Script          `json:"event_scripts,omitempty"`
+	Seeds   []int64           `json:"seeds,omitempty"`
+
+	// Base scenario knobs; Workload.Load is overridden per cell.
+	Workload             scenario.Workload `json:"workload,omitempty"`
+	Policy               string            `json:"policy,omitempty"`
+	ProbePeriodNs        int64             `json:"probe_period_ns,omitempty"`
+	FlowletTimeoutNs     int64             `json:"flowlet_timeout_ns,omitempty"`
+	FailureDetectPeriods int               `json:"failure_detect_periods,omitempty"`
+	BinNs                int64             `json:"bin_ns,omitempty"`
+	TrackLoops           bool              `json:"track_loops,omitempty"`
+}
+
+// Parse decodes a campaign spec, rejecting unknown fields.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("campaign: %v", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile reads and decodes a campaign spec file.
+func LoadFile(path string) (*Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(b)
+}
+
+func (s *Spec) validate() error {
+	if len(s.Topos) == 0 {
+		return fmt.Errorf("campaign %q: no topos", s.Name)
+	}
+	if len(s.Schemes) == 0 {
+		return fmt.Errorf("campaign %q: no schemes", s.Name)
+	}
+	if len(s.Loads) == 0 && s.Workload.Kind != scenario.WorkloadCBR {
+		return fmt.Errorf("campaign %q: no loads", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, sc := range s.Scripts {
+		if seen[sc.Name] {
+			return fmt.Errorf("campaign %q: duplicate event script %q", s.Name, sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	return nil
+}
+
+// Size returns the number of scenarios the spec expands to.
+func (s *Spec) Size() int {
+	return len(s.Topos) * len(s.Schemes) * max(len(s.Loads), 1) *
+		max(len(s.Scripts), 1) * max(len(s.Seeds), 1)
+}
+
+// Expand materializes the cartesian matrix in a fixed order: topo,
+// scheme, load, script, seed — slowest axis first. Every scenario is
+// validated before any runs, so a bad cell fails the campaign upfront.
+func (s *Spec) Expand() ([]scenario.Scenario, error) {
+	loads := s.Loads
+	if len(loads) == 0 {
+		loads = []float64{0} // CBR campaigns have no load axis
+	}
+	scripts := s.Scripts
+	if len(scripts) == 0 {
+		scripts = []Script{{Name: "steady"}}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	var out []scenario.Scenario
+	for _, tp := range s.Topos {
+		for _, scheme := range s.Schemes {
+			for _, load := range loads {
+				for _, script := range scripts {
+					for _, seed := range seeds {
+						w := s.Workload
+						w.Load = load
+						sc := scenario.Scenario{
+							Name: fmt.Sprintf("%s/%s/load%s/%s/seed%d",
+								tp, scheme, trimFloat(load), script.Name, seed),
+							TopoSpec:             tp,
+							Scheme:               scheme,
+							Policy:               s.Policy,
+							Seed:                 seed,
+							Workload:             w,
+							Events:               script.Events,
+							Script:               script.Name,
+							ProbePeriodNs:        s.ProbePeriodNs,
+							FlowletTimeoutNs:     s.FlowletTimeoutNs,
+							FailureDetectPeriods: s.FailureDetectPeriods,
+							BinNs:                s.BinNs,
+							TrackLoops:           s.TrackLoops,
+						}
+						if err := sc.Validate(); err != nil {
+							return nil, err
+						}
+						out = append(out, sc)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Outcome pairs a scenario with its result or error.
+type Outcome struct {
+	Scenario scenario.Scenario `json:"-"`
+	Result   *scenario.Result  `json:"result,omitempty"`
+	Err      string            `json:"error,omitempty"`
+}
+
+// Report is a completed campaign: outcomes in expansion order.
+type Report struct {
+	Name     string    `json:"name,omitempty"`
+	Outcomes []Outcome `json:"scenarios"`
+}
+
+// Failed counts scenarios that returned an error.
+func (r *Report) Failed() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Options tunes a campaign run.
+type Options struct {
+	// Workers bounds the goroutine pool; <= 0 means 1.
+	Workers int
+
+	// Progress, when set, fires after each scenario completes (from
+	// the completing worker's goroutine).
+	Progress func(done, total int, o *Outcome)
+}
+
+// Run expands and executes a campaign. Scenario failures do not abort
+// the campaign — they are recorded in the report — but an invalid spec
+// fails before anything runs.
+func Run(spec *Spec, opts Options) (*Report, error) {
+	scens, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Name: spec.Name, Outcomes: make([]Outcome, len(scens))}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(scens) {
+		workers = len(scens)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes Progress and the done counter
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				o := &report.Outcomes[i]
+				o.Scenario = scens[i]
+				res, err := scenario.Run(scens[i])
+				if err != nil {
+					o.Err = err.Error()
+				} else {
+					o.Result = res
+				}
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(done, len(scens), o)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range scens {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return report, nil
+}
+
+// WriteJSON encodes the report deterministically (results only carry
+// fields that are pure functions of their scenarios).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// csvHeader lists the per-scenario CSV columns.
+var csvHeader = []string{
+	"name", "topo", "scheme", "script", "dist", "load", "seed",
+	"flows", "completed", "mean_fct_ms", "p50_fct_ms", "p99_fct_ms",
+	"probe_frac", "queue_drops", "linkdown_drops", "looped_frac",
+	"baseline_gbps", "min_gbps", "recovery_ms", "error",
+}
+
+// WriteCSV renders one row per scenario.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, o := range r.Outcomes {
+		res := o.Result
+		if res == nil {
+			res = &scenario.Result{
+				Name:   o.Scenario.Name,
+				Topo:   o.Scenario.TopoSpec,
+				Scheme: o.Scenario.Scheme,
+				Script: o.Scenario.Script,
+				Seed:   o.Scenario.Seed,
+			}
+		}
+		row := []string{
+			res.Name, res.Topo, string(res.Scheme), res.Script, res.Dist,
+			trimFloat(res.Load), strconv.FormatInt(res.Seed, 10),
+			strconv.Itoa(res.Flows), strconv.FormatInt(res.Completed, 10),
+			msec(res.MeanFCT * 1e9), msec(res.P50FCT * 1e9), msec(res.P99FCT * 1e9),
+			fmt.Sprintf("%.5f", res.ProbeFrac()),
+			trimFloat(res.QueueDrops), trimFloat(res.LinkDownDrops),
+			fmt.Sprintf("%.5f", res.LoopedFrac),
+			fmt.Sprintf("%.3f", res.BaselineBps/1e9), fmt.Sprintf("%.3f", res.MinBps/1e9),
+			msec(float64(res.RecoveryNs)),
+			o.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func msec(ns float64) string { return fmt.Sprintf("%.3f", ns/1e6) }
+
+// ComparisonTable groups outcomes by (topo, load, script, seed) and
+// lays the schemes side by side on p99 FCT — the summary the paper's
+// figures compare schemes on. Rows are sorted by group key; scheme
+// columns follow the spec's scheme order.
+func (r *Report) ComparisonTable(schemes []scenario.Scheme) (header []string, rows [][]string) {
+	header = []string{"topo", "load", "script", "seed"}
+	for _, s := range schemes {
+		header = append(header, string(s)+" p99ms", string(s)+" drops")
+	}
+	type key struct {
+		topo, script string
+		load         float64
+		seed         int64
+	}
+	groups := map[key]map[scenario.Scheme]*scenario.Result{}
+	var keys []key
+	for _, o := range r.Outcomes {
+		if o.Result == nil {
+			continue
+		}
+		k := key{topo: o.Scenario.TopoSpec, script: o.Result.Script, load: o.Result.Load, seed: o.Result.Seed}
+		if groups[k] == nil {
+			groups[k] = map[scenario.Scheme]*scenario.Result{}
+			keys = append(keys, k)
+		}
+		groups[k][o.Result.Scheme] = o.Result
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.topo != b.topo {
+			return a.topo < b.topo
+		}
+		if a.load != b.load {
+			return a.load < b.load
+		}
+		if a.script != b.script {
+			return a.script < b.script
+		}
+		return a.seed < b.seed
+	})
+	for _, k := range keys {
+		row := []string{k.topo, trimFloat(k.load), k.script, strconv.FormatInt(k.seed, 10)}
+		for _, s := range schemes {
+			if res, ok := groups[k][s]; ok {
+				row = append(row, fmt.Sprintf("%.3f", res.P99FCT*1e3), trimFloat(res.QueueDrops+res.LinkDownDrops))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return header, rows
+}

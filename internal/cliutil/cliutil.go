@@ -69,6 +69,34 @@ func BuildTopology(spec string) (*topo.Graph, error) {
 	return nil, fmt.Errorf("unknown topology spec %q", spec)
 }
 
+// FindLink resolves a link spec "A-B" against a topology. Node names
+// may themselves contain dashes, so every split position is tried; the
+// first one naming two nodes joined by a link wins.
+func FindLink(g *topo.Graph, spec string) (topo.LinkID, error) {
+	foundPair := false
+	for i := 1; i < len(spec); i++ {
+		if spec[i] != '-' {
+			continue
+		}
+		a, ok := g.NodeByName(spec[:i])
+		if !ok {
+			continue
+		}
+		b, ok := g.NodeByName(spec[i+1:])
+		if !ok {
+			continue
+		}
+		if l := g.LinkBetween(a, b); l != nil {
+			return l.ID, nil
+		}
+		foundPair = true // keep trying: a later split may name a real link
+	}
+	if foundPair {
+		return -1, fmt.Errorf("no link %q in %s", spec, g.Name)
+	}
+	return -1, fmt.Errorf("bad link spec %q, want A-B with nodes of %s", spec, g.Name)
+}
+
 // Table renders rows with aligned columns to stdout.
 func Table(header []string, rows [][]string) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

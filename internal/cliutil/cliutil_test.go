@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"contra/internal/topo"
 )
 
 func TestBuildTopologySpecs(t *testing.T) {
@@ -74,5 +76,34 @@ func TestReadPolicyArg(t *testing.T) {
 	}
 	if _, err := ReadPolicyArg("@/does/not/exist"); err == nil {
 		t.Fatal("missing file should error")
+	}
+}
+
+func TestFindLink(t *testing.T) {
+	g := topo.New("t")
+	a := g.AddNode("spine-1", topo.Switch)
+	b := g.AddNode("leaf-2", topo.Switch)
+	c := g.AddNode("leaf-3", topo.Switch)
+	want := g.AddLink(a, b, 10e9, 1000)
+	g.AddLink(b, c, 10e9, 1000)
+
+	// Dashed node names: every split position is tried.
+	id, err := FindLink(g, "spine-1-leaf-2")
+	if err != nil || id != want {
+		t.Fatalf("FindLink = %v, %v; want %v", id, err, want)
+	}
+	// Reversed order matches the same undirected link.
+	if id, err := FindLink(g, "leaf-2-spine-1"); err != nil || id != want {
+		t.Fatalf("reversed FindLink = %v, %v; want %v", id, err, want)
+	}
+	// Two real nodes without a link is a distinct error.
+	if _, err := FindLink(g, "spine-1-leaf-3"); err == nil {
+		t.Fatal("unlinked nodes should error")
+	}
+	if _, err := FindLink(g, "nodash"); err == nil {
+		t.Fatal("spec without dash should error")
+	}
+	if _, err := FindLink(g, "x-y"); err == nil {
+		t.Fatal("unknown nodes should error")
 	}
 }

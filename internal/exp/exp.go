@@ -2,16 +2,23 @@
 // scheme + workload into the runs behind every evaluation figure
 // (Figures 9-16 and the §6.5 loop statistics), so the benchmark
 // targets, the CLI driver, and tests all execute the same code.
+//
+// Since the scenario subsystem landed, RunFCT and RunFailover are thin
+// wrappers: each translates its config into a scenario.Scenario and
+// delegates to scenario.Run, which owns the simulation loop and the
+// timed event script. New code should construct scenarios (or
+// campaigns) directly; these entry points remain for the figure
+// harness and compatibility.
 package exp
 
 import (
 	"fmt"
 	"time"
 
-	"contra/internal/baseline"
 	"contra/internal/core"
 	"contra/internal/dataplane"
 	"contra/internal/policy"
+	"contra/internal/scenario"
 	"contra/internal/sim"
 	"contra/internal/stats"
 	"contra/internal/topo"
@@ -19,15 +26,15 @@ import (
 )
 
 // Scheme names a routing system under test.
-type Scheme string
+type Scheme = scenario.Scheme
 
 // Supported schemes.
 const (
-	SchemeContra Scheme = "contra"
-	SchemeECMP   Scheme = "ecmp"
-	SchemeHula   Scheme = "hula"
-	SchemeSpain  Scheme = "spain"
-	SchemeSP     Scheme = "sp"
+	SchemeContra = scenario.SchemeContra
+	SchemeECMP   = scenario.SchemeECMP
+	SchemeHula   = scenario.SchemeHula
+	SchemeSpain  = scenario.SchemeSpain
+	SchemeSP     = scenario.SchemeSP
 )
 
 // FCTConfig drives one flow-completion-time run.
@@ -56,54 +63,9 @@ type FCTConfig struct {
 	TrackLoops   bool // record looped-packet fraction (§6.5)
 }
 
-func (c *FCTConfig) fill() {
-	if c.PolicySrc == "" {
-		c.PolicySrc = "minimize(path.util)"
-	}
-	if c.Dist == nil {
-		c.Dist = workload.WebSearch()
-	}
-	if c.DurationNs == 0 {
-		c.DurationNs = 20_000_000
-	}
-	if c.MaxFlows == 0 {
-		c.MaxFlows = 4000
-	}
-	if c.ProbePeriodNs == 0 {
-		c.ProbePeriodNs = 256_000
-	}
-	if c.CapacityBps == 0 {
-		c.CapacityBps = FabricCapacity(c.Topo)
-	}
-}
-
-// FabricCapacity sums edge-uplink bandwidth (edge/leaf to the rest of
-// the fabric), the reference the paper's load fractions normalize
-// against. Down links still count: the asymmetric experiments keep the
-// symmetric load reference ("75% of capacity remains").
-func FabricCapacity(g *topo.Graph) float64 {
-	var total float64
-	for _, l := range g.Links() {
-		a, b := g.Node(l.A), g.Node(l.B)
-		if a.Kind != topo.Switch || b.Kind != topo.Switch {
-			continue
-		}
-		if a.Role == topo.RoleEdge || b.Role == topo.RoleEdge {
-			total += l.Bandwidth
-		}
-	}
-	if total == 0 {
-		// Non-hierarchical (WAN) topology: use a single link's worth,
-		// scaled by sender count elsewhere.
-		for _, l := range g.Links() {
-			if g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch {
-				total = l.Bandwidth
-				break
-			}
-		}
-	}
-	return total
-}
+// FabricCapacity sums edge-uplink bandwidth, the reference the paper's
+// load fractions normalize against.
+func FabricCapacity(g *topo.Graph) float64 { return scenario.FabricCapacity(g) }
 
 // FCTResult summarizes one run.
 type FCTResult struct {
@@ -148,109 +110,61 @@ func maxf(a, b float64) float64 {
 // Deploy installs a scheme's routers on a network, returning the
 // Contra routers when applicable (for diagnostics).
 func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options) (map[topo.NodeID]*dataplane.Contra, *core.Compiled, error) {
-	switch scheme {
-	case SchemeContra:
-		pol, err := policy.Parse(policySrc, policy.ParseOptions{Symbols: g.SortedNames()})
-		if err != nil {
-			return nil, nil, err
-		}
-		comp, err := core.Compile(g, pol, opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		routers := dataplane.Deploy(n, comp)
-		return routers, comp, nil
-	case SchemeECMP:
-		baseline.DeployECMP(n)
-	case SchemeSP:
-		baseline.DeploySP(n)
-	case SchemeHula:
-		baseline.DeployHula(n, baseline.HulaConfig{
-			ProbePeriodNs:    opts.ProbePeriodNs,
-			FlowletTimeoutNs: opts.FlowletTimeoutNs,
-		})
-	case SchemeSpain:
-		baseline.DeploySpain(n, baseline.SpainConfig{})
-	default:
-		return nil, nil, fmt.Errorf("exp: unknown scheme %q", scheme)
-	}
-	return nil, nil, nil
+	return scenario.Deploy(n, scheme, g, policySrc, opts)
 }
 
 // RunFCT executes one FCT experiment: warm up the control plane,
 // offer the workload, drain, and collect statistics.
 func RunFCT(cfg FCTConfig) (*FCTResult, error) {
-	cfg.fill()
-	wallStart := time.Now()
-	g := cfg.Topo
-	e := sim.NewEngine(cfg.Seed + 1)
-	n := sim.NewNetwork(e, g, sim.Config{TrackVisited: cfg.TrackLoops})
-	_, _, err := Deploy(n, cfg.Scheme, g, cfg.PolicySrc, core.Options{
+	dist := cfg.Dist
+	if dist == nil {
+		dist = workload.WebSearch()
+	}
+	res, err := scenario.Run(scenario.Scenario{
+		Topo:   cfg.Topo,
+		Scheme: cfg.Scheme,
+		Policy: cfg.PolicySrc,
+		Seed:   cfg.Seed,
+		Workload: scenario.Workload{
+			Kind:        scenario.WorkloadFCT,
+			DistObj:     dist, // preserves custom distributions
+			Load:        cfg.Load,
+			CapacityBps: cfg.CapacityBps,
+			DurationNs:  cfg.DurationNs,
+			DrainNs:     cfg.DrainNs,
+			MaxFlows:    cfg.MaxFlows,
+		},
+		PairIDs:              cfg.Pairs,
 		ProbePeriodNs:        cfg.ProbePeriodNs,
 		FlowletTimeoutNs:     cfg.FlowletTimeoutNs,
 		FailureDetectPeriods: cfg.FailureDetectPeriods,
+		SampleQueues:         cfg.SampleQueues,
+		TrackLoops:           cfg.TrackLoops,
 	})
 	if err != nil {
 		return nil, err
 	}
-	n.Start()
-
-	warmup := 12 * cfg.ProbePeriodNs
-	e.Run(warmup)
-
-	senders, receivers := workload.SplitHosts(g)
-	flows := workload.Generate(g, workload.Config{
-		Dist: cfg.Dist, Senders: senders, Receivers: receivers,
-		Pairs: cfg.Pairs,
-		Load:  cfg.Load, CapacityBps: cfg.CapacityBps,
-		StartNs: warmup, DurationNs: cfg.DurationNs,
-		Seed: cfg.Seed, MaxFlows: cfg.MaxFlows,
-	})
-	if len(flows) == 0 {
-		return nil, fmt.Errorf("exp: workload produced no flows (load %.2f)", cfg.Load)
-	}
-	n.StartFlows(flows)
-
-	if cfg.SampleQueues {
-		e.Every(warmup, 100_000, n.SampleQueues)
-	}
-
-	// Run until all flows complete or the drain budget expires; under
-	// extreme load some flows stay incomplete and the FCT statistics
-	// cover the completed ones, as in testbed practice.
-	drain := cfg.DrainNs
-	if drain == 0 {
-		drain = 1_000_000_000
-	}
-	deadline := warmup + cfg.DurationNs + drain
-	for e.Now() < deadline && n.CompletedFlows() < int64(len(flows)) {
-		e.Run(e.Now() + 10_000_000)
-	}
-
-	res := &FCTResult{
-		Scheme:        cfg.Scheme,
-		Load:          cfg.Load,
-		Dist:          cfg.Dist.Name,
-		Flows:         len(flows),
-		Completed:     n.CompletedFlows(),
-		MeanFCT:       n.FCT.Mean(),
-		P50FCT:        n.FCT.Quantile(0.5),
-		P99FCT:        n.FCT.Quantile(0.99),
-		FabricBytes:   n.FabricBytes(),
-		DataBytes:     n.Counters.Get("bytes_data"),
-		AckBytes:      n.Counters.Get("bytes_ack"),
-		ProbeBytes:    n.Counters.Get("bytes_probe"),
-		TagBytes:      n.Counters.Get("bytes_tag_overhead"),
-		QueueDrops:    n.Counters.Get("drop_queue"),
-		LoopBreaks:    n.Counters.Get("loop_break"),
-		QueueMSS:      n.QueueMSS,
-		SimulatedTime: time.Duration(e.Now()),
-		WallTime:      time.Since(wallStart),
-	}
-	if n.DataPkts > 0 {
-		res.LoopedFrac = float64(n.LoopedPkts) / float64(n.DataPkts)
-	}
-	return res, nil
+	return &FCTResult{
+		Scheme:        res.Scheme,
+		Load:          res.Load,
+		Dist:          res.Dist,
+		Flows:         res.Flows,
+		Completed:     res.Completed,
+		MeanFCT:       res.MeanFCT,
+		P50FCT:        res.P50FCT,
+		P99FCT:        res.P99FCT,
+		FabricBytes:   res.FabricBytes,
+		DataBytes:     res.DataBytes,
+		AckBytes:      res.AckBytes,
+		ProbeBytes:    res.ProbeBytes,
+		TagBytes:      res.TagBytes,
+		QueueDrops:    res.QueueDrops,
+		LoopedFrac:    res.LoopedFrac,
+		LoopBreaks:    res.LoopBreaks,
+		QueueMSS:      res.QueueMSS,
+		SimulatedTime: time.Duration(res.SimulatedNs),
+		WallTime:      res.WallTime,
+	}, nil
 }
 
 // FailoverConfig drives the Figure 14 experiment: steady UDP load, a
@@ -280,138 +194,44 @@ type FailoverResult struct {
 	MinBps      float64 // deepest dip after failure
 }
 
-// RunFailover executes the Figure 14 experiment.
+// RunFailover executes the Figure 14 experiment as a CBR scenario
+// whose event script fails the first edge-fabric link at FailAtNs.
 func RunFailover(cfg FailoverConfig) (*FailoverResult, error) {
-	if cfg.RateBps == 0 {
-		cfg.RateBps = 4.25e9
-	}
 	if cfg.FailAtNs == 0 {
 		cfg.FailAtNs = 50_000_000
-	}
-	if cfg.EndNs == 0 {
-		cfg.EndNs = 80_000_000
 	}
 	if cfg.BinNs == 0 {
 		cfg.BinNs = 500_000
 	}
-	if cfg.ProbePeriodNs == 0 {
-		cfg.ProbePeriodNs = 256_000
-	}
-	if cfg.PolicySrc == "" {
-		cfg.PolicySrc = "minimize(path.util)"
-	}
-	g := cfg.Topo
-	e := sim.NewEngine(cfg.Seed + 5)
-	n := sim.NewNetwork(e, g, sim.Config{})
-	routers, comp, err := Deploy(n, cfg.Scheme, g, cfg.PolicySrc, core.Options{
+	res, err := scenario.Run(scenario.Scenario{
+		Topo:   cfg.Topo,
+		Scheme: cfg.Scheme,
+		Policy: cfg.PolicySrc,
+		Seed:   cfg.Seed,
+		Workload: scenario.Workload{
+			Kind:    scenario.WorkloadCBR,
+			RateBps: cfg.RateBps,
+			EndNs:   cfg.EndNs,
+		},
+		Events: []scenario.Event{
+			{Kind: scenario.LinkDown, AtNs: cfg.FailAtNs, Link: "auto"},
+		},
+		BinNs:                cfg.BinNs,
 		ProbePeriodNs:        cfg.ProbePeriodNs,
 		FailureDetectPeriods: cfg.FailureDetectPeriods,
 	})
 	if err != nil {
 		return nil, err
 	}
-	_ = routers
-	_ = comp
-	n.RxSeries = stats.NewTimeseries(cfg.BinNs)
-	n.Start()
-
-	warmup := 12 * cfg.ProbePeriodNs
-	senders, receivers := workload.SplitHosts(g)
-	per := cfg.RateBps / float64(len(senders))
-	// Snap the per-flow packet gap to divide the measurement bin, so
-	// bins hold an integral packet count: otherwise a slow beat between
-	// the CBR period and the bin width shows up as phantom throughput
-	// dips that drown the failure signal.
-	pktBits := float64((sim.MSS + sim.FrameHeader) * 8)
-	gapRaw := pktBits / per * 1e9
-	divisions := int64(float64(cfg.BinNs)/gapRaw + 0.5)
-	if divisions < 1 {
-		divisions = 1
-	}
-	per = pktBits * float64(divisions) / float64(cfg.BinNs) * 1e9
-	// Pair each sender with a receiver in a different part of the
-	// fabric (offset by a quarter of the host set) so that every flow
-	// crosses the core and the failed link actually carries traffic.
-	var flows []sim.FlowSpec
-	for i, s := range senders {
-		dst := receivers[(i+len(receivers)/4+1)%len(receivers)]
-		for tries := 0; g.HostEdge(s) == g.HostEdge(dst) && tries < len(receivers); tries++ {
-			dst = receivers[(i+len(receivers)/4+1+tries)%len(receivers)]
-		}
-		flows = append(flows, sim.FlowSpec{
-			ID: uint64(i + 1), Src: s, Dst: dst,
-			RateBps: per, Start: warmup,
-		})
-	}
-	n.StartFlows(flows)
-
-	// Fail the first edge-core (or edge-agg) fabric link of leaf 0.
-	var fail topo.LinkID = -1
-	for _, l := range g.Links() {
-		if g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch {
-			if g.Node(l.A).Role == topo.RoleEdge || g.Node(l.B).Role == topo.RoleEdge {
-				fail = l.ID
-				break
-			}
-		}
-	}
-	if fail < 0 {
-		return nil, fmt.Errorf("exp: no fabric link to fail")
-	}
-	n.FailLink(fail, cfg.FailAtNs)
-	e.Run(cfg.EndNs)
-
-	res := &FailoverResult{BinNs: cfg.BinNs, FailAtNs: cfg.FailAtNs}
-	pts := n.RxSeries.Points()
-	res.Series = make([]stats.Point, len(pts))
-	for i, p := range pts {
-		res.Series[i] = stats.Point{T: p.T, V: n.RxSeries.Rate(p.V)}
-	}
-	// Baseline: mean and floor of the bins in the 10ms before the
-	// failure. Residual measurement noise shows up in the pre-failure
-	// floor, so "depressed" means below that floor, not below the
-	// mean.
-	var base, cnt float64
-	floor := -1.0
-	for _, p := range res.Series {
-		if p.T >= cfg.FailAtNs-10_000_000 && p.T < cfg.FailAtNs-cfg.BinNs {
-			base += p.V
-			cnt++
-			if floor < 0 || p.V < floor {
-				floor = p.V
-			}
-		}
-	}
-	if cnt > 0 {
-		base /= cnt
-	}
-	res.BaselineBps = base
-	res.MinBps = base
-	res.DetectNs = -1
-	// Recovery: the end of the last bin still depressed below 99% of
-	// the pre-failure floor. A failure whose dip never crosses the
-	// threshold recovered within one bin.
-	lastLow := int64(-1)
-	for _, p := range res.Series {
-		if p.T < cfg.FailAtNs || p.T >= cfg.EndNs-cfg.BinNs {
-			continue
-		}
-		if p.V < res.MinBps {
-			res.MinBps = p.V
-		}
-		if p.V < 0.99*floor {
-			lastLow = p.T + cfg.BinNs
-		}
-	}
-	if base <= 0 {
-		res.RecoveryNs = -1
-	} else if lastLow < 0 {
-		res.RecoveryNs = cfg.BinNs
-	} else {
-		res.RecoveryNs = lastLow - cfg.FailAtNs
-	}
-	res.DetectNs = cfg.FailAtNs + res.RecoveryNs
-	return res, nil
+	return &FailoverResult{
+		Series:      res.Series,
+		BinNs:       cfg.BinNs,
+		FailAtNs:    res.FailAtNs,
+		DetectNs:    res.FailAtNs + res.RecoveryNs,
+		RecoveryNs:  res.RecoveryNs,
+		BaselineBps: res.BaselineBps,
+		MinBps:      res.MinBps,
+	}, nil
 }
 
 // CompileRow is one Figure 9/10 measurement.

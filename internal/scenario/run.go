@@ -1,0 +1,510 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"contra/internal/baseline"
+	"contra/internal/cliutil"
+	"contra/internal/core"
+	"contra/internal/dataplane"
+	"contra/internal/policy"
+	"contra/internal/sim"
+	"contra/internal/stats"
+	"contra/internal/topo"
+	"contra/internal/workload"
+)
+
+// Result summarizes one scenario run. Every field that reaches JSON is
+// a deterministic function of the Scenario, so a campaign's aggregated
+// output is byte-identical however its runs are scheduled; wall-clock
+// time and bulky artifacts (series, queue samples) stay out of the
+// encoding.
+type Result struct {
+	Name    string  `json:"name,omitempty"`
+	Topo    string  `json:"topo"`
+	Scheme  Scheme  `json:"scheme"`
+	Script  string  `json:"script,omitempty"`
+	Dist    string  `json:"dist,omitempty"`
+	Load    float64 `json:"load,omitempty"`
+	RateBps float64 `json:"rate_bps,omitempty"`
+	Seed    int64   `json:"seed"`
+
+	Flows     int   `json:"flows"`
+	Completed int64 `json:"completed"`
+
+	MeanFCT float64 `json:"mean_fct,omitempty"` // seconds
+	P50FCT  float64 `json:"p50_fct,omitempty"`
+	P99FCT  float64 `json:"p99_fct,omitempty"`
+
+	FabricBytes   float64 `json:"fabric_bytes"`
+	DataBytes     float64 `json:"data_bytes"`
+	AckBytes      float64 `json:"ack_bytes"`
+	ProbeBytes    float64 `json:"probe_bytes"`
+	TagBytes      float64 `json:"tag_bytes"`
+	QueueDrops    float64 `json:"queue_drops"`
+	LinkDownDrops float64 `json:"linkdown_drops"`
+	LoopedFrac    float64 `json:"looped_frac,omitempty"`
+	LoopBreaks    float64 `json:"loop_breaks,omitempty"`
+
+	// Failover analysis (BinNs > 0 and a runtime link_down/degrade
+	// event): throughput before the event, the deepest dip after it,
+	// and how long delivered throughput stayed depressed.
+	BaselineBps float64 `json:"baseline_bps,omitempty"`
+	MinBps      float64 `json:"min_bps,omitempty"`
+	RecoveryNs  int64   `json:"recovery_ns,omitempty"`
+	FailAtNs    int64   `json:"fail_at_ns,omitempty"`
+	BinNs       int64   `json:"bin_ns,omitempty"` // Series bin width
+
+	SimulatedNs int64 `json:"simulated_ns"`
+
+	// Artifacts excluded from the deterministic encoding.
+	WallTime time.Duration `json:"-"`
+	Series   []stats.Point `json:"-"` // bin start ns -> delivered bits/sec
+	QueueMSS *stats.Sample `json:"-"`
+}
+
+// ProbeFrac returns probe bytes as a fraction of all fabric bytes.
+func (r *Result) ProbeFrac() float64 {
+	if r.FabricBytes <= 0 {
+		return 0
+	}
+	return r.ProbeBytes / r.FabricBytes
+}
+
+// String renders one result row.
+func (r *Result) String() string {
+	return fmt.Sprintf("%-7s load=%.0f%% %-9s flows=%d done=%d meanFCT=%.3fms p99=%.3fms probes=%.2f%% drops=%.0f",
+		r.Scheme, r.Load*100, r.Dist, r.Flows, r.Completed,
+		r.MeanFCT*1e3, r.P99FCT*1e3, 100*r.ProbeFrac(), r.QueueDrops)
+}
+
+// FabricCapacity sums edge-uplink bandwidth (edge/leaf to the rest of
+// the fabric), the reference the paper's load fractions normalize
+// against. Down links still count: the asymmetric experiments keep the
+// symmetric load reference ("75% of capacity remains").
+func FabricCapacity(g *topo.Graph) float64 {
+	var total float64
+	for _, l := range g.Links() {
+		a, b := g.Node(l.A), g.Node(l.B)
+		if a.Kind != topo.Switch || b.Kind != topo.Switch {
+			continue
+		}
+		if a.Role == topo.RoleEdge || b.Role == topo.RoleEdge {
+			total += l.Bandwidth
+		}
+	}
+	if total == 0 {
+		// Non-hierarchical (WAN) topology: use a single link's worth,
+		// scaled by sender count elsewhere.
+		for _, l := range g.Links() {
+			if g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch {
+				total = l.Bandwidth
+				break
+			}
+		}
+	}
+	return total
+}
+
+// AutoFailLink picks the first edge-fabric link: the default target of
+// "auto" link events and the link the paper's Figure 14 fails.
+func AutoFailLink(g *topo.Graph) (topo.LinkID, error) {
+	for _, l := range g.Links() {
+		if g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch {
+			if g.Node(l.A).Role == topo.RoleEdge || g.Node(l.B).Role == topo.RoleEdge {
+				return l.ID, nil
+			}
+		}
+	}
+	return -1, fmt.Errorf("scenario: no fabric link to fail in %s", g.Name)
+}
+
+// Deploy installs a scheme's routers on a network, returning the
+// Contra routers when applicable (for diagnostics).
+func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options) (map[topo.NodeID]*dataplane.Contra, *core.Compiled, error) {
+	switch scheme {
+	case SchemeContra:
+		pol, err := policy.Parse(policySrc, policy.ParseOptions{Symbols: g.SortedNames()})
+		if err != nil {
+			return nil, nil, err
+		}
+		comp, err := core.Compile(g, pol, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		routers := dataplane.Deploy(n, comp)
+		return routers, comp, nil
+	case SchemeECMP:
+		baseline.DeployECMP(n)
+	case SchemeSP:
+		baseline.DeploySP(n)
+	case SchemeHula:
+		baseline.DeployHula(n, baseline.HulaConfig{
+			ProbePeriodNs:    opts.ProbePeriodNs,
+			FlowletTimeoutNs: opts.FlowletTimeoutNs,
+		})
+	case SchemeSpain:
+		baseline.DeploySpain(n, baseline.SpainConfig{})
+	default:
+		return nil, nil, fmt.Errorf("scenario: unknown scheme %q", scheme)
+	}
+	return nil, nil, nil
+}
+
+// resolveTopo materializes the scenario's topology. The caller owns
+// the returned graph: it is cloned whenever pre-fail events would
+// otherwise mutate a graph the scenario was handed.
+func (s *Scenario) resolveTopo() (*topo.Graph, error) {
+	g := s.Topo
+	if g == nil {
+		var err error
+		g, err = cliutil.BuildTopology(s.TopoSpec)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	for _, ev := range s.Events {
+		if ev.Kind == LinkDown && ev.AtNs <= 0 {
+			return g.Clone(), nil
+		}
+	}
+	return g, nil
+}
+
+// resolvedEvents splits the script into topology-level pre-fails,
+// runtime link events for the sim injector, and traffic surges.
+func (s *Scenario) resolvedEvents(g *topo.Graph) (pre []topo.LinkID, net []sim.NetworkEvent, surges []Event, err error) {
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case Surge:
+			surges = append(surges, ev)
+			continue
+		case LinkDown, LinkUp, Degrade:
+		}
+		var id topo.LinkID
+		if ev.Link == "" || ev.Link == "auto" {
+			id, err = AutoFailLink(g)
+		} else {
+			id, err = cliutil.FindLink(g, ev.Link)
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if ev.Kind == LinkDown && ev.AtNs <= 0 {
+			pre = append(pre, id)
+			continue
+		}
+		ne := sim.NetworkEvent{At: ev.AtNs, Link: id}
+		switch ev.Kind {
+		case LinkDown:
+			ne.Kind = sim.EvLinkDown
+		case LinkUp:
+			ne.Kind = sim.EvLinkUp
+		case Degrade:
+			ne.Kind = sim.EvLinkScale
+			ne.Scale = ev.Scale
+		}
+		net = append(net, ne)
+	}
+	return pre, net, surges, nil
+}
+
+// failAt returns the time of the first runtime disruption (link_down
+// or degrade), the anchor of the recovery analysis; 0 if none.
+func (s *Scenario) failAt() int64 {
+	for _, ev := range s.Events {
+		if (ev.Kind == LinkDown || ev.Kind == Degrade) && ev.AtNs > 0 {
+			return ev.AtNs
+		}
+	}
+	return 0
+}
+
+// Run executes a scenario and collects its Result. Execution is
+// deterministic: the same scenario (including seed) produces an
+// identical Result on every run, serial or inside a parallel campaign.
+func Run(s Scenario) (*Result, error) {
+	s.fill()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	wallStart := time.Now()
+	g, err := s.resolveTopo()
+	if err != nil {
+		return nil, err
+	}
+	pre, netEvents, surges, err := s.resolvedEvents(g)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range pre {
+		g.SetDown(id, true)
+	}
+
+	// Engine seeds are offset per workload kind to stay bit-compatible
+	// with the harness this engine replaced (RunFCT used seed+1,
+	// RunFailover seed+5), keeping historical runs reproducible.
+	engSeed := s.Seed + 1
+	if s.Workload.Kind == WorkloadCBR {
+		engSeed = s.Seed + 5
+	}
+	e := sim.NewEngine(engSeed)
+	n := sim.NewNetwork(e, g, sim.Config{TrackVisited: s.TrackLoops})
+	_, _, err = Deploy(n, s.Scheme, g, s.Policy, core.Options{
+		ProbePeriodNs:        s.ProbePeriodNs,
+		FlowletTimeoutNs:     s.FlowletTimeoutNs,
+		FailureDetectPeriods: s.FailureDetectPeriods,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.BinNs > 0 {
+		n.RxSeries = stats.NewTimeseries(s.BinNs)
+	}
+	n.Start()
+
+	warmup := 12 * s.ProbePeriodNs
+	res := &Result{
+		Name:   s.Name,
+		Topo:   g.Name,
+		Scheme: s.Scheme,
+		Script: s.Script,
+		Seed:   s.Seed,
+	}
+	switch s.Workload.Kind {
+	case WorkloadCBR:
+		err = runCBR(&s, e, n, g, warmup, netEvents, res)
+	default:
+		err = runFCT(&s, e, n, g, warmup, netEvents, surges, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res.FabricBytes = n.FabricBytes()
+	res.DataBytes = n.Counters.Get("bytes_data")
+	res.AckBytes = n.Counters.Get("bytes_ack")
+	res.ProbeBytes = n.Counters.Get("bytes_probe")
+	res.TagBytes = n.Counters.Get("bytes_tag_overhead")
+	res.QueueDrops = n.Counters.Get("drop_queue")
+	res.LinkDownDrops = n.Counters.Get("drop_linkdown")
+	res.LoopBreaks = n.Counters.Get("loop_break")
+	if n.DataPkts > 0 {
+		res.LoopedFrac = float64(n.LoopedPkts) / float64(n.DataPkts)
+	}
+	res.QueueMSS = n.QueueMSS
+	res.SimulatedNs = e.Now()
+	if n.RxSeries != nil {
+		res.BinNs = s.BinNs
+		pts := n.RxSeries.Points()
+		res.Series = make([]stats.Point, len(pts))
+		for i, p := range pts {
+			res.Series[i] = stats.Point{T: p.T, V: n.RxSeries.Rate(p.V)}
+		}
+		analyzeRecovery(&s, res)
+	}
+	res.WallTime = time.Since(wallStart)
+	return res, nil
+}
+
+// runFCT offers the Poisson workload (plus any surges), drains, and
+// fills the FCT statistics. Events inject before the warmup run so a
+// script can disrupt the control plane itself.
+func runFCT(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup int64, netEvents []sim.NetworkEvent, surges []Event, res *Result) error {
+	n.Inject(netEvents...)
+	e.Run(warmup)
+	w := s.Workload
+	capacity := w.CapacityBps
+	if capacity == 0 {
+		capacity = FabricCapacity(g)
+	}
+	senders, receivers := workload.SplitHosts(g)
+	pairs := s.PairIDs
+	if len(pairs) == 0 && len(w.Pairs) > 0 {
+		for _, p := range w.Pairs {
+			a, ok := g.NodeByName(p[0])
+			if !ok {
+				return fmt.Errorf("scenario %q: unknown pair host %q", s.Name, p[0])
+			}
+			b, ok := g.NodeByName(p[1])
+			if !ok {
+				return fmt.Errorf("scenario %q: unknown pair host %q", s.Name, p[1])
+			}
+			pairs = append(pairs, [2]topo.NodeID{a, b})
+		}
+	}
+	dist := w.DistObj
+	if dist == nil {
+		dist = mustDist(w.Dist)
+	}
+	flows := workload.Generate(g, workload.Config{
+		Dist: dist, Senders: senders, Receivers: receivers,
+		Pairs: pairs,
+		Load:  w.Load, CapacityBps: capacity,
+		StartNs: warmup, DurationNs: w.DurationNs,
+		Seed: s.Seed, MaxFlows: w.MaxFlows,
+	})
+	if len(flows) == 0 {
+		return fmt.Errorf("scenario %q: workload produced no flows (load %.2f)", s.Name, w.Load)
+	}
+	deadline := warmup + w.DurationNs + w.DrainNs
+	// Surge traffic rides on the same host sets with distinct flow-ID
+	// ranges and a seed derived from the base seed and the surge index,
+	// so adding a surge never perturbs the base arrival sequence.
+	for i, ev := range surges {
+		extra := workload.Generate(g, workload.Config{
+			Dist: dist, Senders: senders, Receivers: receivers,
+			Pairs: pairs,
+			Load:  ev.Load, CapacityBps: capacity,
+			StartNs: ev.AtNs, DurationNs: ev.DurationNs,
+			Seed: s.Seed + 101 + int64(i), MaxFlows: w.MaxFlows,
+			FirstFlowID: uint64(i+1) << 32,
+		})
+		flows = append(flows, extra...)
+		if end := ev.AtNs + ev.DurationNs + w.DrainNs; end > deadline {
+			deadline = end
+		}
+	}
+	n.StartFlows(flows)
+
+	if s.SampleQueues {
+		e.Every(warmup, 100_000, n.SampleQueues)
+	}
+
+	// Run until all flows complete or the drain budget expires; under
+	// extreme load some flows stay incomplete and the FCT statistics
+	// cover the completed ones, as in testbed practice.
+	for e.Now() < deadline && n.CompletedFlows() < int64(len(flows)) {
+		e.Run(e.Now() + 10_000_000)
+	}
+
+	res.Dist = dist.Name
+	res.Load = w.Load
+	res.Flows = len(flows)
+	res.Completed = n.CompletedFlows()
+	res.MeanFCT = n.FCT.Mean()
+	res.P50FCT = n.FCT.Quantile(0.5)
+	res.P99FCT = n.FCT.Quantile(0.99)
+	return nil
+}
+
+// runCBR offers the Figure 14 constant-bit-rate workload: every sender
+// streams to a receiver across the fabric until EndNs. Flow starts are
+// scheduled before the event script — the ordering the legacy failover
+// harness used — so historical seeds replay identically.
+func runCBR(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup int64, netEvents []sim.NetworkEvent, res *Result) error {
+	w := s.Workload
+	senders, receivers := workload.SplitHosts(g)
+	if len(senders) == 0 || len(receivers) == 0 {
+		return fmt.Errorf("scenario %q: cbr workload needs hosts", s.Name)
+	}
+	per := w.RateBps / float64(len(senders))
+	// Snap the per-flow packet gap to divide the measurement bin, so
+	// bins hold an integral packet count: otherwise a slow beat between
+	// the CBR period and the bin width shows up as phantom throughput
+	// dips that drown the failure signal.
+	pktBits := float64((sim.MSS + sim.FrameHeader) * 8)
+	gapRaw := pktBits / per * 1e9
+	divisions := int64(float64(s.BinNs)/gapRaw + 0.5)
+	if divisions < 1 {
+		divisions = 1
+	}
+	per = pktBits * float64(divisions) / float64(s.BinNs) * 1e9
+	// Pair each sender with a receiver in a different part of the
+	// fabric (offset by a quarter of the host set) so that every flow
+	// crosses the core and a failed link actually carries traffic.
+	var flows []sim.FlowSpec
+	for i, src := range senders {
+		dst := receivers[(i+len(receivers)/4+1)%len(receivers)]
+		for tries := 0; g.HostEdge(src) == g.HostEdge(dst) && tries < len(receivers); tries++ {
+			dst = receivers[(i+len(receivers)/4+1+tries)%len(receivers)]
+		}
+		flows = append(flows, sim.FlowSpec{
+			ID: uint64(i + 1), Src: src, Dst: dst,
+			RateBps: per, Start: warmup,
+		})
+	}
+	n.StartFlows(flows)
+	if s.SampleQueues {
+		e.Every(warmup, 100_000, n.SampleQueues)
+	}
+	n.Inject(netEvents...)
+	e.Run(w.EndNs)
+	res.Flows = len(flows)
+	res.RateBps = w.RateBps
+	return nil
+}
+
+// analyzeRecovery derives the failover metrics from the throughput
+// series: pre-event baseline, deepest post-event dip, and the time the
+// series stayed depressed below the pre-event floor.
+func analyzeRecovery(s *Scenario, res *Result) {
+	failAt := s.failAt()
+	if failAt <= 0 {
+		return
+	}
+	res.FailAtNs = failAt
+	end := s.Workload.EndNs
+	if end == 0 {
+		end = res.SimulatedNs
+	}
+	// Baseline: mean and floor of the bins in the 10ms before the
+	// failure. Residual measurement noise shows up in the pre-failure
+	// floor, so "depressed" means below that floor, not below the
+	// mean.
+	var base, cnt float64
+	floor := -1.0
+	for _, p := range res.Series {
+		if p.T >= failAt-10_000_000 && p.T < failAt-s.BinNs {
+			base += p.V
+			cnt++
+			if floor < 0 || p.V < floor {
+				floor = p.V
+			}
+		}
+	}
+	if cnt > 0 {
+		base /= cnt
+	}
+	res.BaselineBps = base
+	res.MinBps = base
+	// Recovery: the end of the last bin still depressed below 99% of
+	// the pre-failure floor. A failure whose dip never crosses the
+	// threshold recovered within one bin.
+	lastLow := int64(-1)
+	for _, p := range res.Series {
+		if p.T < failAt || p.T >= end-s.BinNs {
+			continue
+		}
+		if p.V < res.MinBps {
+			res.MinBps = p.V
+		}
+		if p.V < 0.99*floor {
+			lastLow = p.T + s.BinNs
+		}
+	}
+	switch {
+	case base <= 0:
+		res.RecoveryNs = -1
+	case lastLow < 0:
+		res.RecoveryNs = s.BinNs
+	default:
+		res.RecoveryNs = lastLow - failAt
+	}
+}
+
+// mustDist resolves a distribution name, defaulting to web-search on
+// the empty string; Validate vets spec files, so an unknown name here
+// is a programming error.
+func mustDist(name string) *workload.Distribution {
+	if name == "" {
+		return workload.WebSearch()
+	}
+	d, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,266 @@
+// Package scenario is the declarative experiment layer: a Scenario
+// value describes one complete simulation — topology, routing scheme
+// and policy, offered workload, and a timed script of network events
+// (failures, recoveries, capacity degradations, traffic surges) — and
+// Run executes it deterministically on the packet-level simulator.
+//
+// Scenarios are plain data: construct them in Go, or decode them from
+// the JSON spec format used by campaign files. The same engine backs
+// the legacy exp.RunFCT / exp.RunFailover entry points and the
+// contracamp campaign runner, so every experiment in the repo flows
+// through one code path.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"contra/internal/topo"
+	"contra/internal/workload"
+)
+
+// Scheme names a routing system under test.
+type Scheme string
+
+// Supported schemes.
+const (
+	SchemeContra Scheme = "contra"
+	SchemeECMP   Scheme = "ecmp"
+	SchemeHula   Scheme = "hula"
+	SchemeSpain  Scheme = "spain"
+	SchemeSP     Scheme = "sp"
+)
+
+// Schemes lists every supported scheme (CLI help, campaign specs).
+func Schemes() []Scheme {
+	return []Scheme{SchemeContra, SchemeECMP, SchemeHula, SchemeSpain, SchemeSP}
+}
+
+// EventKind names a scripted scenario event.
+type EventKind string
+
+// Scenario event kinds.
+const (
+	// LinkDown fails a link at AtNs. An event with AtNs <= 0 pre-fails
+	// the link in the topology itself, before routers deploy: baselines
+	// that compute static tables offline (sp, spain) see it, which is
+	// how the paper's "asymmetric" setups are modeled.
+	LinkDown EventKind = "link_down"
+	// LinkUp restores a previously failed link.
+	LinkUp EventKind = "link_up"
+	// Degrade multiplies a link's nominal bandwidth by Scale
+	// (0 < Scale < 1 degrades; Scale <= 0 restores nominal).
+	Degrade EventKind = "degrade"
+	// Surge injects extra FCT traffic at Load fraction of fabric
+	// capacity over [AtNs, AtNs+DurationNs]. FCT workloads only.
+	Surge EventKind = "surge"
+)
+
+// Event is one entry of a scenario's timed script. Times are absolute
+// simulation nanoseconds; note that the workload starts only after the
+// control-plane warmup (12 probe periods, ~3ms at the default probe
+// period).
+type Event struct {
+	Kind EventKind `json:"kind"`
+	AtNs int64     `json:"at_ns"`
+
+	// Link selects the target of link events: "A-B" names two nodes,
+	// and "auto" (or empty) picks the first edge-fabric link, the same
+	// one the paper's Figure 14 experiment fails.
+	Link string `json:"link,omitempty"`
+
+	// Scale is the Degrade bandwidth multiplier.
+	Scale float64 `json:"scale,omitempty"`
+
+	// Load and DurationNs shape a Surge.
+	Load       float64 `json:"load,omitempty"`
+	DurationNs int64   `json:"duration_ns,omitempty"`
+}
+
+// Workload kinds.
+const (
+	// WorkloadFCT offers Poisson flow arrivals from an empirical size
+	// distribution and measures flow completion times.
+	WorkloadFCT = "fct"
+	// WorkloadCBR offers steady constant-bit-rate (UDP-like) flows and
+	// measures a delivered-throughput time series — the Figure 14
+	// failover workload.
+	WorkloadCBR = "cbr"
+)
+
+// Workload describes a scenario's offered traffic.
+type Workload struct {
+	// Kind is "fct" (default) or "cbr".
+	Kind string `json:"kind,omitempty"`
+
+	// FCT knobs.
+	Dist       string  `json:"dist,omitempty"`        // websearch (default) | cache
+	Load       float64 `json:"load,omitempty"`        // fraction of fabric capacity
+	DurationNs int64   `json:"duration_ns,omitempty"` // arrival window; default 20ms
+	DrainNs    int64   `json:"drain_ns,omitempty"`    // post-arrival budget; default 1s
+	MaxFlows   int     `json:"max_flows,omitempty"`   // default 4000
+
+	// CapacityBps normalizes Load; 0 derives it from the topology's
+	// fabric links.
+	CapacityBps float64 `json:"capacity_bps,omitempty"`
+
+	// Pairs restricts traffic to fixed sender-receiver host pairs
+	// (§6.4's Abilene experiment), named by topology node.
+	Pairs [][2]string `json:"pairs,omitempty"`
+
+	// DistObj, when non-nil, overrides Dist with a custom distribution
+	// built via workload.NewDistribution (Go construction only — not
+	// expressible in JSON specs).
+	DistObj *workload.Distribution `json:"-"`
+
+	// CBR knobs.
+	RateBps float64 `json:"rate_bps,omitempty"` // aggregate; default 4.25 Gbps
+	EndNs   int64   `json:"end_ns,omitempty"`   // absolute end; default 80ms
+}
+
+// Scenario is one declarative experiment.
+type Scenario struct {
+	Name string `json:"name,omitempty"`
+
+	// TopoSpec builds the topology (the cliutil.BuildTopology syntax:
+	// "dc", "fattree:8", "leafspine:4:4:2", "abilene+hosts", "@file").
+	// A non-nil Topo overrides it.
+	TopoSpec string      `json:"topo"`
+	Topo     *topo.Graph `json:"-"`
+
+	Scheme Scheme `json:"scheme"`
+	Policy string `json:"policy,omitempty"` // Contra only; default minimize(path.util)
+	Seed   int64  `json:"seed,omitempty"`
+
+	Workload Workload `json:"workload"`
+	Events   []Event  `json:"events,omitempty"`
+
+	// Script labels the event script for campaign grouping.
+	Script string `json:"script,omitempty"`
+
+	// Protocol knobs (§6.3 defaults when zero).
+	ProbePeriodNs        int64 `json:"probe_period_ns,omitempty"`
+	FlowletTimeoutNs     int64 `json:"flowlet_timeout_ns,omitempty"`
+	FailureDetectPeriods int   `json:"failure_detect_periods,omitempty"`
+
+	// BinNs enables the delivered-throughput time series (and, with a
+	// link_down event, recovery analysis). CBR defaults to 500us.
+	BinNs int64 `json:"bin_ns,omitempty"`
+
+	SampleQueues bool `json:"sample_queues,omitempty"`
+	TrackLoops   bool `json:"track_loops,omitempty"`
+
+	// Pairs resolved from Workload.Pairs, or set directly in Go.
+	PairIDs [][2]topo.NodeID `json:"-"`
+}
+
+// fill applies the paper's defaults in place.
+func (s *Scenario) fill() {
+	if s.Scheme == "" {
+		s.Scheme = SchemeContra
+	}
+	if s.Policy == "" {
+		s.Policy = "minimize(path.util)"
+	}
+	if s.ProbePeriodNs == 0 {
+		s.ProbePeriodNs = 256_000 // §6.3
+	}
+	w := &s.Workload
+	if w.Kind == "" {
+		w.Kind = WorkloadFCT
+	}
+	switch w.Kind {
+	case WorkloadFCT:
+		if w.Dist == "" && w.DistObj == nil {
+			w.Dist = "websearch"
+		}
+		if w.DurationNs == 0 {
+			w.DurationNs = 20_000_000
+		}
+		if w.DrainNs == 0 {
+			w.DrainNs = 1_000_000_000
+		}
+		if w.MaxFlows == 0 {
+			w.MaxFlows = 4000
+		}
+	case WorkloadCBR:
+		if w.RateBps == 0 {
+			w.RateBps = 4.25e9 // Figure 14
+		}
+		if w.EndNs == 0 {
+			w.EndNs = 80_000_000
+		}
+		if s.BinNs == 0 {
+			s.BinNs = 500_000
+		}
+	}
+}
+
+// Validate rejects malformed scenarios before they burn a worker.
+func (s *Scenario) Validate() error {
+	if s.Topo == nil && s.TopoSpec == "" {
+		return fmt.Errorf("scenario %q: no topology", s.Name)
+	}
+	switch s.Scheme {
+	case SchemeContra, SchemeECMP, SchemeHula, SchemeSpain, SchemeSP, "":
+	default:
+		return fmt.Errorf("scenario %q: unknown scheme %q", s.Name, s.Scheme)
+	}
+	switch s.Workload.Kind {
+	case "", WorkloadFCT, WorkloadCBR:
+	default:
+		return fmt.Errorf("scenario %q: unknown workload kind %q", s.Name, s.Workload.Kind)
+	}
+	if s.Workload.Dist != "" {
+		if _, err := workload.ByName(s.Workload.Dist); err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
+		}
+	}
+	for i, ev := range s.Events {
+		switch ev.Kind {
+		case LinkDown, LinkUp, Degrade:
+		case Surge:
+			if s.Workload.Kind == WorkloadCBR {
+				return fmt.Errorf("scenario %q: surge events require an fct workload", s.Name)
+			}
+			if ev.Load <= 0 || ev.DurationNs <= 0 {
+				return fmt.Errorf("scenario %q: surge event %d needs load and duration_ns", s.Name, i)
+			}
+		default:
+			return fmt.Errorf("scenario %q: unknown event kind %q", s.Name, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Decode parses a scenario JSON spec, rejecting unknown fields so a
+// typo in a spec file fails loudly instead of silently running the
+// default.
+func Decode(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := strictUnmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile reads and decodes a scenario spec file.
+func LoadFile(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// strictUnmarshal is json.Unmarshal with DisallowUnknownFields.
+func strictUnmarshal(data []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

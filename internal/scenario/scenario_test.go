@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"contra/internal/cliutil"
+	"contra/internal/workload"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := Scenario{
+		Name:     "dc/contra/linkfail",
+		TopoSpec: "dc",
+		Scheme:   SchemeContra,
+		Policy:   "minimize(path.util)",
+		Seed:     7,
+		Workload: Workload{
+			Kind: WorkloadFCT, Dist: "cache", Load: 0.4,
+			DurationNs: 5_000_000, MaxFlows: 300,
+			Pairs: [][2]string{{"h0_0", "h3_1"}},
+		},
+		Events: []Event{
+			{Kind: LinkDown, AtNs: 6_000_000, Link: "l0-s0"},
+			{Kind: LinkUp, AtNs: 12_000_000, Link: "l0-s0"},
+			{Kind: Degrade, AtNs: 8_000_000, Link: "auto", Scale: 0.25},
+			{Kind: Surge, AtNs: 7_000_000, Load: 0.3, DurationNs: 2_000_000},
+		},
+		Script:        "everything",
+		ProbePeriodNs: 128_000,
+		BinNs:         500_000,
+		TrackLoops:    true,
+	}
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *got, s)
+	}
+}
+
+func TestDecodeRejectsUnknownFieldsAndBadValues(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"topo":"dc","scheme":"contra","worload":{}}`,
+		"unknown scheme": `{"topo":"dc","scheme":"ospf"}`,
+		"unknown kind":   `{"topo":"dc","scheme":"ecmp","events":[{"kind":"meteor","at_ns":1}]}`,
+		"unknown dist":   `{"topo":"dc","scheme":"ecmp","workload":{"dist":"uniform"}}`,
+		"surge in cbr":   `{"topo":"dc","scheme":"ecmp","workload":{"kind":"cbr"},"events":[{"kind":"surge","at_ns":1,"load":0.1,"duration_ns":1}]}`,
+		"empty surge":    `{"topo":"dc","scheme":"ecmp","events":[{"kind":"surge","at_ns":1}]}`,
+		"no topology":    `{"scheme":"ecmp"}`,
+	}
+	for name, spec := range cases {
+		if _, err := Decode([]byte(spec)); err == nil {
+			t.Errorf("%s: decode accepted %s", name, spec)
+		}
+	}
+}
+
+// fastFCT is a small deterministic FCT scenario used across tests.
+func fastFCT(scheme Scheme) Scenario {
+	return Scenario{
+		Name:     "test/" + string(scheme),
+		TopoSpec: "dc",
+		Scheme:   scheme,
+		Seed:     3,
+		Workload: Workload{
+			Kind: WorkloadFCT, Dist: "cache", Load: 0.3,
+			DurationNs: 4_000_000, MaxFlows: 200,
+		},
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := fastFCT(SchemeContra)
+	s.Events = []Event{
+		{Kind: LinkDown, AtNs: 5_000_000, Link: "auto"},
+		{Kind: LinkUp, AtNs: 8_000_000, Link: "auto"},
+	}
+	var prev []byte
+	for i := 0; i < 2; i++ {
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !reflect.DeepEqual(prev, b) {
+			t.Fatalf("same scenario, different results:\n%s\n%s", prev, b)
+		}
+		prev = b
+	}
+}
+
+func TestDegradeEventDepressesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := Scenario{
+		TopoSpec: "dc",
+		Scheme:   SchemeECMP, // static hashing keeps traffic on the slow link
+		Seed:     2,
+		Workload: Workload{Kind: WorkloadCBR, EndNs: 30_000_000},
+		// Choke both of leaf 0's uplinks so its share of the CBR load
+		// cannot fit whatever the hashing does.
+		Events: []Event{
+			{Kind: Degrade, AtNs: 15_000_000, Link: "l0-s0", Scale: 0.05},
+			{Kind: Degrade, AtNs: 15_000_000, Link: "l0-s1", Scale: 0.05},
+		},
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineBps <= 0 {
+		t.Fatal("no baseline throughput")
+	}
+	if res.MinBps > 0.95*res.BaselineBps {
+		t.Fatalf("degradation invisible: min %.2f of baseline %.2f Gbps",
+			res.MinBps/1e9, res.BaselineBps/1e9)
+	}
+	if res.FailAtNs != 15_000_000 {
+		t.Fatalf("FailAtNs = %d, want the degrade time", res.FailAtNs)
+	}
+}
+
+func TestSurgeAddsTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := fastFCT(SchemeECMP)
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surged := base
+	surged.Events = []Event{{Kind: Surge, AtNs: 4_000_000, Load: 0.4, DurationNs: 3_000_000}}
+	got, err := Run(surged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flows <= plain.Flows {
+		t.Fatalf("surge added no flows: %d vs %d", got.Flows, plain.Flows)
+	}
+	if got.Completed < int64(got.Flows)*9/10 {
+		t.Fatalf("surge run completed only %d/%d", got.Completed, got.Flows)
+	}
+}
+
+func TestPreFailAsymmetricTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A link_down at t<=0 must reach the topology before deploy, so
+	// even schemes with offline path computation route around it.
+	s := fastFCT(SchemeSP)
+	s.Events = []Event{{Kind: LinkDown, AtNs: 0, Link: "l0-s0"}}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != int64(res.Flows) {
+		t.Fatalf("completed %d/%d across the pre-failed fabric", res.Completed, res.Flows)
+	}
+	if res.LinkDownDrops > 0 {
+		t.Fatalf("%v packets hit the pre-failed link", res.LinkDownDrops)
+	}
+}
+
+func TestRunDoesNotMutateCallerTopology(t *testing.T) {
+	s := fastFCT(SchemeSP)
+	g, err := cliutil.BuildTopology("dc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Topo = g
+	s.TopoSpec = ""
+	s.Events = []Event{{Kind: LinkDown, AtNs: 0, Link: "l0-s0"}}
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range g.Links() {
+		if l.Down {
+			t.Fatal("pre-fail event mutated the caller's topology")
+		}
+	}
+}
+
+func TestCustomDistributionObject(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := fastFCT(SchemeECMP)
+	s.Workload.Dist = ""
+	s.Workload.DistObj = workload.NewDistribution("trace",
+		[]float64{1000, 10000, 100000}, []float64{0.5, 0.9, 1})
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist != "trace" {
+		t.Fatalf("res.Dist = %q, want the custom distribution's name", res.Dist)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no flows completed with a custom distribution")
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import "contra/internal/topo"
+
+// EventKind names a scripted network event.
+type EventKind uint8
+
+// Network event kinds.
+const (
+	// EvLinkDown takes both directions of a link down.
+	EvLinkDown EventKind = iota
+	// EvLinkUp restores a failed link.
+	EvLinkUp
+	// EvLinkScale multiplies a link's nominal bandwidth by Scale in
+	// both directions (degradation when Scale < 1, upgrade when > 1).
+	// The drop-tail buffer is unchanged: a degraded link drains its
+	// backlog at the reduced rate, which is what makes degradation
+	// visible to utilization-aware schemes.
+	EvLinkScale
+)
+
+// NetworkEvent is one entry of a timed event script: at absolute
+// simulation time At, apply Kind to Link. Events execute inside the
+// deterministic event loop, so a script replays identically for a
+// given engine seed regardless of host scheduling.
+type NetworkEvent struct {
+	At    int64
+	Kind  EventKind
+	Link  topo.LinkID
+	Scale float64 // EvLinkScale only
+}
+
+// Inject schedules a timed event script. It may be called any time
+// before or during the run; events in the past execute immediately
+// (the engine clamps to now), preserving scheduling order.
+func (n *Network) Inject(events ...NetworkEvent) {
+	for _, ev := range events {
+		ev := ev
+		n.Eng.At(ev.At, func() { n.apply(ev) })
+	}
+}
+
+// apply executes one event against the channel state.
+func (n *Network) apply(ev NetworkEvent) {
+	a, b := &n.chans[int(ev.Link)*2], &n.chans[int(ev.Link)*2+1]
+	switch ev.Kind {
+	case EvLinkDown:
+		a.down, b.down = true, true
+	case EvLinkUp:
+		a.down, b.down = false, false
+	case EvLinkScale:
+		scale := ev.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		rate := n.Topo.Link(ev.Link).Bandwidth / 8 / 1e9 * scale
+		a.bytesPerNs, b.bytesPerNs = rate, rate
+	}
+}
+
+// FailLink marks both directions of a link down at time t.
+func (n *Network) FailLink(id topo.LinkID, at int64) {
+	n.Inject(NetworkEvent{At: at, Kind: EvLinkDown, Link: id})
+}
+
+// RecoverLink brings a link back up at time t.
+func (n *Network) RecoverLink(id topo.LinkID, at int64) {
+	n.Inject(NetworkEvent{At: at, Kind: EvLinkUp, Link: id})
+}
+
+// ScaleLinkCapacity multiplies a link's nominal bandwidth by scale at
+// time t (both directions).
+func (n *Network) ScaleLinkCapacity(id topo.LinkID, scale float64, at int64) {
+	n.Inject(NetworkEvent{At: at, Kind: EvLinkScale, Link: id, Scale: scale})
+}

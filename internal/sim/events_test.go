@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"contra/internal/topo"
+)
+
+// eventNet builds the H0 - S0 - S1 - H1 line with routers attached and
+// returns the S0-S1 fabric link for channel-level assertions.
+func eventNet(t *testing.T) (*Engine, *Network, topo.LinkID) {
+	t.Helper()
+	g := lineTopo(10e9)
+	e := NewEngine(1)
+	n := NewNetwork(e, g, Config{})
+	for _, sw := range g.Switches() {
+		n.SetRouter(sw, &hopRouter{next: map[topo.NodeID]int{}})
+	}
+	n.Start()
+	mid := g.LinkBetween(g.MustNode("S0"), g.MustNode("S1"))
+	return e, n, mid.ID
+}
+
+func TestInjectDownUpScale(t *testing.T) {
+	e, n, mid := eventNet(t)
+	n.Inject(
+		NetworkEvent{At: 1000, Kind: EvLinkDown, Link: mid},
+		NetworkEvent{At: 2000, Kind: EvLinkScale, Link: mid, Scale: 0.25},
+		NetworkEvent{At: 2000, Kind: EvLinkUp, Link: mid},
+	)
+	ab, ba := &n.chans[int(mid)*2], &n.chans[int(mid)*2+1]
+	if ab.down || ba.down {
+		t.Fatal("link down before its event")
+	}
+	e.Run(1500)
+	if !ab.down || !ba.down {
+		t.Fatal("EvLinkDown did not take both directions down")
+	}
+	e.Run(2500)
+	if ab.down || ba.down {
+		t.Fatal("EvLinkUp did not restore the link")
+	}
+	want := 10e9 / 8 / 1e9 * 0.25
+	if ab.bytesPerNs != want || ba.bytesPerNs != want {
+		t.Fatalf("EvLinkScale rate = %v/%v, want %v", ab.bytesPerNs, ba.bytesPerNs, want)
+	}
+	// Scale is relative to the nominal bandwidth, not cumulative.
+	n.ScaleLinkCapacity(mid, 0.5, 3000)
+	e.Run(3500)
+	if got, want := ab.bytesPerNs, 10e9/8/1e9*0.5; got != want {
+		t.Fatalf("rescale rate = %v, want %v (relative to nominal)", got, want)
+	}
+	// Scale <= 0 restores nominal capacity.
+	n.ScaleLinkCapacity(mid, 0, 4000)
+	e.Run(4500)
+	if got, want := ab.bytesPerNs, 10e9/8/1e9; got != want {
+		t.Fatalf("scale<=0 rate = %v, want nominal %v", got, want)
+	}
+}
+
+func TestFailRecoverLinkCompat(t *testing.T) {
+	e, n, mid := eventNet(t)
+	n.FailLink(mid, 100)
+	n.RecoverLink(mid, 200)
+	e.Run(150)
+	if !n.chans[int(mid)*2].down {
+		t.Fatal("FailLink did not fail the link")
+	}
+	e.Run(250)
+	if n.chans[int(mid)*2].down {
+		t.Fatal("RecoverLink did not recover the link")
+	}
+}

@@ -193,22 +193,6 @@ func (n *Network) channelFor(from topo.NodeID, port int) *channel {
 	return &n.chans[int(l.ID)*2+d]
 }
 
-// FailLink marks both directions of a link down at time t.
-func (n *Network) FailLink(id topo.LinkID, at int64) {
-	n.Eng.At(at, func() {
-		n.chans[int(id)*2].down = true
-		n.chans[int(id)*2+1].down = true
-	})
-}
-
-// RecoverLink brings a link back up at time t.
-func (n *Network) RecoverLink(id topo.LinkID, at int64) {
-	n.Eng.At(at, func() {
-		n.chans[int(id)*2].down = false
-		n.chans[int(id)*2+1].down = false
-	})
-}
-
 // transmit pushes a packet onto a directed channel, applying the
 // drop-tail queue and scheduling delivery at the far end.
 func (n *Network) transmit(from topo.NodeID, port int, pkt *Packet) {
