@@ -1,16 +1,26 @@
-// Command contracamp runs a scenario campaign: it expands a JSON spec
+// Command contracamp runs scenario campaigns: it expands a JSON spec
 // (topologies × schemes × loads × event scripts × seeds) into
-// scenarios, executes them on a bounded worker pool, and writes the
-// aggregated results as JSON and/or CSV plus a scheme-comparison
-// table.
+// scenarios, executes them on a bounded worker pool, and renders the
+// results as JSON, CSV, a scheme-comparison table, and seed-aggregated
+// figure data.
 //
-// Usage:
+// One-process campaigns hold the report in memory:
 //
-//	contracamp -spec examples/campaign/campaign.json -workers 8 -out results.json
-//	contracamp -spec campaign.json -workers 1 -csv results.csv -q
+//	contracamp -spec examples/campaign/campaign.json -workers 8 -out results.json -csv results.csv
+//
+// Large sweeps shard across processes or machines, stream every
+// outcome to a JSONL file as it completes, and checkpoint completed
+// scenarios so an interrupted run resumes where it stopped:
+//
+//	contracamp -spec sweep.json -shard 0/2 -stream s0.jsonl -checkpoint s0.ck
+//	contracamp -spec sweep.json -shard 1/2 -stream s1.jsonl -checkpoint s1.ck
+//	contracamp -spec sweep.json -shard 0/2 -stream s0.jsonl -checkpoint s0.ck -resume   # after a crash
+//	contracamp -merge s0.jsonl,s1.jsonl -out merged.json -csv merged.csv
+//	contracamp -aggregate merged.json -agg-csv agg.csv -fct-csv fct.csv -rec-csv rec.csv
 //
 // Campaign output is deterministic: the same spec produces
-// byte-identical JSON/CSV whatever the worker count.
+// byte-identical JSON/CSV whatever the worker count, shard count,
+// completion order, or number of crash/resume cycles.
 package main
 
 import (
@@ -19,74 +29,287 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
+	"contra/internal/agg"
 	"contra/internal/campaign"
 	"contra/internal/cliutil"
+	"contra/internal/dist"
+	"contra/internal/scenario"
 )
 
+type options struct {
+	spec    string
+	workers int
+	out     string
+	csvOut  string
+	quiet   bool
+	noTable bool
+
+	shard      string
+	stream     string
+	checkpoint string
+	resume     bool
+
+	merge     string
+	aggregate string
+	aggCSV    string
+	fctCSV    string
+	recCSV    string
+}
+
 func main() {
-	spec := flag.String("spec", "", "campaign spec file (JSON, required)")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel scenario workers")
-	out := flag.String("out", "", "write aggregated results JSON to `file` (- for stdout)")
-	csvOut := flag.String("csv", "", "write per-scenario CSV to `file` (- for stdout)")
-	quiet := flag.Bool("q", false, "suppress per-scenario progress")
-	noTable := flag.Bool("notable", false, "skip the scheme-comparison table")
+	var o options
+	flag.StringVar(&o.spec, "spec", "", "campaign spec file (JSON; required unless -merge/-aggregate)")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "parallel scenario workers")
+	flag.StringVar(&o.out, "out", "", "write results JSON to `file` (- for stdout)")
+	flag.StringVar(&o.csvOut, "csv", "", "write per-scenario CSV to `file` (- for stdout)")
+	flag.BoolVar(&o.quiet, "q", false, "suppress per-scenario progress")
+	flag.BoolVar(&o.noTable, "notable", false, "skip the scheme-comparison table")
+	flag.StringVar(&o.shard, "shard", "", "run only shard `i/N` of the expansion (requires -stream)")
+	flag.StringVar(&o.stream, "stream", "", "stream outcomes to a JSONL `file` instead of holding them in memory")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "record completed scenario keys in `file` (requires -stream)")
+	flag.BoolVar(&o.resume, "resume", false, "skip scenarios already in -checkpoint and append to -stream")
+	flag.StringVar(&o.merge, "merge", "", "merge comma-separated JSONL shard `files` into one report (with -out/-csv/table)")
+	flag.StringVar(&o.aggregate, "aggregate", "", "aggregate comma-separated report JSON / JSONL `files` across seeds")
+	flag.StringVar(&o.aggCSV, "agg-csv", "", "aggregate mode: write the full mean/stddev/min/max CSV to `file`")
+	flag.StringVar(&o.fctCSV, "fct-csv", "", "aggregate mode: write FCT-vs-load figure data to `file`")
+	flag.StringVar(&o.recCSV, "rec-csv", "", "aggregate mode: write recovery-time figure data to `file`")
 	flag.Parse()
 
-	if *spec == "" {
-		fmt.Fprintln(os.Stderr, "contracamp: -spec is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := run(*spec, *workers, *out, *csvOut, *quiet, *noTable); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "contracamp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(specPath string, workers int, out, csvOut string, quiet, noTable bool) error {
-	spec, err := campaign.LoadFile(specPath)
-	if err != nil {
-		return err
-	}
-	opts := campaign.Options{Workers: workers}
-	if !quiet {
-		fmt.Fprintf(os.Stderr, "campaign %q: %d scenarios on %d workers\n",
-			spec.Name, spec.Size(), workers)
-		opts.Progress = func(done, total int, o *campaign.Outcome) {
-			status := "ok"
-			if o.Err != "" {
-				status = "FAIL: " + o.Err
-			} else if o.Result != nil && o.Result.Flows > 0 {
-				status = fmt.Sprintf("done=%d/%d p99=%.3fms",
-					o.Result.Completed, o.Result.Flows, o.Result.P99FCT*1e3)
-			}
-			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-40s %s\n", done, total, o.Scenario.Name, status)
+func run(o options) error {
+	modes := 0
+	for _, on := range []bool{o.spec != "", o.merge != "", o.aggregate != ""} {
+		if on {
+			modes++
 		}
 	}
-	report, err := campaign.Run(spec, opts)
-	if err != nil {
-		return err
+	if modes != 1 {
+		flag.Usage()
+		return fmt.Errorf("exactly one of -spec, -merge, -aggregate is required")
 	}
+	switch {
+	case o.merge != "":
+		return runMerge(o)
+	case o.aggregate != "":
+		return runAggregate(o)
+	}
+	if o.shard != "" && o.stream == "" {
+		return fmt.Errorf("-shard partitions a streamed run; add -stream (results merge later with -merge)")
+	}
+	if o.checkpoint != "" && o.stream == "" {
+		return fmt.Errorf("-checkpoint needs -stream: without the record stream there is nothing to resume from")
+	}
+	if o.resume && (o.checkpoint == "" || o.stream == "") {
+		return fmt.Errorf("-resume needs both -checkpoint and -stream")
+	}
+	if o.stream != "" {
+		return runStreaming(o)
+	}
+	return runInMemory(o)
+}
 
-	if out != "" {
-		if err := writeTo(out, report.WriteJSON); err != nil {
-			return err
-		}
+// progress returns the per-scenario progress printer, nil when quiet.
+func progress(o options) func(done, total int, out *campaign.Outcome) {
+	if o.quiet {
+		return nil
 	}
-	if csvOut != "" {
-		if err := writeTo(csvOut, report.WriteCSV); err != nil {
-			return err
+	return func(done, total int, out *campaign.Outcome) {
+		status := "ok"
+		if out.Err != "" {
+			status = "FAIL: " + out.Err
+		} else if out.Result != nil && out.Result.Flows > 0 {
+			status = fmt.Sprintf("done=%d/%d p99=%.3fms",
+				out.Result.Completed, out.Result.Flows, out.Result.P99FCT*1e3)
 		}
+		fmt.Fprintf(os.Stderr, "[%3d/%3d] %-40s %s\n", done, total, out.Scenario.Name, status)
 	}
-	if !noTable {
-		header, rows := report.ComparisonTable(spec.Schemes)
-		cliutil.Table(header, rows)
+}
+
+// runInMemory is the classic single-process path: run everything, hold
+// the report, render JSON/CSV/table.
+func runInMemory(o options) error {
+	spec, err := campaign.LoadFile(o.spec)
+	if err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "campaign %q: %d scenarios on %d workers\n",
+			spec.Name, spec.Size(), o.workers)
+	}
+	report, err := campaign.Run(spec, campaign.Options{Workers: o.workers, Progress: progress(o)})
+	if err != nil {
+		return err
+	}
+	if err := render(report, spec.Schemes, o); err != nil {
+		return err
 	}
 	if n := report.Failed(); n > 0 {
 		return fmt.Errorf("%d of %d scenarios failed", n, len(report.Outcomes))
 	}
 	return nil
+}
+
+// runStreaming is the sharded path: outcomes go straight to the JSONL
+// sink and optionally into a checkpoint; nothing is held in memory.
+func runStreaming(o options) error {
+	if o.out != "" || o.csvOut != "" {
+		return fmt.Errorf("-out/-csv render a full report; streamed shards are merged first (-merge %s)", o.stream)
+	}
+	spec, err := campaign.LoadFile(o.spec)
+	if err != nil {
+		return err
+	}
+	shard, err := dist.ParseShard(o.shard)
+	if err != nil {
+		return err
+	}
+	var ck *dist.Checkpoint
+	if o.checkpoint != "" {
+		if !o.resume {
+			// A fresh run must not silently skip work recorded by an
+			// earlier one.
+			if err := os.Remove(o.checkpoint); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		if ck, err = dist.OpenCheckpoint(o.checkpoint); err != nil {
+			return err
+		}
+		defer ck.Close()
+		if o.resume {
+			// The checkpoint and the stream are separate files: after
+			// a power loss a key can be durable while its record is
+			// not. Trust only keys whose records actually exist.
+			keys, err := dist.StreamKeys(o.stream)
+			if err != nil {
+				return err
+			}
+			if dropped := ck.Retain(func(k string) bool { return keys[k] }); dropped > 0 && !o.quiet {
+				fmt.Fprintf(os.Stderr, "checkpoint lists %d scenario(s) missing from %s; re-running them\n",
+					dropped, o.stream)
+			}
+		}
+	}
+	sink, err := dist.CreateJSONL(o.stream, o.resume)
+	if err != nil {
+		return err
+	}
+	st, runErr := dist.Run(spec, dist.Options{
+		Workers:    o.workers,
+		Shard:      shard,
+		Checkpoint: ck,
+		Progress:   progress(o),
+	}, sink)
+	if cerr := sink.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "shard %s of campaign %q: %d planned, %d skipped (checkpointed), %d ran, %d failed\n",
+			shard, spec.Name, st.Planned, st.Skipped, st.Ran, st.Failed)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if st.Failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", st.Failed, st.Ran)
+	}
+	return nil
+}
+
+// runMerge folds shard JSONL files into one deterministic report.
+func runMerge(o options) error {
+	report, err := dist.Merge(splitList(o.merge))
+	if err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "merged %d scenarios from %d shard file(s)\n",
+			len(report.Outcomes), len(splitList(o.merge)))
+	}
+	if err := render(report, dist.Schemes(report), o); err != nil {
+		return err
+	}
+	if n := report.Failed(); n > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", n, len(report.Outcomes))
+	}
+	return nil
+}
+
+// runAggregate collapses the seed axis and writes figure data.
+func runAggregate(o options) error {
+	var outcomes []campaign.Outcome
+	for _, path := range splitList(o.aggregate) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		outs, err := agg.Load(data)
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		outcomes = append(outcomes, outs...)
+	}
+	tab := agg.FromOutcomes(outcomes)
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "aggregated %d outcomes into %d cells\n", len(outcomes), len(tab.Groups))
+	}
+	aggCSV := o.aggCSV
+	if aggCSV == "" && o.fctCSV == "" && o.recCSV == "" {
+		aggCSV = "-" // no outputs requested: full aggregate to stdout
+	}
+	if aggCSV != "" {
+		if err := writeTo(aggCSV, tab.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if o.fctCSV != "" {
+		if err := writeTo(o.fctCSV, tab.WriteFCTCurve); err != nil {
+			return err
+		}
+	}
+	if o.recCSV != "" {
+		if err := writeTo(o.recCSV, tab.WriteRecoveryCurve); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// render writes the report JSON/CSV and prints the comparison table.
+func render(report *campaign.Report, schemes []scenario.Scheme, o options) error {
+	if o.out != "" {
+		if err := writeTo(o.out, report.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if o.csvOut != "" {
+		if err := writeTo(o.csvOut, report.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if !o.noTable {
+		header, rows := report.ComparisonTable(schemes)
+		cliutil.Table(header, rows)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated file list.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // writeTo streams an encoder to a file path, "-" meaning stdout.

@@ -1,0 +1,307 @@
+// Package agg turns raw per-scenario campaign outcomes into the
+// paper's figure data: it groups results by experiment cell —
+// (topology, scheme, load, event script) — collapses the seed axis
+// into mean/stddev/min/max columns via stats.Summary, and renders the
+// aggregate as CSV, including the two curve families the evaluation
+// plots: tail FCT versus offered load, and recovery time after
+// disruptions.
+//
+// Aggregation is deterministic: groups are sorted by cell key and
+// every column is a pure function of the input results, so the same
+// merged campaign yields byte-identical figure data.
+package agg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"contra/internal/campaign"
+	"contra/internal/scenario"
+	"contra/internal/stats"
+)
+
+// Key identifies one experiment cell: every axis of the campaign
+// matrix except the seed, which aggregation collapses.
+type Key struct {
+	Topo   string
+	Scheme scenario.Scheme
+	Load   float64
+	Script string
+}
+
+// metrics defines the aggregated columns in output order. Each metric
+// extracts zero or more observations from one result — zero when the
+// metric does not apply (no recovery analysis in a steady-state run),
+// several when a script carries several disruptions.
+var metrics = []struct {
+	name string
+	get  func(r *scenario.Result) []float64
+}{
+	{"mean_fct_ms", func(r *scenario.Result) []float64 { return fctMs(r, r.MeanFCT) }},
+	{"p50_fct_ms", func(r *scenario.Result) []float64 { return fctMs(r, r.P50FCT) }},
+	{"p95_fct_ms", func(r *scenario.Result) []float64 { return fctMs(r, r.P95FCT) }},
+	{"p99_fct_ms", func(r *scenario.Result) []float64 { return fctMs(r, r.P99FCT) }},
+	{"probe_frac", func(r *scenario.Result) []float64 { return []float64{r.ProbeFrac()} }},
+	{"queue_drops", func(r *scenario.Result) []float64 { return []float64{r.QueueDrops} }},
+	{"linkdown_drops", func(r *scenario.Result) []float64 { return []float64{r.LinkDownDrops} }},
+	{"looped_frac", func(r *scenario.Result) []float64 { return []float64{r.LoopedFrac} }},
+	{"baseline_gbps", func(r *scenario.Result) []float64 {
+		if r.BaselineBps <= 0 {
+			return nil
+		}
+		return []float64{r.BaselineBps / 1e9}
+	}},
+	{"min_gbps", func(r *scenario.Result) []float64 {
+		if r.BaselineBps <= 0 {
+			return nil
+		}
+		return []float64{r.MinBps / 1e9}
+	}},
+	// recovery_ms aggregates every per-disruption window a result
+	// carries, so a script with three failures contributes three
+	// observations per seed.
+	{"recovery_ms", func(r *scenario.Result) []float64 {
+		var out []float64
+		for _, w := range r.Recoveries {
+			if w.RecoveryNs >= 0 {
+				out = append(out, float64(w.RecoveryNs)/1e6)
+			}
+		}
+		if out == nil && r.RecoveryNs > 0 {
+			// Results encoded before per-event windows existed.
+			out = []float64{float64(r.RecoveryNs) / 1e6}
+		}
+		return out
+	}},
+}
+
+func fctMs(r *scenario.Result, sec float64) []float64 {
+	if r.Completed == 0 {
+		return nil
+	}
+	return []float64{sec * 1e3}
+}
+
+// recoveryIdx locates the recovery_ms metric for the curve writers.
+var recoveryIdx = func() int {
+	for i, m := range metrics {
+		if m.name == "recovery_ms" {
+			return i
+		}
+	}
+	panic("agg: no recovery metric")
+}()
+
+// Group is one experiment cell with its seed axis collapsed.
+type Group struct {
+	Key
+	// Seeds counts the distinct successful results folded in.
+	Seeds int
+	// Failed counts outcomes that ended in a scenario error.
+	Failed int
+	// Sums holds one stats.Summary per entry of metrics.
+	Sums []stats.Summary
+}
+
+// Table is a deterministic, sorted collection of groups.
+type Table struct {
+	Groups []*Group
+}
+
+// FromOutcomes aggregates campaign outcomes. Failed outcomes count
+// toward Group.Failed when their scenario identifies a cell; bare
+// report JSON carries no scenario column for failed outcomes (a
+// failure has no Result either), so there they are dropped — run
+// -aggregate on the shard JSONL files to account for failures.
+func FromOutcomes(outcomes []campaign.Outcome) *Table {
+	groups := map[Key]*Group{}
+	get := func(k Key) *Group {
+		g := groups[k]
+		if g == nil {
+			g = &Group{Key: k, Sums: make([]stats.Summary, len(metrics))}
+			groups[k] = g
+		}
+		return g
+	}
+	for _, o := range outcomes {
+		// Key on the campaign's axis values when the scenario is
+		// available (merge records carry it), so failed and successful
+		// seeds of one cell land in the same row; bare report JSON has
+		// no scenario column and falls back to the result's resolved
+		// topology name.
+		var k Key
+		switch {
+		case o.Scenario.TopoSpec != "":
+			k = Key{o.Scenario.TopoSpec, o.Scenario.Scheme, o.Scenario.Workload.Load, o.Scenario.Script}
+		case o.Result != nil:
+			k = Key{o.Result.Topo, o.Result.Scheme, o.Result.Load, o.Result.Script}
+		default:
+			continue // failed outcome with no scenario: unplaceable
+		}
+		if o.Result == nil {
+			get(k).Failed++
+			continue
+		}
+		r := o.Result
+		g := get(k)
+		g.Seeds++
+		for i, m := range metrics {
+			for _, v := range m.get(r) {
+				g.Sums[i].Add(v)
+			}
+		}
+	}
+	t := &Table{}
+	for _, g := range groups {
+		t.Groups = append(t.Groups, g)
+	}
+	sort.Slice(t.Groups, func(i, j int) bool {
+		a, b := t.Groups[i], t.Groups[j]
+		if a.Topo != b.Topo {
+			return a.Topo < b.Topo
+		}
+		if a.Script != b.Script {
+			return a.Script < b.Script
+		}
+		if a.Load != b.Load {
+			return a.Load < b.Load
+		}
+		return a.Scheme < b.Scheme
+	})
+	return t
+}
+
+// keyCols are the cell-identity columns of every CSV this package
+// writes.
+var keyCols = []string{"topo", "script", "load", "scheme", "seeds", "failed"}
+
+func (g *Group) keyRow() []string {
+	return []string{
+		g.Topo, g.Script, trimFloat(g.Load), string(g.Scheme),
+		strconv.Itoa(g.Seeds), strconv.Itoa(g.Failed),
+	}
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func cell(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// summaryCols renders a stats.Summary as mean/stddev/min/max, blank
+// when the metric never applied to the cell.
+func summaryCols(s *stats.Summary) []string {
+	if s.Count() == 0 {
+		return []string{"", "", "", ""}
+	}
+	return []string{cell(s.Mean()), cell(s.Stddev()), cell(s.Min()), cell(s.Max())}
+}
+
+// WriteCSV renders the full aggregate: one row per cell, four columns
+// (mean, stddev, min, max) per metric.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{}, keyCols...)
+	for _, m := range metrics {
+		header = append(header,
+			m.name+"_mean", m.name+"_stddev", m.name+"_min", m.name+"_max")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, g := range t.Groups {
+		row := g.keyRow()
+		for i := range metrics {
+			row = append(row, summaryCols(&g.Sums[i])...)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFCTCurve renders the FCT-versus-load figure data: per cell, the
+// mean and stddev across seeds of mean/p50/p95/p99 FCT. Plot load on
+// the x axis, one line per (topo, script, scheme).
+func (t *Table) WriteFCTCurve(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{}, keyCols...)
+	for _, m := range metrics[:4] {
+		header = append(header, m.name+"_mean", m.name+"_stddev")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, g := range t.Groups {
+		if g.Sums[0].Count() == 0 {
+			continue // no completed FCT flows in this cell (CBR, total failure)
+		}
+		row := g.keyRow()
+		for i := range metrics[:4] {
+			s := &g.Sums[i]
+			row = append(row, cell(s.Mean()), cell(s.Stddev()))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRecoveryCurve renders the recovery-time figure data: per cell
+// with at least one disruption window, mean/stddev/min/max recovery
+// time across every seed and disruption, plus the throughput context
+// (baseline and dip).
+func (t *Table) WriteRecoveryCurve(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{}, keyCols...)
+	header = append(header,
+		"recovery_ms_mean", "recovery_ms_stddev", "recovery_ms_min", "recovery_ms_max",
+		"baseline_gbps_mean", "min_gbps_mean")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var baseIdx, minIdx int
+	for i, m := range metrics {
+		switch m.name {
+		case "baseline_gbps":
+			baseIdx = i
+		case "min_gbps":
+			minIdx = i
+		}
+	}
+	for _, g := range t.Groups {
+		rec := &g.Sums[recoveryIdx]
+		if rec.Count() == 0 {
+			continue
+		}
+		row := append(g.keyRow(), summaryCols(rec)...)
+		row = append(row, cell(g.Sums[baseIdx].Mean()), cell(g.Sums[minIdx].Mean()))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Load reads campaign output for aggregation: a merged report JSON
+// (decoded with the scenario column absent) or a JSONL record stream.
+// The format is sniffed from the first non-space byte — a report is a
+// JSON object spanning the whole file, a record stream is one object
+// per line.
+func Load(data []byte) ([]campaign.Outcome, error) {
+	report, rerr := decodeReport(data)
+	if rerr == nil {
+		return report.Outcomes, nil
+	}
+	recs, lerr := decodeRecords(data)
+	if lerr == nil {
+		return recs, nil
+	}
+	return nil, fmt.Errorf("agg: input is neither a campaign report (%v) nor a record stream (%v)", rerr, lerr)
+}

@@ -1,0 +1,46 @@
+package agg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"contra/internal/campaign"
+	"contra/internal/dist"
+)
+
+// decodeReport strictly decodes a merged campaign report JSON. Strict
+// field checking is what disambiguates the two input formats: a JSONL
+// record line carries "key"/"index" fields a report does not have.
+func decodeReport(data []byte) (*campaign.Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r campaign.Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after report object")
+	}
+	return &r, nil
+}
+
+// decodeRecords decodes a JSONL record stream into outcomes.
+func decodeRecords(data []byte) ([]campaign.Outcome, error) {
+	recs, err := dist.ReadRecords(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("no records")
+	}
+	outcomes := make([]campaign.Outcome, len(recs))
+	for i, rec := range recs {
+		if rec.Scenario != nil {
+			outcomes[i].Scenario = *rec.Scenario
+		}
+		outcomes[i].Result = rec.Result
+		outcomes[i].Err = rec.Err
+	}
+	return outcomes, nil
+}

@@ -4,10 +4,18 @@
 // and aggregates the per-scenario results into JSON, CSV, and a
 // scheme-comparison table.
 //
+// The execution core is Stream: it emits each Outcome as it completes
+// and retains nothing, so arbitrarily large sweeps run in bounded
+// memory. Run is a thin in-memory sink over it, collecting outcomes
+// into a Report in expansion order; internal/dist layers shard
+// partitioning, JSONL streaming, and checkpoint/resume on the same
+// core.
+//
 // Each scenario's simulation is single-threaded and deterministic, so
-// a campaign parallelizes embarrassingly: results land in a slice
-// indexed by expansion order, which makes the aggregate output
-// byte-identical whether the campaign ran on one worker or sixteen.
+// a campaign parallelizes embarrassingly: outcomes are keyed by
+// expansion index, which makes the aggregate output byte-identical
+// whether the campaign ran on one worker or sixteen, in one process
+// or many shards.
 package campaign
 
 import (
@@ -86,14 +94,60 @@ func (s *Spec) validate() error {
 	if len(s.Loads) == 0 && s.Workload.Kind != scenario.WorkloadCBR {
 		return fmt.Errorf("campaign %q: no loads", s.Name)
 	}
-	seen := map[string]bool{}
-	for _, sc := range s.Scripts {
-		if seen[sc.Name] {
-			return fmt.Errorf("campaign %q: duplicate event script %q", s.Name, sc.Name)
+	return s.checkAxisDuplicates()
+}
+
+// checkAxisDuplicates rejects repeated values on any matrix axis. A
+// duplicate would expand to two scenarios with identical canonical
+// keys at different indices — redundant compute in any mode, and fatal
+// only at merge time in the sharded mode, after the sweep has already
+// been paid for — so it fails upfront instead (from Expand, not only
+// Parse, to cover Go-constructed specs).
+func (s *Spec) checkAxisDuplicates() error {
+	scripts := make([]string, len(s.Scripts))
+	for i, sc := range s.Scripts {
+		scripts[i] = sc.Name
+	}
+	for axis, values := range map[string][]string{
+		"topo":         s.Topos,
+		"scheme":       schemeStrings(s.Schemes),
+		"load":         floatStrings(s.Loads),
+		"seed":         seedStrings(s.Seeds),
+		"event script": scripts,
+	} {
+		seen := map[string]bool{}
+		for _, v := range values {
+			if seen[v] {
+				return fmt.Errorf("campaign %q: duplicate %s %q", s.Name, axis, v)
+			}
+			seen[v] = true
 		}
-		seen[sc.Name] = true
 	}
 	return nil
+}
+
+func schemeStrings(ss []scenario.Scheme) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = string(s)
+	}
+	return out
+}
+
+func floatStrings(fs []float64) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = trimFloat(f)
+	}
+	return out
+}
+
+func seedStrings(is []int64) []string {
+	out := make([]string, len(is))
+	for i, v := range is {
+		out[i] = strconv.FormatInt(v, 10)
+	}
+	return out
 }
 
 // Size returns the number of scenarios the spec expands to.
@@ -105,7 +159,13 @@ func (s *Spec) Size() int {
 // Expand materializes the cartesian matrix in a fixed order: topo,
 // scheme, load, script, seed — slowest axis first. Every scenario is
 // validated before any runs, so a bad cell fails the campaign upfront.
+// Duplicate axis values are rejected here too (not only in Parse), so
+// Go-constructed specs cannot expand to two scenarios sharing one
+// canonical key.
 func (s *Spec) Expand() ([]scenario.Scenario, error) {
+	if err := s.checkAxisDuplicates(); err != nil {
+		return nil, err
+	}
 	loads := s.Loads
 	if len(loads) == 0 {
 		loads = []float64{0} // CBR campaigns have no load axis
@@ -156,6 +216,28 @@ func (s *Spec) Expand() ([]scenario.Scenario, error) {
 
 func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
+// Job pairs a scenario with its position in the spec's expansion
+// order. The index is the unit of shard partitioning and the sort key
+// that makes merged shard output byte-identical to a single-process
+// run (internal/dist).
+type Job struct {
+	Index    int
+	Scenario scenario.Scenario
+}
+
+// Jobs expands the spec into indexed jobs, the input of Stream.
+func (s *Spec) Jobs() ([]Job, error) {
+	scens, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, len(scens))
+	for i, sc := range scens {
+		jobs[i] = Job{Index: i, Scenario: sc}
+	}
+	return jobs, nil
+}
+
 // Outcome pairs a scenario with its result or error.
 type Outcome struct {
 	Scenario scenario.Scenario `json:"-"`
@@ -190,53 +272,92 @@ type Options struct {
 	Progress func(done, total int, o *Outcome)
 }
 
-// Run expands and executes a campaign. Scenario failures do not abort
-// the campaign — they are recorded in the report — but an invalid spec
-// fails before anything runs.
-func Run(spec *Spec, opts Options) (*Report, error) {
-	scens, err := spec.Expand()
-	if err != nil {
-		return nil, err
+// Stream is the campaign execution core: it fans jobs out across a
+// bounded pool of worker goroutines and hands each completed Outcome
+// to emit as it finishes, retaining nothing itself. Emit calls are
+// serialized (one at a time, from the completing worker's goroutine)
+// so sinks need no locking of their own; outcomes arrive in completion
+// order, not expansion order — consumers that need determinism sort on
+// Job.Index, as the in-memory Report and the shard merger do.
+//
+// Scenario failures do not abort the stream — they are emitted as
+// outcomes with Err set — but an emit error does: no new jobs are
+// dispatched, in-flight scenarios drain, and Stream returns the error.
+// That is the hook crash-interruption tests use to kill a campaign
+// mid-run.
+func Stream(jobs []Job, opts Options, emit func(*Job, *Outcome) error) error {
+	if len(jobs) == 0 {
+		return nil
 	}
-	report := &Report{Name: spec.Name, Outcomes: make([]Outcome, len(scens))}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = 1
 	}
-	if workers > len(scens) {
-		workers = len(scens)
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	jobs := make(chan int)
+	jobc := make(chan *Job)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes Progress and the done counter
+	var mu sync.Mutex // serializes emit, Progress, and the done counter
+	var emitErr error
 	done := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				o := &report.Outcomes[i]
-				o.Scenario = scens[i]
-				res, err := scenario.Run(scens[i])
+			for j := range jobc {
+				o := Outcome{Scenario: j.Scenario}
+				res, err := scenario.Run(j.Scenario)
 				if err != nil {
 					o.Err = err.Error()
 				} else {
 					o.Result = res
 				}
-				if opts.Progress != nil {
-					mu.Lock()
-					done++
-					opts.Progress(done, len(scens), o)
-					mu.Unlock()
+				mu.Lock()
+				done++
+				if emitErr == nil {
+					if err := emit(j, &o); err != nil {
+						emitErr = err
+						stopOnce.Do(func() { close(stop) })
+					} else if opts.Progress != nil {
+						opts.Progress(done, len(jobs), &o)
+					}
 				}
+				mu.Unlock()
 			}
 		}()
 	}
-	for i := range scens {
-		jobs <- i
+dispatch:
+	for i := range jobs {
+		select {
+		case jobc <- &jobs[i]:
+		case <-stop:
+			break dispatch
+		}
 	}
-	close(jobs)
+	close(jobc)
 	wg.Wait()
+	return emitErr
+}
+
+// Run expands and executes a campaign, collecting every outcome in
+// expansion order — a thin in-memory sink over Stream. Scenario
+// failures do not abort the campaign — they are recorded in the report
+// — but an invalid spec fails before anything runs.
+func Run(spec *Spec, opts Options) (*Report, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Name: spec.Name, Outcomes: make([]Outcome, len(jobs))}
+	if err := Stream(jobs, opts, func(j *Job, o *Outcome) error {
+		report.Outcomes[j.Index] = *o
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return report, nil
 }
 
@@ -251,7 +372,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // csvHeader lists the per-scenario CSV columns.
 var csvHeader = []string{
 	"name", "topo", "scheme", "script", "dist", "load", "seed",
-	"flows", "completed", "mean_fct_ms", "p50_fct_ms", "p99_fct_ms",
+	"flows", "completed", "mean_fct_ms", "p50_fct_ms", "p95_fct_ms", "p99_fct_ms",
 	"probe_frac", "queue_drops", "linkdown_drops", "looped_frac",
 	"baseline_gbps", "min_gbps", "recovery_ms", "error",
 }
@@ -277,7 +398,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			res.Name, res.Topo, string(res.Scheme), res.Script, res.Dist,
 			trimFloat(res.Load), strconv.FormatInt(res.Seed, 10),
 			strconv.Itoa(res.Flows), strconv.FormatInt(res.Completed, 10),
-			msec(res.MeanFCT * 1e9), msec(res.P50FCT * 1e9), msec(res.P99FCT * 1e9),
+			msec(res.MeanFCT * 1e9), msec(res.P50FCT * 1e9), msec(res.P95FCT * 1e9), msec(res.P99FCT * 1e9),
 			fmt.Sprintf("%.5f", res.ProbeFrac()),
 			trimFloat(res.QueueDrops), trimFloat(res.LinkDownDrops),
 			fmt.Sprintf("%.5f", res.LoopedFrac),
@@ -296,13 +417,13 @@ func (r *Report) WriteCSV(w io.Writer) error {
 func msec(ns float64) string { return fmt.Sprintf("%.3f", ns/1e6) }
 
 // ComparisonTable groups outcomes by (topo, load, script, seed) and
-// lays the schemes side by side on p99 FCT — the summary the paper's
-// figures compare schemes on. Rows are sorted by group key; scheme
-// columns follow the spec's scheme order.
+// lays the schemes side by side on tail FCT (p95 and p99) — the
+// summary the paper's figures compare schemes on. Rows are sorted by
+// group key; scheme columns follow the spec's scheme order.
 func (r *Report) ComparisonTable(schemes []scenario.Scheme) (header []string, rows [][]string) {
 	header = []string{"topo", "load", "script", "seed"}
 	for _, s := range schemes {
-		header = append(header, string(s)+" p99ms", string(s)+" drops")
+		header = append(header, string(s)+" p95ms", string(s)+" p99ms", string(s)+" drops")
 	}
 	type key struct {
 		topo, script string
@@ -339,9 +460,12 @@ func (r *Report) ComparisonTable(schemes []scenario.Scheme) (header []string, ro
 		row := []string{k.topo, trimFloat(k.load), k.script, strconv.FormatInt(k.seed, 10)}
 		for _, s := range schemes {
 			if res, ok := groups[k][s]; ok {
-				row = append(row, fmt.Sprintf("%.3f", res.P99FCT*1e3), trimFloat(res.QueueDrops+res.LinkDownDrops))
+				row = append(row,
+					fmt.Sprintf("%.3f", res.P95FCT*1e3),
+					fmt.Sprintf("%.3f", res.P99FCT*1e3),
+					trimFloat(res.QueueDrops+res.LinkDownDrops))
 			} else {
-				row = append(row, "-", "-")
+				row = append(row, "-", "-", "-")
 			}
 		}
 		rows = append(rows, row)

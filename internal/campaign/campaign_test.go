@@ -60,6 +60,25 @@ func TestExpandMatrixCount(t *testing.T) {
 	}
 }
 
+func TestExpandRejectsDuplicateAxisValues(t *testing.T) {
+	// Duplicate axis values expand to identical canonical scenario
+	// keys, which the sharded merge path can only detect after the
+	// sweep has run — so expansion must fail upfront.
+	dups := map[string]func(*Spec){
+		"seed":   func(s *Spec) { s.Seeds = []int64{1, 1} },
+		"load":   func(s *Spec) { s.Loads = []float64{0.2, 0.2} },
+		"topo":   func(s *Spec) { s.Topos = []string{"dc", "dc"} },
+		"scheme": func(s *Spec) { s.Schemes = append(s.Schemes, s.Schemes[0]) },
+	}
+	for axis, mut := range dups {
+		spec := matrixSpec()
+		mut(spec)
+		if _, err := spec.Expand(); err == nil {
+			t.Errorf("Expand accepted a duplicate %s", axis)
+		}
+	}
+}
+
 func TestExpandRejectsBadCell(t *testing.T) {
 	spec := matrixSpec()
 	spec.Schemes = append(spec.Schemes, "ospf")
@@ -145,8 +164,8 @@ func TestComparisonTableGroupsSchemes(t *testing.T) {
 		t.Fatal(err)
 	}
 	header, rows := report.ComparisonTable(spec.Schemes)
-	// 4 key columns + 2 per scheme.
-	if len(header) != 4+2*len(spec.Schemes) {
+	// 4 key columns + 3 per scheme (p95, p99, drops).
+	if len(header) != 4+3*len(spec.Schemes) {
 		t.Fatalf("header = %v", header)
 	}
 	// One row per (topo, load, script, seed) group: 1*2*1*1.

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Checkpoint is the resume journal of a sharded campaign run: one
+// canonical scenario key (scenario.Key) per line, appended after the
+// scenario's record reaches the sink. On restart the runner skips
+// every checkpointed key, so interrupting a week-long sweep costs at
+// most the scenarios that were in flight.
+//
+// Crash ordering: the record is emitted first, the key marked second.
+// A crash between the two leaves the record without its mark; the
+// scenario re-runs on resume and Merge deduplicates the identical
+// records by key. A torn trailing key line (crash mid-Mark) is
+// truncated away on open.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]bool
+}
+
+// OpenCheckpoint opens (or creates) a checkpoint file and loads the
+// completed key set from its complete lines.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := sealTornLine(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	done := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if key := strings.TrimSpace(sc.Text()); key != "" {
+			done[key] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dist: checkpoint %s: %v", path, err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Checkpoint{f: f, done: done}, nil
+}
+
+// Retain drops (in memory) every checkpointed key the predicate does
+// not vouch for, returning how many were dropped. Resume paths call it
+// with "does the stream file hold this key's record": the checkpoint
+// and the stream are separate files with no write-ordering guarantee
+// between their page-cache flushes, so after a power loss a key can be
+// durable while its record is not — the scenario must then re-run
+// rather than be skipped with its result lost. The file keeps the
+// stale line; re-marking after the re-run is a no-op in the file's
+// semantics (the key set is a set).
+func (c *Checkpoint) Retain(present func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for key := range c.done {
+		if !present(key) {
+			delete(c.done, key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Done reports whether key has been checkpointed.
+func (c *Checkpoint) Done(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done[key]
+}
+
+// Len returns the number of checkpointed keys.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Mark records key as completed, appending it to the file in a single
+// write so a crash tears at most this one line.
+func (c *Checkpoint) Mark(key string) error {
+	if strings.ContainsAny(key, "\n\r") {
+		return fmt.Errorf("dist: checkpoint key %q contains a newline", key)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done[key] {
+		return nil
+	}
+	var b bytes.Buffer
+	b.WriteString(key)
+	b.WriteByte('\n')
+	if _, err := c.f.Write(b.Bytes()); err != nil {
+		return err
+	}
+	c.done[key] = true
+	return nil
+}
+
+// Close closes the underlying file.
+func (c *Checkpoint) Close() error { return c.f.Close() }

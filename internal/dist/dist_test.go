@@ -1,0 +1,395 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"contra/internal/campaign"
+	"contra/internal/scenario"
+)
+
+// sweepSpec is a small multi-seed, multi-load matrix cheap enough to
+// run several times per test: 1 topo × 2 schemes × 2 loads × 2 seeds.
+func sweepSpec() *campaign.Spec {
+	return &campaign.Spec{
+		Name:    "sweep",
+		Topos:   []string{"dc"},
+		Schemes: []scenario.Scheme{scenario.SchemeECMP, scenario.SchemeSP},
+		Loads:   []float64{0.2, 0.3},
+		Seeds:   []int64{1, 2},
+		Workload: scenario.Workload{
+			Dist: "cache", DurationNs: 2_000_000, MaxFlows: 120,
+		},
+	}
+}
+
+// renderReport renders the deterministic JSON+CSV view of a report.
+func renderReport(t *testing.T, r *campaign.Report) string {
+	t.Helper()
+	var j, c bytes.Buffer
+	if err := r.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	return j.String() + "\n===\n" + c.String()
+}
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"":    {0, 1},
+		"0/1": {0, 1},
+		"2/4": {2, 4},
+	}
+	for in, want := range good {
+		got, err := ParseShard(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"3", "x/y", "4/4", "-1/2", "1/0", "1/2/3"} {
+		if _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) accepted", in)
+		}
+	}
+}
+
+func TestShardsPartitionTheExpansion(t *testing.T) {
+	for _, total := range []int{1, 2, 3, 4, 7} {
+		for i := 0; i < 32; i++ {
+			owners := 0
+			for idx := 0; idx < total; idx++ {
+				if (Shard{idx, total}).Owns(i) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("index %d owned by %d of %d shards", i, owners, total)
+			}
+		}
+	}
+}
+
+func TestShardMergeIsByteIdenticalToSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := sweepSpec()
+	direct, err := campaign.Run(spec, campaign.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderReport(t, direct)
+
+	dir := t.TempDir()
+	for _, total := range []int{1, 2, 4} {
+		var paths []string
+		for idx := 0; idx < total; idx++ {
+			path := filepath.Join(dir, fmt.Sprintf("s%d_of_%d.jsonl", idx, total))
+			paths = append(paths, path)
+			sink, err := CreateJSONL(path, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := Run(spec, Options{Workers: 3, Shard: Shard{idx, total}}, sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if st.Failed > 0 {
+				t.Fatalf("shard %d/%d: %d scenarios failed", idx, total, st.Failed)
+			}
+		}
+		merged, err := Merge(paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderReport(t, merged); got != want {
+			t.Fatalf("%d-shard merge differs from single-process run:\n--- merged\n%.1500s\n--- direct\n%.1500s", total, got, want)
+		}
+	}
+}
+
+// failAfter simulates a crash: it forwards limit emits to the real
+// sink, then errors, aborting the stream mid-campaign.
+type failAfter struct {
+	inner Sink
+	n     int
+	limit int
+}
+
+func (f *failAfter) Emit(r *Record) error {
+	if f.n >= f.limit {
+		return errors.New("simulated crash")
+	}
+	f.n++
+	return f.inner.Emit(r)
+}
+
+func (f *failAfter) Close() error { return f.inner.Close() }
+
+func TestCrashResumeMatchesUninterruptedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := sweepSpec()
+	dir := t.TempDir()
+
+	// Uninterrupted reference run.
+	refPath := filepath.Join(dir, "ref.jsonl")
+	refSink, err := CreateJSONL(refPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Workers: 2}, refSink); err != nil {
+		t.Fatal(err)
+	}
+	refSink.Close()
+	refReport, err := Merge([]string{refPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderReport(t, refReport)
+
+	// Interrupted run: 3 scenarios land, then the sink "crashes".
+	streamPath := filepath.Join(dir, "run.jsonl")
+	ckPath := filepath.Join(dir, "run.ck")
+	ck, err := OpenCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := CreateJSONL(streamPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(spec, Options{Workers: 1, Checkpoint: ck, Shard: Shard{0, 1}},
+		&failAfter{inner: sink, limit: 3})
+	if err == nil {
+		t.Fatal("interrupted run reported no error")
+	}
+	sink.Close()
+	ck.Close()
+
+	// Simulate the torn trailing writes of a hard kill.
+	for _, p := range []string{streamPath, ckPath} {
+		f, err := os.OpenFile(p, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(`{"torn`); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	// Resume from the checkpoint: completed scenarios must not re-run.
+	ck, err = OpenCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Len() != 3 {
+		t.Fatalf("checkpoint reloaded %d keys, want 3", ck.Len())
+	}
+	sink, err = CreateJSONL(streamPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(spec, Options{Workers: 2, Checkpoint: ck}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	ck.Close()
+	if st.Planned != spec.Size() || st.Skipped != 3 || st.Ran != spec.Size()-3 {
+		t.Fatalf("resume stats = %+v, want planned=%d skipped=3", st, spec.Size())
+	}
+
+	merged, err := Merge([]string{streamPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderReport(t, merged); got != want {
+		t.Fatalf("crash/resume output differs from uninterrupted run:\n--- resumed\n%.1500s\n--- reference\n%.1500s", got, want)
+	}
+}
+
+func TestRetainReRunsCheckpointedKeysWithLostRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := sweepSpec()
+	spec.Loads = spec.Loads[:1] // 4 scenarios
+	dir := t.TempDir()
+	streamPath := filepath.Join(dir, "run.jsonl")
+	ckPath := filepath.Join(dir, "run.ck")
+	ck, err := OpenCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := CreateJSONL(streamPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Workers: 1, Checkpoint: ck}, sink); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	ck.Close()
+	want := renderReport(t, mustMerge(t, streamPath))
+
+	// Power-loss shape: the checkpoint flushed but one record did not.
+	b, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	if err := os.WriteFile(streamPath, bytes.Join(lines[1:], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err = OpenCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := StreamKeys(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped := ck.Retain(func(k string) bool { return keys[k] }); dropped != 1 {
+		t.Fatalf("Retain dropped %d keys, want 1", dropped)
+	}
+	sink, err = CreateJSONL(streamPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(spec, Options{Workers: 2, Checkpoint: ck}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	ck.Close()
+	if st.Ran != 1 || st.Skipped != 3 {
+		t.Fatalf("resume stats = %+v, want the lost scenario re-run", st)
+	}
+	if got := renderReport(t, mustMerge(t, streamPath)); got != want {
+		t.Fatal("re-run after lost record did not restore the full report")
+	}
+}
+
+func TestMergeDeduplicatesCrashWindowRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := sweepSpec()
+	spec.Loads = spec.Loads[:1]
+	spec.Seeds = spec.Seeds[:1] // 2 scenarios
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	sink, err := CreateJSONL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Workers: 1}, sink); err != nil {
+		t.Fatal(err)
+	}
+	sink.Close()
+	want := renderReport(t, mustMerge(t, path))
+
+	// A crash between stream-write and checkpoint-mark re-emits the
+	// same record on resume: duplicate the first line.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := b[:bytes.IndexByte(b, '\n')+1]
+	if err := os.WriteFile(path, append(b, first...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := renderReport(t, mustMerge(t, path)); got != want {
+		t.Fatal("duplicate record changed merged output")
+	}
+}
+
+func mustMerge(t *testing.T, paths ...string) *campaign.Report {
+	t.Helper()
+	r, err := Merge(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMergeRejectsMixedCampaignsAndIndexConflicts(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, lines ...string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := write("a.jsonl", `{"campaign":"x","key":"k1","index":0,"scenario":{"topo":"dc","scheme":"ecmp","workload":{}}}`)
+	b := write("b.jsonl", `{"campaign":"y","key":"k2","index":1,"scenario":{"topo":"dc","scheme":"ecmp","workload":{}}}`)
+	if _, err := Merge([]string{a, b}); err == nil || !strings.Contains(err.Error(), "mixes campaign") {
+		t.Fatalf("mixed campaigns not rejected: %v", err)
+	}
+	c := write("c.jsonl",
+		`{"campaign":"x","key":"k1","index":0,"scenario":{"topo":"dc","scheme":"ecmp","workload":{}}}`,
+		`{"campaign":"x","key":"k3","index":0,"scenario":{"topo":"dc","scheme":"sp","workload":{}}}`)
+	if _, err := Merge([]string{c}); err == nil || !strings.Contains(err.Error(), "index") {
+		t.Fatalf("index conflict not rejected: %v", err)
+	}
+	d := write("d.jsonl",
+		`{"campaign":"x","key":"k1","index":0,"scenario":{"topo":"dc","scheme":"ecmp","workload":{}}}`,
+		`{"campaign":"x","key":"k1","index":4,"scenario":{"topo":"dc","scheme":"ecmp","workload":{}}}`)
+	if _, err := Merge([]string{d}); err == nil || !strings.Contains(err.Error(), "index") {
+		t.Fatalf("same key at two indices not rejected: %v", err)
+	}
+}
+
+func TestReadRecordsToleratesTornFinalLineOnly(t *testing.T) {
+	full := `{"campaign":"x","key":"k1","index":0,"scenario":{"topo":"dc","scheme":"ecmp","workload":{}}}`
+	recs, err := ReadRecords(strings.NewReader(full + "\n" + `{"torn":`))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("torn final line: recs=%d err=%v, want 1 record", len(recs), err)
+	}
+	if _, err := ReadRecords(strings.NewReader(`{"torn":` + "\n" + full + "\n")); err == nil {
+		t.Fatal("mid-file corruption silently skipped")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a#1", "b#2", "a#1"} {
+		if err := ck.Mark(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ck.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicate mark collapsed)", ck.Len())
+	}
+	ck.Close()
+	ck, err = OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if !ck.Done("a#1") || !ck.Done("b#2") || ck.Done("c#3") {
+		t.Fatal("reloaded key set wrong")
+	}
+	if err := ck.Mark("bad\nkey"); err == nil {
+		t.Fatal("newline key accepted")
+	}
+}

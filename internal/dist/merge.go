@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"contra/internal/campaign"
+	"contra/internal/scenario"
+)
+
+// Merge folds per-shard record streams back into a campaign report.
+// Records are deduplicated by canonical scenario key (a crash between
+// stream-write and checkpoint-mark makes the resumed run re-emit an
+// identical record) and ordered by expansion index, so the report —
+// and the JSON/CSV rendered from it — is byte-identical to a
+// single-process campaign.Run whatever the shard count, worker count,
+// completion order, or number of crash/resume cycles.
+//
+// Merging is tolerant of missing scenarios (an unfinished sweep merges
+// to a partial report) but rejects conflicting duplicates and records
+// from different campaigns, which indicate mixed-up shard files.
+func Merge(paths []string) (*campaign.Report, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dist: nothing to merge")
+	}
+	seen := map[string]*Record{}
+	var recs []*Record
+	name := ""
+	named := false
+	for _, path := range paths {
+		fileRecs, err := ReadRecordsFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i := range fileRecs {
+			rec := &fileRecs[i]
+			if !named {
+				name, named = rec.Campaign, true
+			} else if rec.Campaign != name {
+				return nil, fmt.Errorf("dist: %s mixes campaign %q into a merge of %q",
+					path, rec.Campaign, name)
+			}
+			if rec.Scenario == nil {
+				return nil, fmt.Errorf("dist: %s: record %q has no scenario", path, rec.Key)
+			}
+			if prev, ok := seen[rec.Key]; ok {
+				if prev.Index != rec.Index {
+					return nil, fmt.Errorf("dist: key %q at both index %d and %d",
+						rec.Key, prev.Index, rec.Index)
+				}
+				continue // duplicate from a crash/resume cycle
+			}
+			seen[rec.Key] = rec
+			recs = append(recs, rec)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Index < recs[j].Index })
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Index == recs[i-1].Index {
+			return nil, fmt.Errorf("dist: two scenarios claim expansion index %d (%q and %q)",
+				recs[i].Index, recs[i-1].Key, recs[i].Key)
+		}
+	}
+	report := &campaign.Report{Name: name, Outcomes: make([]campaign.Outcome, len(recs))}
+	for i, rec := range recs {
+		report.Outcomes[i] = campaign.Outcome{
+			Scenario: *rec.Scenario,
+			Result:   rec.Result,
+			Err:      rec.Err,
+		}
+	}
+	return report, nil
+}
+
+// Schemes lists the distinct schemes of a report in first-appearance
+// order — the column order of a comparison table rendered without the
+// original spec in hand (the merge CLI path).
+func Schemes(r *campaign.Report) []scenario.Scheme {
+	var out []scenario.Scheme
+	seen := map[scenario.Scheme]bool{}
+	for _, o := range r.Outcomes {
+		if !seen[o.Scenario.Scheme] {
+			seen[o.Scenario.Scheme] = true
+			out = append(out, o.Scenario.Scheme)
+		}
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"contra/internal/baseline"
@@ -26,6 +27,7 @@ type Result struct {
 	Scheme  Scheme  `json:"scheme"`
 	Script  string  `json:"script,omitempty"`
 	Dist    string  `json:"dist,omitempty"`
+	Pattern string  `json:"pattern,omitempty"`
 	Load    float64 `json:"load,omitempty"`
 	RateBps float64 `json:"rate_bps,omitempty"`
 	Seed    int64   `json:"seed"`
@@ -35,7 +37,14 @@ type Result struct {
 
 	MeanFCT float64 `json:"mean_fct,omitempty"` // seconds
 	P50FCT  float64 `json:"p50_fct,omitempty"`
-	P99FCT  float64 `json:"p99_fct,omitempty"`
+	// P95FCT comes from the O(1)-memory P² streaming tracker
+	// (stats.Quantiles), deterministic for a given scenario; p50/p99
+	// still read the exact retained Sample to keep historical values
+	// byte-stable. The tracker follows all three so the Sample can be
+	// dropped from this path wholesale once that compatibility window
+	// closes.
+	P95FCT float64 `json:"p95_fct,omitempty"`
+	P99FCT float64 `json:"p99_fct,omitempty"`
 
 	FabricBytes   float64 `json:"fabric_bytes"`
 	DataBytes     float64 `json:"data_bytes"`
@@ -48,13 +57,17 @@ type Result struct {
 	LoopBreaks    float64 `json:"loop_breaks,omitempty"`
 
 	// Failover analysis (BinNs > 0 and a runtime link_down/degrade
-	// event): throughput before the event, the deepest dip after it,
-	// and how long delivered throughput stayed depressed.
-	BaselineBps float64 `json:"baseline_bps,omitempty"`
-	MinBps      float64 `json:"min_bps,omitempty"`
-	RecoveryNs  int64   `json:"recovery_ns,omitempty"`
-	FailAtNs    int64   `json:"fail_at_ns,omitempty"`
-	BinNs       int64   `json:"bin_ns,omitempty"` // Series bin width
+	// event): throughput before the first event, the deepest dip after
+	// it, and how long delivered throughput stayed depressed. For
+	// scripts with several disruptions these top-level fields keep
+	// describing the first one (the historical single-failure report)
+	// and Recoveries carries one window per disruption instant.
+	BaselineBps float64          `json:"baseline_bps,omitempty"`
+	MinBps      float64          `json:"min_bps,omitempty"`
+	RecoveryNs  int64            `json:"recovery_ns,omitempty"`
+	FailAtNs    int64            `json:"fail_at_ns,omitempty"`
+	BinNs       int64            `json:"bin_ns,omitempty"` // Series bin width
+	Recoveries  []RecoveryWindow `json:"recoveries,omitempty"`
 
 	SimulatedNs int64 `json:"simulated_ns"`
 
@@ -211,17 +224,6 @@ func (s *Scenario) resolvedEvents(g *topo.Graph) (pre []topo.LinkID, net []sim.N
 	return pre, net, surges, nil
 }
 
-// failAt returns the time of the first runtime disruption (link_down
-// or degrade), the anchor of the recovery analysis; 0 if none.
-func (s *Scenario) failAt() int64 {
-	for _, ev := range s.Events {
-		if (ev.Kind == LinkDown || ev.Kind == Degrade) && ev.AtNs > 0 {
-			return ev.AtNs
-		}
-	}
-	return 0
-}
-
 // Run executes a scenario and collects its Result. Execution is
 // deterministic: the same scenario (including seed) produces an
 // identical Result on every run, serial or inside a parallel campaign.
@@ -266,9 +268,18 @@ func Run(s Scenario) (*Result, error) {
 	n.Start()
 
 	warmup := 12 * s.ProbePeriodNs
+	// Result.Topo carries the campaign's axis value (the spec string)
+	// when there is one, so every downstream view — CSV rows, failed
+	// outcomes, seed aggregation of either report JSON or shard JSONL —
+	// keys topologies identically; graphs handed in as Go values fall
+	// back to the graph's own name.
+	topoName := s.TopoSpec
+	if topoName == "" {
+		topoName = g.Name
+	}
 	res := &Result{
 		Name:   s.Name,
-		Topo:   g.Name,
+		Topo:   topoName,
 		Scheme: s.Scheme,
 		Script: s.Script,
 		Seed:   s.Seed,
@@ -341,8 +352,9 @@ func runFCT(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup in
 	}
 	flows := workload.Generate(g, workload.Config{
 		Dist: dist, Senders: senders, Receivers: receivers,
-		Pairs: pairs,
-		Load:  w.Load, CapacityBps: capacity,
+		Pairs:   pairs,
+		Pattern: w.Pattern, IncastTargets: w.IncastTargets,
+		Load: w.Load, CapacityBps: capacity,
 		StartNs: warmup, DurationNs: w.DurationNs,
 		Seed: s.Seed, MaxFlows: w.MaxFlows,
 	})
@@ -356,8 +368,9 @@ func runFCT(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup in
 	for i, ev := range surges {
 		extra := workload.Generate(g, workload.Config{
 			Dist: dist, Senders: senders, Receivers: receivers,
-			Pairs: pairs,
-			Load:  ev.Load, CapacityBps: capacity,
+			Pairs:   pairs,
+			Pattern: w.Pattern, IncastTargets: w.IncastTargets,
+			Load: ev.Load, CapacityBps: capacity,
 			StartNs: ev.AtNs, DurationNs: ev.DurationNs,
 			Seed: s.Seed + 101 + int64(i), MaxFlows: w.MaxFlows,
 			FirstFlowID: uint64(i+1) << 32,
@@ -381,11 +394,13 @@ func runFCT(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup in
 	}
 
 	res.Dist = dist.Name
+	res.Pattern = w.Pattern
 	res.Load = w.Load
 	res.Flows = len(flows)
 	res.Completed = n.CompletedFlows()
 	res.MeanFCT = n.FCT.Mean()
 	res.P50FCT = n.FCT.Quantile(0.5)
+	res.P95FCT = n.FCTQuant.Quantile(0.95)
 	res.P99FCT = n.FCT.Quantile(0.99)
 	return nil
 }
@@ -437,62 +452,126 @@ func runCBR(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup in
 	return nil
 }
 
+// RecoveryWindow is the failover analysis of one disruption instant:
+// the delivered-throughput baseline immediately before it, the deepest
+// dip afterwards, and how long throughput stayed depressed. Disruptions
+// scheduled at the same nanosecond (a multi-link failure) coalesce into
+// one window.
+type RecoveryWindow struct {
+	Kind        EventKind `json:"kind"`
+	AtNs        int64     `json:"at_ns"`
+	BaselineBps float64   `json:"baseline_bps"`
+	MinBps      float64   `json:"min_bps"`
+	RecoveryNs  int64     `json:"recovery_ns"`
+}
+
+// disruptions returns the runtime disruption instants in time order,
+// events at the same nanosecond coalesced into one. A disruption is a
+// link_down at AtNs > 0 or a degrade that actually shrinks bandwidth
+// (0 < Scale < 1); link_up and degrade-restores are recovery actions,
+// not disruptions, so they bound the preceding window instead of
+// opening one of their own.
+func (s *Scenario) disruptions() []RecoveryWindow {
+	var ds []RecoveryWindow
+	for _, ev := range s.Events {
+		if ev.AtNs <= 0 {
+			continue
+		}
+		if ev.Kind == LinkDown || (ev.Kind == Degrade && ev.Scale > 0 && ev.Scale < 1) {
+			ds = append(ds, RecoveryWindow{Kind: ev.Kind, AtNs: ev.AtNs})
+		}
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].AtNs < ds[j].AtNs })
+	out := ds[:0]
+	for _, d := range ds {
+		if len(out) > 0 && out[len(out)-1].AtNs == d.AtNs {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // analyzeRecovery derives the failover metrics from the throughput
-// series: pre-event baseline, deepest post-event dip, and the time the
-// series stayed depressed below the pre-event floor.
+// series, one window per disruption instant: pre-event baseline,
+// deepest post-event dip, and the time the series stayed depressed
+// below the pre-event floor. Each window is bounded by the next
+// disruption, so a script with several failures reports each on its
+// own (ROADMAP: generalize the one-disruption-per-run assumption).
 func analyzeRecovery(s *Scenario, res *Result) {
-	failAt := s.failAt()
-	if failAt <= 0 {
+	wins := s.disruptions()
+	if len(wins) == 0 {
 		return
 	}
-	res.FailAtNs = failAt
 	end := s.Workload.EndNs
 	if end == 0 {
 		end = res.SimulatedNs
 	}
-	// Baseline: mean and floor of the bins in the 10ms before the
-	// failure. Residual measurement noise shows up in the pre-failure
-	// floor, so "depressed" means below that floor, not below the
-	// mean.
-	var base, cnt float64
-	floor := -1.0
-	for _, p := range res.Series {
-		if p.T >= failAt-10_000_000 && p.T < failAt-s.BinNs {
-			base += p.V
-			cnt++
-			if floor < 0 || p.V < floor {
-				floor = p.V
+	for i := range wins {
+		w := &wins[i]
+		// Baseline: mean and floor of the bins in the 10ms before the
+		// disruption. Residual measurement noise shows up in the
+		// pre-failure floor, so "depressed" means below that floor,
+		// not below the mean. For a disruption that follows another
+		// within 10ms the baseline starts at the previous disruption,
+		// so it reflects the throughput actually delivered just before
+		// this event rather than mixing in healthy bins whose floor
+		// would mask the new dip.
+		lo := w.AtNs - 10_000_000
+		if i > 0 && wins[i-1].AtNs > lo {
+			lo = wins[i-1].AtNs
+		}
+		var base, cnt float64
+		floor := -1.0
+		for _, p := range res.Series {
+			if p.T >= lo && p.T < w.AtNs-s.BinNs {
+				base += p.V
+				cnt++
+				if floor < 0 || p.V < floor {
+					floor = p.V
+				}
 			}
 		}
-	}
-	if cnt > 0 {
-		base /= cnt
-	}
-	res.BaselineBps = base
-	res.MinBps = base
-	// Recovery: the end of the last bin still depressed below 99% of
-	// the pre-failure floor. A failure whose dip never crosses the
-	// threshold recovered within one bin.
-	lastLow := int64(-1)
-	for _, p := range res.Series {
-		if p.T < failAt || p.T >= end-s.BinNs {
-			continue
+		if cnt > 0 {
+			base /= cnt
 		}
-		if p.V < res.MinBps {
-			res.MinBps = p.V
+		w.BaselineBps = base
+		w.MinBps = base
+		// The window ends at the next disruption or the last full bin.
+		limit := end - s.BinNs
+		if i+1 < len(wins) && wins[i+1].AtNs < limit {
+			limit = wins[i+1].AtNs
 		}
-		if p.V < 0.99*floor {
-			lastLow = p.T + s.BinNs
+		// Recovery: the end of the last bin still depressed below 99%
+		// of the pre-disruption floor. A dip that never crosses the
+		// threshold recovered within one bin.
+		lastLow := int64(-1)
+		for _, p := range res.Series {
+			if p.T < w.AtNs || p.T >= limit {
+				continue
+			}
+			if p.V < w.MinBps {
+				w.MinBps = p.V
+			}
+			if p.V < 0.99*floor {
+				lastLow = p.T + s.BinNs
+			}
+		}
+		switch {
+		case base <= 0:
+			w.RecoveryNs = -1
+		case lastLow < 0:
+			w.RecoveryNs = s.BinNs
+		default:
+			w.RecoveryNs = lastLow - w.AtNs
 		}
 	}
-	switch {
-	case base <= 0:
-		res.RecoveryNs = -1
-	case lastLow < 0:
-		res.RecoveryNs = s.BinNs
-	default:
-		res.RecoveryNs = lastLow - failAt
-	}
+	res.Recoveries = wins
+	// The historical top-level fields report the first disruption.
+	res.FailAtNs = wins[0].AtNs
+	res.BaselineBps = wins[0].BaselineBps
+	res.MinBps = wins[0].MinBps
+	res.RecoveryNs = wins[0].RecoveryNs
 }
 
 // mustDist resolves a distribution name, defaulting to web-search on

@@ -13,6 +13,7 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -101,6 +102,15 @@ type Workload struct {
 	DurationNs int64   `json:"duration_ns,omitempty"` // arrival window; default 20ms
 	DrainNs    int64   `json:"drain_ns,omitempty"`    // post-arrival budget; default 1s
 	MaxFlows   int     `json:"max_flows,omitempty"`   // default 4000
+
+	// Pattern selects the traffic pattern: "random" (default),
+	// "incast", or "all_to_all" (workload.Patterns). FCT workloads
+	// only; ignored when Pairs is set.
+	Pattern string `json:"pattern,omitempty"`
+
+	// IncastTargets bounds the hot receiver set of the incast pattern
+	// (<= 0 means 1).
+	IncastTargets int `json:"incast_targets,omitempty"`
 
 	// CapacityBps normalizes Load; 0 derives it from the topology's
 	// fabric links.
@@ -218,6 +228,10 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: %v", s.Name, err)
 		}
 	}
+	if !workload.ValidPattern(s.Workload.Pattern) {
+		return fmt.Errorf("scenario %q: unknown traffic pattern %q (want one of %v)",
+			s.Name, s.Workload.Pattern, workload.Patterns())
+	}
 	for i, ev := range s.Events {
 		switch ev.Kind {
 		case LinkDown, LinkUp, Degrade:
@@ -233,6 +247,28 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Key returns a stable canonical identifier for the scenario: its name
+// followed by a short hash of every spec-expressible parameter that
+// affects execution. Campaign checkpointing keys completed work on it,
+// so it must not change across process restarts, shard layouts, or
+// field reordering in spec files — it is computed from the scenario's
+// canonical JSON encoding, not from the spec's raw bytes.
+//
+// Go-only fields that JSON cannot express (Topo, DistObj, PairIDs) do
+// not enter the hash; checkpoint/resume is defined for spec-driven
+// scenarios, which identify their topology by TopoSpec.
+func (s *Scenario) Key() string {
+	c := *s
+	c.Name = "" // the name is a label; parameters are the identity
+	b, err := json.Marshal(&c)
+	if err != nil {
+		// Scenario has no unmarshalable fields; keep the signature clean.
+		panic(fmt.Sprintf("scenario: key encoding failed: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%s#%x", s.Name, sum[:8])
 }
 
 // Decode parses a scenario JSON spec, rejecting unknown fields so a

@@ -3,6 +3,7 @@ package scenario
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"contra/internal/cliutil"
@@ -99,6 +100,186 @@ func TestRunDeterminism(t *testing.T) {
 			t.Fatalf("same scenario, different results:\n%s\n%s", prev, b)
 		}
 		prev = b
+	}
+}
+
+func TestKeyIsStableAndParameterSensitive(t *testing.T) {
+	s := fastFCT(SchemeContra)
+	k1, k2 := s.Key(), s.Key()
+	if k1 != k2 {
+		t.Fatalf("Key not stable: %q vs %q", k1, k2)
+	}
+	// A decode round-trip (what checkpoint/resume sees across process
+	// restarts) must preserve the key.
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != k1 {
+		t.Fatalf("Key changed across JSON round trip: %q vs %q", got.Key(), k1)
+	}
+	// Every execution-relevant parameter must move the key.
+	muts := map[string]func(*Scenario){
+		"seed":    func(s *Scenario) { s.Seed++ },
+		"scheme":  func(s *Scenario) { s.Scheme = SchemeECMP },
+		"topo":    func(s *Scenario) { s.TopoSpec = "fattree:4:1" },
+		"load":    func(s *Scenario) { s.Workload.Load = 0.7 },
+		"pattern": func(s *Scenario) { s.Workload.Pattern = "incast" },
+		"events":  func(s *Scenario) { s.Events = []Event{{Kind: LinkDown, AtNs: 1}} },
+	}
+	for name, mut := range muts {
+		m := fastFCT(SchemeContra)
+		mut(&m)
+		if m.Key() == k1 {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+	// The name is a label, not identity: only the readable prefix moves.
+	renamed := fastFCT(SchemeContra)
+	renamed.Name = "other"
+	if ki, kj := k1[strings.IndexByte(k1, '#'):], renamed.Key(); !strings.HasSuffix(kj, ki) {
+		t.Errorf("renaming changed the parameter hash: %q vs %q", k1, kj)
+	}
+}
+
+func TestIncastScenarioRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := fastFCT(SchemeECMP)
+	s.Workload.Pattern = "incast"
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pattern != "incast" {
+		t.Fatalf("res.Pattern = %q", res.Pattern)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no incast flows completed")
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	if _, err := Decode([]byte(`{"topo":"dc","scheme":"ecmp","workload":{"pattern":"hotspot"}}`)); err == nil {
+		t.Fatal("decode accepted an unknown traffic pattern")
+	}
+	if _, err := Decode([]byte(`{"topo":"dc","scheme":"ecmp","workload":{"pattern":"all_to_all","incast_targets":2}}`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestP95TracksBetweenP50AndP99(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := Run(fastFCT(SchemeECMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P95FCT <= 0 {
+		t.Fatal("no streaming p95")
+	}
+	// The streaming estimate must land in the exact tail neighbourhood.
+	if res.P95FCT < res.P50FCT || res.P95FCT > 1.2*res.P99FCT {
+		t.Fatalf("p95 %.6f outside [p50 %.6f, 1.2*p99 %.6f]", res.P95FCT, res.P50FCT, res.P99FCT)
+	}
+}
+
+func TestMultiDisruptionRecoveryWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := Scenario{
+		TopoSpec: "dc",
+		Scheme:   SchemeECMP,
+		Seed:     2,
+		Workload: Workload{Kind: WorkloadCBR, EndNs: 60_000_000},
+		Events: []Event{
+			// Two separate disruption instants; the same-time pair at
+			// 15ms must coalesce into one window.
+			{Kind: Degrade, AtNs: 15_000_000, Link: "l0-s0", Scale: 0.05},
+			{Kind: Degrade, AtNs: 15_000_000, Link: "l0-s1", Scale: 0.05},
+			{Kind: Degrade, AtNs: 20_000_000, Link: "l0-s0", Scale: 1}, // restore
+			{Kind: Degrade, AtNs: 20_000_000, Link: "l0-s1", Scale: 1},
+			{Kind: Degrade, AtNs: 40_000_000, Link: "l1-s0", Scale: 0.05},
+			{Kind: Degrade, AtNs: 40_000_000, Link: "l1-s1", Scale: 0.05},
+		},
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restores are recovery actions, not disruptions: two windows.
+	if len(res.Recoveries) != 2 {
+		t.Fatalf("got %d recovery windows, want 2 (15ms and 40ms): %+v",
+			len(res.Recoveries), res.Recoveries)
+	}
+	w0, w2 := res.Recoveries[0], res.Recoveries[1]
+	if w0.AtNs != 15_000_000 || w2.AtNs != 40_000_000 {
+		t.Fatalf("window anchors wrong: %+v", res.Recoveries)
+	}
+	for i, w := range []RecoveryWindow{w0, w2} {
+		if w.BaselineBps <= 0 {
+			t.Fatalf("window %d: no baseline", i)
+		}
+		if w.MinBps > 0.95*w.BaselineBps {
+			t.Fatalf("window %d: degradation invisible (min %.2f of %.2f Gbps)",
+				i, w.MinBps/1e9, w.BaselineBps/1e9)
+		}
+	}
+	// Legacy top-level fields must mirror the first window.
+	if res.FailAtNs != w0.AtNs || res.BaselineBps != w0.BaselineBps ||
+		res.MinBps != w0.MinBps || res.RecoveryNs != w0.RecoveryNs {
+		t.Fatalf("top-level fields diverge from first window: %+v vs %+v", res, w0)
+	}
+	// The first disruption is undone at 20ms, so its recovery must
+	// land shortly after that restore and, in any case, before the
+	// second disruption bounds the window at 40ms.
+	if w0.RecoveryNs < 4_000_000 || w0.RecoveryNs > 25_000_000 {
+		t.Fatalf("first window recovery %.1fms, want ~5ms (restore at +5ms)",
+			float64(w0.RecoveryNs)/1e6)
+	}
+}
+
+func TestCloseSpacedDisruptionBaselineIsClipped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Second disruption 5ms after the first (within the 10ms baseline
+	// horizon) while the first is still in force: its baseline must be
+	// measured on the already-depressed throughput, not on healthy
+	// pre-15ms bins whose floor would mask the second dip.
+	s := Scenario{
+		TopoSpec: "dc",
+		Scheme:   SchemeECMP,
+		Seed:     2,
+		Workload: Workload{Kind: WorkloadCBR, EndNs: 40_000_000},
+		Events: []Event{
+			{Kind: Degrade, AtNs: 15_000_000, Link: "l0-s0", Scale: 0.05},
+			{Kind: Degrade, AtNs: 15_000_000, Link: "l0-s1", Scale: 0.05},
+			{Kind: Degrade, AtNs: 20_000_000, Link: "l1-s0", Scale: 0.05},
+			{Kind: Degrade, AtNs: 20_000_000, Link: "l1-s1", Scale: 0.05},
+		},
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recoveries) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(res.Recoveries), res.Recoveries)
+	}
+	w0, w1 := res.Recoveries[0], res.Recoveries[1]
+	if w0.BaselineBps <= 0 || w1.BaselineBps <= 0 {
+		t.Fatalf("missing baselines: %+v", res.Recoveries)
+	}
+	if w1.BaselineBps >= 0.95*w0.BaselineBps {
+		t.Fatalf("second window baseline %.2f Gbps not clipped to the depressed regime (first baseline %.2f)",
+			w1.BaselineBps/1e9, w0.BaselineBps/1e9)
 	}
 }
 

@@ -91,8 +91,14 @@ type Network struct {
 	flows map[uint64]*flowState
 
 	// Measurement.
-	Counters   *stats.Counter
-	FCT        *stats.Sample // seconds, all completed flows
+	Counters *stats.Counter
+	FCT      *stats.Sample // seconds, all completed flows
+	// FCTQuant tracks p50/p95/p99 FCT in O(1) memory via the P²
+	// streaming estimator, fed in lockstep with the exact Sample:
+	// p95 is reported from here today; p50/p99 are tracked so the
+	// unbounded Sample can be retired from the quantile path without
+	// changing this type's surface.
+	FCTQuant   *stats.Quantiles
 	FCTSmall   *stats.Sample // flows < 100KB
 	FCTLarge   *stats.Sample // flows >= 1MB
 	QueueMSS   *stats.Sample // sampled fabric queue lengths in MSS
@@ -123,6 +129,7 @@ func NewNetwork(e *Engine, g *topo.Graph, cfg Config) *Network {
 		flows:    make(map[uint64]*flowState),
 		Counters: stats.NewCounter(),
 		FCT:      stats.NewSample(),
+		FCTQuant: stats.NewQuantiles(0.5, 0.95, 0.99),
 		FCTSmall: stats.NewSample(),
 		FCTLarge: stats.NewSample(),
 		QueueMSS: stats.NewReservoir(1<<16, 11),

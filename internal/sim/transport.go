@@ -318,6 +318,7 @@ func (n *Network) recordRx(pkt *Packet) {
 func (n *Network) recordFCT(f FlowSpec, fctNs int64) {
 	sec := float64(fctNs) / 1e9
 	n.FCT.Add(sec)
+	n.FCTQuant.Add(sec)
 	if f.Size < 100_000 {
 		n.FCTSmall.Add(sec)
 	}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// relErr is the relative error tolerance for P² estimates against the
+// exact sample quantile on well-behaved streams.
+const relErr = 0.08
+
+func TestP2QuantileTracksExactSample(t *testing.T) {
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			est := NewP2Quantile(p)
+			exact := NewSample()
+			for i := 0; i < 50000; i++ {
+				// Log-normal-ish heavy tail, the FCT shape.
+				x := math.Exp(rng.NormFloat64())
+				est.Add(x)
+				exact.Add(x)
+			}
+			want := exact.Quantile(p)
+			got := est.Value()
+			if math.Abs(got-want)/want > relErr {
+				t.Errorf("p=%.2f seed=%d: P² %.4f vs exact %.4f", p, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestP2QuantileSmallStreams(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("empty estimator should report 0")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		e.Add(x)
+	}
+	if got := e.Value(); got != 2 {
+		t.Fatalf("median of {1,2,3} = %v, want 2 (exact below 5 observations)", got)
+	}
+	if e.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", e.Count())
+	}
+}
+
+func TestP2QuantileDeterminism(t *testing.T) {
+	a, b := NewP2Quantile(0.99), NewP2Quantile(0.99)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		x := rng.ExpFloat64()
+		a.Add(x)
+		b.Add(x)
+	}
+	if a.Value() != b.Value() {
+		t.Fatal("same stream produced different estimates")
+	}
+}
+
+func TestP2QuantileMonotoneStream(t *testing.T) {
+	// A sorted stream is the classic P² stress case; the estimate must
+	// stay within the observed range and near the true quantile.
+	e := NewP2Quantile(0.95)
+	n := 10000
+	for i := 0; i < n; i++ {
+		e.Add(float64(i))
+	}
+	got := e.Value()
+	want := 0.95 * float64(n-1)
+	if got < 0 || got > float64(n-1) {
+		t.Fatalf("estimate %v escaped the observed range", got)
+	}
+	if math.Abs(got-want)/want > relErr {
+		t.Fatalf("sorted stream: P² %.1f vs true %.1f", got, want)
+	}
+}
+
+func TestP2QuantileRejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) should panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func TestQuantilesDefaultTrio(t *testing.T) {
+	q := NewQuantiles()
+	rng := rand.New(rand.NewSource(4))
+	exact := NewSample()
+	for i := 0; i < 30000; i++ {
+		x := rng.ExpFloat64()
+		q.Add(x)
+		exact.Add(x)
+	}
+	if q.Count() != 30000 {
+		t.Fatalf("Count() = %d", q.Count())
+	}
+	for _, p := range []float64{0.5, 0.95, 0.99} {
+		want := exact.Quantile(p)
+		got := q.Quantile(p)
+		if math.Abs(got-want)/want > relErr {
+			t.Errorf("p=%.2f: streaming %.4f vs exact %.4f", p, got, want)
+		}
+	}
+	if q.Quantile(0.42) != 0 {
+		t.Fatal("untracked quantile should return 0")
+	}
+	want := []float64{0.5, 0.95, 0.99}
+	for i, p := range q.Targets() {
+		if p != want[i] {
+			t.Fatalf("Targets() = %v", q.Targets())
+		}
+	}
+}

@@ -120,6 +120,38 @@ func (d *Distribution) Mean() float64 {
 	return mean
 }
 
+// Traffic patterns: how each flow picks its endpoints.
+const (
+	// PatternRandom (the default, also "") draws the sender uniformly
+	// from Senders and the receiver uniformly from Receivers — the
+	// paper's §6.3 setup.
+	PatternRandom = "random"
+	// PatternIncast converges every flow on a small set of hot
+	// receivers (Config.IncastTargets of them, default 1): the classic
+	// partition-aggregate fan-in that stresses a single edge downlink.
+	PatternIncast = "incast"
+	// PatternAllToAll lets every host both send and receive: endpoints
+	// are drawn uniformly from the union of Senders and Receivers, as
+	// in shuffle-stage workloads.
+	PatternAllToAll = "all_to_all"
+)
+
+// Patterns lists the supported traffic patterns (CLI help, spec
+// validation).
+func Patterns() []string {
+	return []string{PatternRandom, PatternIncast, PatternAllToAll}
+}
+
+// ValidPattern reports whether name is a known traffic pattern ("" is
+// the random default).
+func ValidPattern(name string) bool {
+	switch name {
+	case "", PatternRandom, PatternIncast, PatternAllToAll:
+		return true
+	}
+	return false
+}
+
 // Config drives flow generation.
 type Config struct {
 	Dist *Distribution
@@ -129,6 +161,14 @@ type Config struct {
 	// such flows never cross the fabric).
 	Senders   []topo.NodeID
 	Receivers []topo.NodeID
+
+	// Pattern selects how endpoints are drawn: PatternRandom (default),
+	// PatternIncast, or PatternAllToAll. Ignored when Pairs is set.
+	Pattern string
+
+	// IncastTargets bounds the hot receiver set for PatternIncast
+	// (<= 0 means 1).
+	IncastTargets int
 
 	// Pairs, when non-empty, overrides Senders/Receivers: each flow
 	// picks one fixed (sender, receiver) pair uniformly. The paper's
@@ -171,6 +211,27 @@ func Generate(g *topo.Graph, cfg Config) []sim.FlowSpec {
 		cfg.FirstFlowID = 1
 	}
 
+	// Pattern shapes the endpoint pools; the random default keeps the
+	// exact draw sequence of earlier releases so historical seeds
+	// replay identically.
+	senders, receivers := cfg.Senders, cfg.Receivers
+	switch cfg.Pattern {
+	case PatternIncast:
+		k := cfg.IncastTargets
+		if k <= 0 {
+			k = 1
+		}
+		if k > len(receivers) {
+			k = len(receivers)
+		}
+		receivers = receivers[:k]
+	case PatternAllToAll:
+		all := make([]topo.NodeID, 0, len(cfg.Senders)+len(cfg.Receivers))
+		all = append(all, cfg.Senders...)
+		all = append(all, cfg.Receivers...)
+		senders, receivers = all, all
+	}
+
 	var flows []sim.FlowSpec
 	t := float64(cfg.StartNs)
 	end := float64(cfg.StartNs + cfg.DurationNs)
@@ -185,10 +246,17 @@ func Generate(g *topo.Graph, cfg Config) []sim.FlowSpec {
 			p := cfg.Pairs[rng.Intn(len(cfg.Pairs))]
 			src, dst = p[0], p[1]
 		} else {
-			src = cfg.Senders[rng.Intn(len(cfg.Senders))]
-			dst = cfg.Receivers[rng.Intn(len(cfg.Receivers))]
+			src = senders[rng.Intn(len(senders))]
+			dst = receivers[rng.Intn(len(receivers))]
+			// Same-edge flows never cross the fabric; re-pick the end
+			// the pattern leaves free (incast pins its hot receivers,
+			// so there the sender moves).
 			for tries := 0; g.HostEdge(src) == g.HostEdge(dst) && tries < 32; tries++ {
-				dst = cfg.Receivers[rng.Intn(len(cfg.Receivers))]
+				if cfg.Pattern == PatternIncast {
+					src = senders[rng.Intn(len(senders))]
+				} else {
+					dst = receivers[rng.Intn(len(receivers))]
+				}
 			}
 		}
 		if g.HostEdge(src) == g.HostEdge(dst) {

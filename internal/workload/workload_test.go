@@ -124,6 +124,104 @@ func TestGenerateProperties(t *testing.T) {
 	}
 }
 
+func TestIncastPatternConvergesOnHotReceivers(t *testing.T) {
+	g := topo.PaperDataCenter()
+	senders, receivers := SplitHosts(g)
+	flows := Generate(g, Config{
+		Dist: Cache(), Senders: senders, Receivers: receivers,
+		Pattern: PatternIncast, IncastTargets: 2,
+		Load: 0.4, CapacityBps: 160e9,
+		DurationNs: 20_000_000, Seed: 5, MaxFlows: 400,
+	})
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	dsts := map[topo.NodeID]bool{}
+	for _, f := range flows {
+		dsts[f.Dst] = true
+		if g.HostEdge(f.Src) == g.HostEdge(f.Dst) {
+			t.Fatal("incast flow within one edge switch")
+		}
+	}
+	if len(dsts) > 2 {
+		t.Fatalf("incast with 2 targets hit %d receivers", len(dsts))
+	}
+	for d := range dsts {
+		if d != receivers[0] && d != receivers[1] {
+			t.Fatalf("incast receiver %v outside the hot set", d)
+		}
+	}
+}
+
+func TestAllToAllPatternUsesEveryHostBothWays(t *testing.T) {
+	g := topo.PaperDataCenter()
+	senders, receivers := SplitHosts(g)
+	flows := Generate(g, Config{
+		Dist: Cache(), Senders: senders, Receivers: receivers,
+		Pattern: PatternAllToAll,
+		Load:    0.5, CapacityBps: 160e9,
+		DurationNs: 40_000_000, Seed: 6, MaxFlows: 2000,
+	})
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	recvSet := map[topo.NodeID]bool{}
+	for _, r := range receivers {
+		recvSet[r] = true
+	}
+	// Under all-to-all, hosts from the "receivers" half must show up as
+	// sources too (and vice versa) — that is the point of the pattern.
+	srcFromRecvHalf, dstFromSendHalf := 0, 0
+	for _, f := range flows {
+		if recvSet[f.Src] {
+			srcFromRecvHalf++
+		}
+		if !recvSet[f.Dst] {
+			dstFromSendHalf++
+		}
+		if g.HostEdge(f.Src) == g.HostEdge(f.Dst) {
+			t.Fatal("all-to-all flow within one edge switch")
+		}
+	}
+	if srcFromRecvHalf == 0 || dstFromSendHalf == 0 {
+		t.Fatalf("all_to_all did not mix halves: %d/%d", srcFromRecvHalf, dstFromSendHalf)
+	}
+}
+
+func TestRandomPatternUnchangedByPatternField(t *testing.T) {
+	// The explicit "random" name must produce byte-identical flows to
+	// the legacy empty pattern, preserving historical seeds.
+	g := topo.PaperDataCenter()
+	senders, receivers := SplitHosts(g)
+	base := Config{
+		Dist: Cache(), Senders: senders, Receivers: receivers,
+		Load: 0.5, CapacityBps: 160e9,
+		DurationNs: 20_000_000, Seed: 4, MaxFlows: 300,
+	}
+	named := base
+	named.Pattern = PatternRandom
+	a, b := Generate(g, base), Generate(g, named)
+	if len(a) != len(b) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestValidPattern(t *testing.T) {
+	for _, p := range append(Patterns(), "") {
+		if !ValidPattern(p) {
+			t.Errorf("ValidPattern(%q) = false", p)
+		}
+	}
+	if ValidPattern("hotspot") {
+		t.Error("unknown pattern accepted")
+	}
+}
+
 func TestSplitHosts(t *testing.T) {
 	g := topo.PaperDataCenter()
 	s, r := SplitHosts(g)
