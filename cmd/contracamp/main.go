@@ -56,6 +56,9 @@ type options struct {
 	aggCSV    string
 	fctCSV    string
 	recCSV    string
+
+	cpuProfile string
+	memProfile string
 }
 
 func main() {
@@ -75,10 +78,21 @@ func main() {
 	flag.StringVar(&o.aggCSV, "agg-csv", "", "aggregate mode: write the full mean/stddev/min/max CSV to `file`")
 	flag.StringVar(&o.fctCSV, "fct-csv", "", "aggregate mode: write FCT-vs-load figure data to `file`")
 	flag.StringVar(&o.recCSV, "rec-csv", "", "aggregate mode: write recovery-time figure data to `file`")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to `file` (pprof)")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to `file` at exit (pprof)")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	stop, err := cliutil.StartProfiles(o.cpuProfile, o.memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "contracamp:", err)
+		os.Exit(1)
+	}
+	runErr := run(o)
+	if err := stop(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "contracamp:", runErr)
 		os.Exit(1)
 	}
 }

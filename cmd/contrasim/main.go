@@ -35,11 +35,22 @@ func main() {
 	loops := flag.Bool("loops", false, "track looped traffic")
 	failover := flag.Bool("failover", false, "run the Figure 14 failover experiment instead")
 	failLink := flag.String("fail", "", "pre-fail link `A-B` (asymmetric topology)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file` (pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to `file` at exit (pprof)")
 	flag.Parse()
 
-	if err := run(*topoSpec, *scheme, *policyArg, *dist, *load, *durationMs,
-		*maxFlows, *seed, *queues, *loops, *failover, *failLink); err != nil {
+	stop, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "contrasim:", err)
+		os.Exit(1)
+	}
+	runErr := run(*topoSpec, *scheme, *policyArg, *dist, *load, *durationMs,
+		*maxFlows, *seed, *queues, *loops, *failover, *failLink)
+	if err := stop(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "contrasim:", runErr)
 		os.Exit(1)
 	}
 }

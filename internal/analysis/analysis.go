@@ -186,6 +186,60 @@ func (r *Result) EvalPolicy(mv []float64, matches func(regexID int) bool) policy
 	return r.Policy.Eval(&fullEnv{mv: mv, layout: r.MV, matches: matches})
 }
 
+// MaxMV is the widest metric-vector layout a compiled policy can use
+// (the data plane carries metric vectors as [MaxMV]float64).
+const MaxMV = 4
+
+// Evaluator computes ranks without heap allocation by reusing an
+// environment and a component buffer across calls. One Evaluator
+// serves one single-threaded consumer (e.g. one switch router); a
+// returned Rank aliases the internal buffer and is valid only until
+// the next call, so retained ranks must copy V.
+type Evaluator struct {
+	res *Result
+	env fullEnv
+	mv  [MaxMV]float64
+	buf []float64
+}
+
+// NewEvaluator returns a reusable rank evaluator over r.
+func (r *Result) NewEvaluator() *Evaluator {
+	return &Evaluator{res: r, buf: make([]float64, 0, 2*MaxMV)}
+}
+
+// zeroRank is the shared constant-subpolicy rank; comparisons never
+// mutate V, so one instance serves every caller.
+var zeroRank = policy.Finite(0)
+
+// EvalRank is Result.EvalRank on the reused scratch state. mv passes
+// by value so the caller's vector never escapes to the heap.
+func (ev *Evaluator) EvalRank(pid int, mv [MaxMV]float64) policy.Rank {
+	sp := &ev.res.Subpolicies[pid]
+	if sp.ConstOnly {
+		return zeroRank
+	}
+	ev.mv = mv
+	ev.env = fullEnv{mv: ev.mv[:len(ev.res.MV)], layout: ev.res.MV}
+	p := policy.Policy{Body: sp.Rank}
+	out := p.EvalAppend(&ev.env, ev.buf[:0])
+	if out.V != nil {
+		ev.buf = out.V
+	}
+	return out
+}
+
+// EvalPolicy is Result.EvalPolicy with match bits supplied as a slice
+// (one bool per regex ID) instead of a closure, on reused scratch.
+func (ev *Evaluator) EvalPolicy(mv [MaxMV]float64, accept []bool) policy.Rank {
+	ev.mv = mv
+	ev.env = fullEnv{mv: ev.mv[:len(ev.res.MV)], layout: ev.res.MV, accept: accept}
+	out := ev.res.Policy.EvalAppend(&ev.env, ev.buf[:0])
+	if out.V != nil {
+		ev.buf = out.V
+	}
+	return out
+}
+
 type mvEnv struct {
 	mv     []float64
 	layout []policy.Metric
@@ -206,6 +260,7 @@ type fullEnv struct {
 	mv      []float64
 	layout  []policy.Metric
 	matches func(int) bool
+	accept  []bool // when non-nil, match bits by regex ID (no closure)
 }
 
 func (e *fullEnv) Attr(m policy.Metric) float64 {
@@ -217,7 +272,15 @@ func (e *fullEnv) Attr(m policy.Metric) float64 {
 	return 0
 }
 
-func (e *fullEnv) Match(id int) bool { return e.matches(id) }
+func (e *fullEnv) Match(id int) bool {
+	if e.accept != nil {
+		return e.accept[id]
+	}
+	if e.matches == nil {
+		return false // pure leaves carry no Match nodes (mvEnv semantics)
+	}
+	return e.matches(id)
+}
 
 // evalPure evaluates a leaf expression (no Match nodes) against an Env.
 func evalPure(e policy.Expr, env policy.Env) policy.Rank {

@@ -12,29 +12,24 @@ import (
 
 // base carries the plumbing shared by all baseline routers.
 type base struct {
-	sw       *sim.SwitchDev
-	hostEdge map[topo.NodeID]topo.NodeID
+	sw *sim.SwitchDev
 }
 
 func (b *base) init(sw *sim.SwitchDev) {
 	b.sw = sw
-	b.hostEdge = make(map[topo.NodeID]topo.NodeID)
-	for _, h := range sw.Net.Topo.Hosts() {
-		b.hostEdge[h] = sw.Net.Topo.HostEdge(h)
-	}
 }
 
 // pre handles TTL and local delivery; it returns the destination edge
 // switch and false when the packet has been consumed.
 func (b *base) pre(pkt *sim.Packet) (topo.NodeID, bool) {
 	if pkt.TTL == 0 {
-		b.sw.Drop(pkt, "drop_ttl")
+		b.sw.Drop(pkt, sim.DropTTL)
 		return 0, false
 	}
 	pkt.TTL--
-	dstEdge, ok := b.hostEdge[pkt.Dst]
+	dstEdge, ok := b.sw.Net.HostEdge(pkt.Dst)
 	if !ok {
-		b.sw.Drop(pkt, "drop_nohost")
+		b.sw.Drop(pkt, sim.DropNoHost)
 		return 0, false
 	}
 	if dstEdge == b.sw.ID {
@@ -92,7 +87,7 @@ func (r *ECMP) Attach(sw *sim.SwitchDev) {
 // Handle implements sim.Router.
 func (r *ECMP) Handle(pkt *sim.Packet, inPort int) {
 	if pkt.Kind == sim.Probe {
-		r.sw.Drop(pkt, "drop_probe_unsupported")
+		r.sw.Drop(pkt, sim.DropProbeUnsupported)
 		return
 	}
 	dstEdge, ok := r.pre(pkt)
@@ -101,7 +96,7 @@ func (r *ECMP) Handle(pkt *sim.Packet, inPort int) {
 	}
 	ports := r.next[dstEdge]
 	if len(ports) == 0 {
-		r.sw.Drop(pkt, "drop_noroute")
+		r.sw.Drop(pkt, sim.DropNoRoute)
 		return
 	}
 	idx := 0

@@ -154,7 +154,7 @@ func (r *Hula) Handle(pkt *sim.Packet, inPort int) {
 	}
 	port, ok := r.bestFresh(dstEdge, now)
 	if !ok {
-		r.sw.Drop(pkt, "drop_noroute")
+		r.sw.Drop(pkt, sim.DropNoRoute)
 		return
 	}
 	r.flowlets[key] = &hulaFlowlet{port: port, lastPkt: now}

@@ -90,7 +90,7 @@ func (r *Spain) Attach(sw *sim.SwitchDev) {
 // Handle implements sim.Router.
 func (r *Spain) Handle(pkt *sim.Packet, inPort int) {
 	if pkt.Kind == sim.Probe {
-		r.sw.Drop(pkt, "drop_probe_unsupported")
+		r.sw.Drop(pkt, sim.DropProbeUnsupported)
 		return
 	}
 	dstEdge, ok := r.pre(pkt)
@@ -101,7 +101,7 @@ func (r *Spain) Handle(pkt *sim.Packet, inPort int) {
 		// Source edge switch: hash the flow onto a VLAN.
 		np := r.numPaths[pairKey{r.sw.ID, dstEdge}]
 		if np == 0 {
-			r.sw.Drop(pkt, "drop_noroute")
+			r.sw.Drop(pkt, sim.DropNoRoute)
 			return
 		}
 		pkt.Tag = int32(flowHash(pkt.FlowID) % uint64(np))
@@ -118,5 +118,5 @@ func (r *Spain) Handle(pkt *sim.Packet, inPort int) {
 		r.sw.Send(port, pkt)
 		return
 	}
-	r.sw.Drop(pkt, "drop_noroute")
+	r.sw.Drop(pkt, sim.DropNoRoute)
 }

@@ -79,6 +79,30 @@ func BenchmarkDataForwarding(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeFanoutFattree8 measures one full probe period on a
+// k=8 fat-tree (80 switches, the ROADMAP's profiling target): every
+// origin emits a probe per pid x port and the fabric floods them along
+// product-graph out-edges. The per-iteration cost is the whole
+// period's event churn — originate bursts, calendar-queue scheduling,
+// PROCESSPROBE — and must not allocate in steady state.
+func BenchmarkProbeFanoutFattree8(b *testing.B) {
+	g := topo.Fattree(8, 0)
+	pol := policy.MustParse("minimize(path.util)")
+	comp, err := core.Compile(g, pol, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	Deploy(n, comp)
+	n.Start()
+	e.Run(12 * comp.Opts.ProbePeriodNs) // tables warm, fwd maps sized
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(e.Now() + comp.Opts.ProbePeriodNs)
+	}
+}
+
 // BenchmarkCompileFattreeMU isolates the compiler on the figure 9
 // mid-size point.
 func BenchmarkCompileFattreeMU(b *testing.B) {

@@ -33,6 +33,14 @@ type fwdEntry struct {
 	rank    policy.Rank // cached full-policy rank (recombination input)
 }
 
+// setRank stores a (possibly scratch-aliased) rank into the entry's
+// own storage, reusing its component slice so the steady-state probe
+// refresh never allocates.
+func (e *fwdEntry) setRank(r policy.Rank) {
+	e.rank.Inf = r.Inf
+	e.rank.V = append(e.rank.V[:0], r.V...)
+}
+
 // flowKey keys the policy-aware flowlet table (§5.3): tag, pid and
 // flowlet hash, so pinning never crosses a policy constraint.
 type flowKey struct {
@@ -83,7 +91,11 @@ type Contra struct {
 	srcPins  map[srcKey]*srcPin
 	loopTbl  [loopSlots]loopSlot
 
-	hostEdge  map[topo.NodeID]topo.NodeID // host -> its edge switch
+	// evCand/evCur are reusable rank evaluators (candidate vs
+	// incumbent, so a pairwise comparison can hold both results); the
+	// probe hot path evaluates ranks without allocating.
+	evCand, evCur *analysis.Evaluator
+
 	version   uint32
 	lastProbe []int64 // per port: last probe arrival (failure detection)
 
@@ -117,7 +129,8 @@ func New(comp *core.Compiled, swID topo.NodeID) *Contra {
 		best:      make(map[topo.NodeID]fwdKey),
 		flowlets:  make(map[flowKey]*flowletEntry),
 		srcPins:   make(map[srcKey]*srcPin),
-		hostEdge:  make(map[topo.NodeID]topo.NodeID),
+		evCand:    comp.Analysis.NewEvaluator(),
+		evCur:     comp.Analysis.NewEvaluator(),
 		probeSize: comp.Stats.ProbeBytes + 18, // + minimal L2 framing
 	}
 }
@@ -127,9 +140,6 @@ func New(comp *core.Compiled, swID topo.NodeID) *Contra {
 func (c *Contra) Attach(sw *sim.SwitchDev) {
 	c.sw = sw
 	c.lastProbe = make([]int64, sw.PortCount())
-	for _, h := range sw.Net.Topo.Hosts() {
-		c.hostEdge[h] = sw.Net.Topo.HostEdge(h)
-	}
 	period := c.comp.Opts.ProbePeriodNs
 	if c.prog.Origin != nil {
 		// Stagger origins deterministically to avoid a synchronized
@@ -186,7 +196,7 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 	// NEXTPGNODE: the sender's virtual node determines ours.
 	v, ok := c.prog.InTransition[pg.NodeID(pkt.Tag)]
 	if !ok {
-		c.sw.Drop(pkt, "drop_probe_notrans")
+		c.sw.Drop(pkt, sim.DropProbeNoTrans)
 		return
 	}
 	// UPDATEMVEC: fold the traffic-direction link metric. Probes flow
@@ -226,7 +236,7 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 	default:
 		// Live entries are displaced only by strict improvement, which
 		// keeps route churn (and hence transient loops) bounded.
-		accept = c.evalRank(pkt.Pid, mv).Better(c.evalRank(pkt.Pid, e.mv))
+		accept = c.evCand.EvalRank(int(pkt.Pid), mv).Better(c.evCur.EvalRank(int(pkt.Pid), e.mv))
 	}
 	if !accept {
 		c.sw.Net.Free(pkt)
@@ -241,7 +251,7 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 	e.nhop = inPort
 	e.version = pkt.Version
 	e.updated = now
-	e.rank = c.policyRank(v, mv)
+	e.setRank(c.policyRank(v, mv))
 
 	c.updateBest(pkt.Origin, key, e)
 
@@ -262,18 +272,11 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 	}
 }
 
-// evalRank is f(pid, mv): the pid's propagation order.
-func (c *Contra) evalRank(pid uint8, mv [4]float64) policy.Rank {
-	return c.res.EvalRank(int(pid), mv[:len(c.res.MV)])
-}
-
 // policyRank evaluates the full policy for an entry at virtual node v:
-// the recombination step (the "asterisk" choice of §4.2).
+// the recombination step (the "asterisk" choice of §4.2). The result
+// aliases evCand's scratch buffer; retain via fwdEntry.setRank.
 func (c *Contra) policyRank(v pg.NodeID, mv [4]float64) policy.Rank {
-	node := c.comp.PG.Node(v)
-	return c.res.EvalPolicy(mv[:len(c.res.MV)], func(id int) bool {
-		return node.Accept[id]
-	})
+	return c.evCand.EvalPolicy(mv, c.comp.PG.Node(v).Accept)
 }
 
 // updateBest maintains BestT for one origin given a just-updated entry.
@@ -344,14 +347,14 @@ func (c *Contra) portDead(port int) bool {
 // switching, failure expiry, and lazy loop breaking.
 func (c *Contra) handleData(pkt *sim.Packet, inPort int) {
 	if pkt.TTL == 0 {
-		c.sw.Drop(pkt, "drop_ttl")
+		c.sw.Drop(pkt, sim.DropTTL)
 		return
 	}
 	pkt.TTL--
 
-	dstEdge, ok := c.hostEdge[pkt.Dst]
+	dstEdge, ok := c.sw.Net.HostEdge(pkt.Dst)
 	if !ok {
-		c.sw.Drop(pkt, "drop_nohost")
+		c.sw.Drop(pkt, sim.DropNoHost)
 		return
 	}
 	if dstEdge == c.prog.Switch {
@@ -388,7 +391,7 @@ func (c *Contra) forwardFromSource(pkt *sim.Packet, dstEdge topo.NodeID, fid uin
 		c.rescanBest(dstEdge)
 		key, ok = c.best[dstEdge]
 		if !ok {
-			c.sw.Drop(pkt, "drop_noroute")
+			c.sw.Drop(pkt, sim.DropNoRoute)
 			return
 		}
 		e = c.fwd[key]
@@ -438,32 +441,37 @@ func (c *Contra) forwardTransit(pkt *sim.Packet, dstEdge topo.NodeID, fid uint32
 	}
 
 	// FwdT lookup for this tag; try the packet's pid first, then the
-	// other pids (same tag keeps it policy-compliant).
-	var e *fwdEntry
-	pidOrder := make([]uint8, 0, c.res.NumPids())
-	pidOrder = append(pidOrder, pkt.Pid)
-	for pid := 0; pid < c.res.NumPids(); pid++ {
-		if uint8(pid) != pkt.Pid {
-			pidOrder = append(pidOrder, uint8(pid))
-		}
-	}
-	usedPid := pkt.Pid
-	for _, pid := range pidOrder {
-		key := fwdKey{origin: dstEdge, vnode: v, pid: pid}
-		if cand := c.fwd[key]; cand != nil && c.alive(key, cand) {
-			e = cand
-			usedPid = pid
-			break
-		}
-	}
+	// other pids in ascending order (same tag keeps it
+	// policy-compliant). No pid-order slice: the data path must not
+	// allocate per packet.
+	e, usedPid := c.lookupAlive(dstEdge, v, pkt.Pid)
 	if e == nil {
-		c.sw.Drop(pkt, "drop_noroute")
+		c.sw.Drop(pkt, sim.DropNoRoute)
 		return
 	}
 	c.flowlets[fk] = &flowletEntry{nhop: e.nhop, ntag: e.ntag, lastPkt: now}
 	pkt.Pid = usedPid
 	pkt.Tag = int32(e.ntag)
 	c.sw.Send(e.nhop, pkt)
+}
+
+// lookupAlive resolves the live FwdT entry for (dst, vnode), trying
+// pid first and then the remaining pids in ascending order.
+func (c *Contra) lookupAlive(dst topo.NodeID, v pg.NodeID, pid uint8) (*fwdEntry, uint8) {
+	key := fwdKey{origin: dst, vnode: v, pid: pid}
+	if e := c.fwd[key]; e != nil && c.alive(key, e) {
+		return e, pid
+	}
+	for p := 0; p < c.res.NumPids(); p++ {
+		if uint8(p) == pid {
+			continue
+		}
+		key := fwdKey{origin: dst, vnode: v, pid: uint8(p)}
+		if e := c.fwd[key]; e != nil && c.alive(key, e) {
+			return e, uint8(p)
+		}
+	}
+	return nil, pid
 }
 
 // loopDetect updates the TTL-range register for this packet and
@@ -508,6 +516,17 @@ func (c *Contra) sweep() {
 	}
 }
 
+// cloneRank snapshots a rank whose V aliases entry-owned storage that
+// the next probe refresh overwrites in place; the diagnostic accessors
+// return copies so retained ranks stay stable, as they were when every
+// update allocated afresh.
+func cloneRank(r policy.Rank) policy.Rank {
+	if r.V != nil {
+		r.V = append([]float64(nil), r.V...)
+	}
+	return r
+}
+
 // BestNextHop exposes the current decision for a destination switch
 // (diagnostics and tests): the neighbor the switch would send new
 // flowlets toward, or -1.
@@ -524,7 +543,7 @@ func (c *Contra) BestNextHop(dst topo.NodeID) (port int, rank policy.Rank) {
 	if e == nil {
 		return -1, policy.Infinite()
 	}
-	return e.nhop, e.rank
+	return e.nhop, cloneRank(e.rank)
 }
 
 // BestEntry returns the source-switch decision for a destination: the
@@ -544,7 +563,7 @@ func (c *Contra) BestEntry(dst topo.NodeID) (vnode pg.NodeID, pid uint8, rank po
 	if e == nil {
 		return 0, 0, policy.Infinite(), false
 	}
-	return key.vnode, key.pid, e.rank, true
+	return key.vnode, key.pid, cloneRank(e.rank), true
 }
 
 // Entry resolves one FwdT row: the egress port and the next tag for a
@@ -552,18 +571,8 @@ func (c *Contra) BestEntry(dst topo.NodeID) (vnode pg.NodeID, pid uint8, rank po
 // but falling back to other pids on the same tag, exactly as the
 // forwarding path does.
 func (c *Contra) Entry(dst topo.NodeID, vnode pg.NodeID, pid uint8) (nhop int, ntag pg.NodeID, ok bool) {
-	order := make([]uint8, 0, c.res.NumPids())
-	order = append(order, pid)
-	for p := 0; p < c.res.NumPids(); p++ {
-		if uint8(p) != pid {
-			order = append(order, uint8(p))
-		}
-	}
-	for _, p := range order {
-		key := fwdKey{origin: dst, vnode: vnode, pid: p}
-		if e := c.fwd[key]; e != nil && c.alive(key, e) {
-			return e.nhop, e.ntag, true
-		}
+	if e, _ := c.lookupAlive(dst, vnode, pid); e != nil {
+		return e.nhop, e.ntag, true
 	}
 	return -1, 0, false
 }

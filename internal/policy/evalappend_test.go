@@ -1,0 +1,58 @@
+package policy
+
+import (
+	"testing"
+)
+
+// TestEvalAppendMatchesEval asserts the allocation-free evaluator
+// agrees with the reference tree-walker across policy shapes: scalars,
+// tuples, arithmetic, conditionals, and inf absorption.
+func TestEvalAppendMatchesEval(t *testing.T) {
+	srcs := []string{
+		"minimize(path.util)",
+		"minimize(path.len)",
+		"minimize((path.len, path.util))",
+		"minimize((path.util, path.len, path.lat))",
+		"minimize(path.len + path.util)",
+		"minimize(2 * path.util)",
+		"minimize(if path.util > 0.5 then (1, path.util) else (0, path.len))",
+		"minimize(if path.len > 3 then inf else path.util)",
+	}
+	envs := []*MapEnv{
+		{Attrs: map[Metric]float64{Util: 0.25, Len: 2, Lat: 0.001}},
+		{Attrs: map[Metric]float64{Util: 0.9, Len: 5, Lat: 0.01}},
+		{Attrs: map[Metric]float64{}},
+	}
+	for _, src := range srcs {
+		p := MustParse(src)
+		for i, env := range envs {
+			want := p.Eval(env)
+			buf := make([]float64, 0, 8)
+			got := p.EvalAppend(env, buf)
+			if !got.Equal(want) || got.Inf != want.Inf {
+				t.Errorf("%s env %d: EvalAppend = %v, Eval = %v", src, i, got, want)
+			}
+			// A second evaluation reusing the same buffer must not
+			// corrupt results (the scratch contract).
+			again := p.EvalAppend(env, got.V[:0])
+			if !again.Equal(want) {
+				t.Errorf("%s env %d: buffer reuse changed result: %v vs %v", src, i, again, want)
+			}
+		}
+	}
+}
+
+// TestEvalAppendNoAlloc pins the zero-allocation property the probe
+// hot path depends on.
+func TestEvalAppendNoAlloc(t *testing.T) {
+	p := MustParse("minimize((path.len, path.util))")
+	env := &MapEnv{Attrs: map[Metric]float64{Util: 0.4, Len: 3}}
+	buf := make([]float64, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		r := p.EvalAppend(env, buf[:0])
+		buf = r.V[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("EvalAppend allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -294,6 +294,7 @@ func Run(s Scenario) (*Result, error) {
 		return nil, err
 	}
 
+	n.FoldCounters()
 	res.FabricBytes = n.FabricBytes()
 	res.DataBytes = n.Counters.Get("bytes_data")
 	res.AckBytes = n.Counters.Get("bytes_ack")

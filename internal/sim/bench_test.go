@@ -68,5 +68,5 @@ func (r *benchRouter) Handle(pkt *Packet, inPort int) {
 			return
 		}
 	}
-	r.sw.Drop(pkt, "drop_noroute")
+	r.sw.Drop(pkt, DropNoRoute)
 }

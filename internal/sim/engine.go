@@ -9,23 +9,80 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
+	"sort"
 )
 
 // Engine is the event loop. Times are int64 nanoseconds. Execution is
 // single-threaded and deterministic: ties in time break by scheduling
 // order.
+//
+// Events are typed structs with inline operands on a calendar queue,
+// not a heap of closures: the per-hop path (packet delivery, transport
+// timers, probe ticks) schedules without allocating, which is where
+// the simulator spends most of its wall time on large fabrics.
 type Engine struct {
 	now   int64
 	seq   uint64
-	queue eventHeap
+	queue calQueue
 	rng   *rand.Rand
+
+	// net receives typed deliver/RTO events. Set by NewNetwork; one
+	// network per engine (everywhere in this repo), enforced there.
+	net *Network
+
+	// timers backs Every: recurring typed ticks that cancel in place.
+	timers     []timerSlot
+	freeTimers []int32
+}
+
+// timerSlot is one recurring timer. gen guards against a cancelled
+// slot being recycled while its queued tick is still in flight: the
+// stale tick's generation no longer matches, so it frees the slot
+// without firing and without touching the new occupant.
+type timerSlot struct {
+	period int64
+	fn     func()
+	gen    uint32
+	active bool
+}
+
+// evKind discriminates the typed events.
+type evKind uint8
+
+const (
+	evFunc    evKind = iota // fn()
+	evDeliver               // packet arrival at the far end of channel i32
+	evTimer                 // recurring tick of timer slot i32 (generation u64)
+	evRTO                   // transport retransmission timeout (flow, epoch u64)
+)
+
+// event is one scheduled occurrence. Operands are inline so the hot
+// kinds carry no closure; fn is only populated for evFunc.
+type event struct {
+	at   int64
+	seq  uint64
+	u64  uint64 // evTimer: generation; evRTO: arm epoch
+	pkt  *Packet
+	flow *flowState
+	fn   func()
+	i32  int32 // evDeliver: channel index; evTimer: slot index
+	kind evKind
+}
+
+// before is the engine's total order: time, then scheduling sequence.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
 }
 
 // NewEngine returns an engine with a deterministic PRNG.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	e.queue.init()
+	return e
 }
 
 // Now returns the current simulation time in ns.
@@ -34,45 +91,138 @@ func (e *Engine) Now() int64 { return e.now }
 // Rand returns the engine's deterministic PRNG.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn at absolute time t (>= now).
-func (e *Engine) At(t int64, fn func()) {
+// schedule enqueues a typed event at absolute time t (clamped to now),
+// assigning the next sequence number.
+func (e *Engine) schedule(t int64, ev event) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+	ev.at = t
+	ev.seq = e.seq
+	e.queue.push(ev)
+}
+
+// At schedules fn at absolute time t (>= now).
+func (e *Engine) At(t int64, fn func()) {
+	e.schedule(t, event{kind: evFunc, fn: fn})
 }
 
 // After schedules fn d nanoseconds from now.
 func (e *Engine) After(d int64, fn func()) { e.At(e.now+d, fn) }
 
+// scheduleDeliver enqueues a packet arrival on directed channel ch.
+func (e *Engine) scheduleDeliver(t int64, ch int32, pkt *Packet) {
+	e.schedule(t, event{kind: evDeliver, i32: ch, pkt: pkt})
+}
+
+// scheduleRTO enqueues a retransmission timeout for a flow; epoch is
+// the arm counter at scheduling time, so re-arming invalidates it.
+func (e *Engine) scheduleRTO(t int64, st *flowState, epoch int64) {
+	e.schedule(t, event{kind: evRTO, flow: st, u64: uint64(epoch)})
+}
+
 // Every schedules fn every period ns starting at start, until the
-// returned cancel function is called.
+// returned cancel function is called. Cancelling releases the callback
+// immediately; the already-queued tick drains as a no-op that frees
+// the timer slot without firing.
 func (e *Engine) Every(start, period int64, fn func()) (cancel func()) {
-	stopped := false
-	var tick func()
-	tick = func() {
-		if stopped {
+	var idx int32
+	if n := len(e.freeTimers); n > 0 {
+		idx = e.freeTimers[n-1]
+		e.freeTimers = e.freeTimers[:n-1]
+	} else {
+		idx = int32(len(e.timers))
+		e.timers = append(e.timers, timerSlot{})
+	}
+	slot := &e.timers[idx]
+	slot.period = period
+	slot.fn = fn
+	slot.active = true
+	gen := slot.gen
+	e.schedule(start, event{kind: evTimer, i32: idx, u64: uint64(gen)})
+	return func() {
+		s := &e.timers[idx]
+		if s.gen == gen && s.active {
+			s.active = false
+			s.fn = nil // release the callback now, not at the stale tick
+		}
+	}
+}
+
+// timersInUse counts live timer slots (tests).
+func (e *Engine) timersInUse() int {
+	n := 0
+	for i := range e.timers {
+		if e.timers[i].active {
+			n++
+		}
+	}
+	return n
+}
+
+// exec dispatches one event.
+func (e *Engine) exec(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evDeliver:
+		e.net.deliverChan(ev.i32, ev.pkt)
+	case evTimer:
+		slot := &e.timers[ev.i32]
+		if slot.gen != uint32(ev.u64) {
+			return // stale tick of a recycled slot
+		}
+		if !slot.active {
+			// Cancelled: this queued tick is the last reference; free
+			// the slot for reuse under a new generation.
+			slot.gen++
+			slot.fn = nil
+			e.freeTimers = append(e.freeTimers, ev.i32)
 			return
 		}
-		fn()
-		e.After(period, tick)
+		// Fire, then reschedule — in that order, so events the callback
+		// schedules keep their historical sequence numbers (campaign
+		// output is byte-compared across scheduler changes).
+		slot.fn()
+		// The callback may have created timers and grown e.timers;
+		// re-resolve the slot before touching it again.
+		slot = &e.timers[ev.i32]
+		if slot.active && slot.gen == uint32(ev.u64) {
+			e.schedule(e.now+slot.period, event{kind: evTimer, i32: ev.i32, u64: ev.u64})
+		} else if !slot.active && slot.gen == uint32(ev.u64) {
+			// Cancelled by its own callback: no tick remains queued, so
+			// free the slot here.
+			slot.gen++
+			slot.fn = nil
+			e.freeTimers = append(e.freeTimers, ev.i32)
+		}
+	case evRTO:
+		st := ev.flow
+		if st.rtoArmed != int64(ev.u64) || st.senderDone || st.done {
+			return
+		}
+		e.net.hostOf(st.spec.Src).onRTO(st)
 	}
-	e.At(start, tick)
-	return func() { stopped = true }
 }
 
 // Run processes events until the queue is empty or time exceeds until.
 func (e *Engine) Run(until int64) {
-	for e.queue.Len() > 0 {
-		ev := e.queue[0]
+	for e.queue.size > 0 {
+		ev, ok := e.queue.peek()
+		if !ok {
+			break
+		}
 		if ev.at > until {
 			e.now = until
+			// Restore the cursor invariant (no pending or future event
+			// before the cursor) for events scheduled after this pause.
+			e.queue.cursorTo(until)
 			return
 		}
-		heap.Pop(&e.queue)
-		e.now = ev.at
-		ev.fn()
+		popped := e.queue.pop()
+		e.now = popped.at
+		e.exec(&popped)
 	}
 	if e.now < until {
 		e.now = until
@@ -80,29 +230,182 @@ func (e *Engine) Run(until int64) {
 }
 
 // Pending returns the number of scheduled events (for tests).
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return e.queue.size }
 
-type event struct {
-	at  int64
-	seq uint64
-	fn  func()
+// calQueue is a calendar queue (Brown 1988): a ring of time buckets,
+// each a slice sorted by (at, seq), with the dequeue cursor sweeping
+// buckets in time order. Inserts append or binary-insert into one
+// small bucket; dequeues pop the current bucket's head. The structure
+// resizes (bucket count and width) as the event population changes, so
+// both operations stay O(1) amortized with zero steady-state
+// allocation — the container/heap it replaces boxed every event into
+// an interface{} on push.
+//
+// Correctness does not depend on the width heuristic: any (at, seq)
+// total order the buckets yield is the same order the old binary heap
+// produced, which the scheduler property test asserts directly.
+type calQueue struct {
+	buckets []cqBucket
+	mask    int   // len(buckets)-1; bucket count is a power of two
+	width   int64 // ns of simulated time per bucket per lap
+	size    int
+
+	// Cursor: the next dequeue scans from curIdx, whose lap covers
+	// times [curTop-width, curTop).
+	curIdx int
+	curTop int64
+
+	lastAt  int64   // most recently dequeued time (width estimation)
+	gapEWMA float64 // smoothed inter-dequeue gap
+
+	scratch []event // resize spill buffer, reused across resizes
 }
 
-type eventHeap []event
+// cqBucket pops from the front via head (no memmove) and reuses its
+// backing array once drained.
+type cqBucket struct {
+	evs  []event
+	head int
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+const cqMinBuckets = 4
+
+func (q *calQueue) init() {
+	q.buckets = make([]cqBucket, cqMinBuckets)
+	q.mask = cqMinBuckets - 1
+	q.width = 1024
+	q.cursorTo(0)
+}
+
+// cursorTo positions the sweep at time t. Callers guarantee no pending
+// event and no future insert is earlier than t.
+func (q *calQueue) cursorTo(t int64) {
+	lap := t / q.width
+	q.curIdx = int(lap) & q.mask
+	q.curTop = (lap + 1) * q.width
+}
+
+// push inserts ev, keeping its bucket sorted by (at, seq).
+func (q *calQueue) push(ev event) {
+	b := &q.buckets[int(ev.at/q.width)&q.mask]
+	n := len(b.evs)
+	if n == b.head || ev.before(&b.evs[n-1]) {
+		if n == b.head {
+			// Empty bucket: restart at the front so head never creeps.
+			b.evs = b.evs[:0]
+			b.head = 0
+		}
+		b.evs = append(b.evs, ev)
+		if n := len(b.evs); n > 1 && ev.before(&b.evs[n-2]) {
+			// Out-of-order insert (rare: most events are the newest in
+			// their bucket): walk back through the live region. Buckets
+			// hold a handful of events, so the scan beats binary search.
+			i := n - 1
+			for i > b.head && ev.before(&b.evs[i-1]) {
+				i--
+			}
+			copy(b.evs[i+1:], b.evs[i:n-1])
+			b.evs[i] = ev
+		}
+	} else {
+		b.evs = append(b.evs, ev)
 	}
-	return h[i].seq < h[j].seq
+	q.size++
+	if q.size > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// peek returns a pointer to the earliest event without removing it,
+// advancing the cursor to its bucket.
+func (q *calQueue) peek() (*event, bool) {
+	if q.size == 0 {
+		return nil, false
+	}
+	for i := 0; i <= q.mask; i++ {
+		b := &q.buckets[q.curIdx]
+		if b.head < len(b.evs) && b.evs[b.head].at < q.curTop {
+			return &b.evs[b.head], true
+		}
+		q.curIdx = (q.curIdx + 1) & q.mask
+		q.curTop += q.width
+	}
+	// Nothing within one full lap: jump straight to the global minimum
+	// (each bucket is sorted, so its head is its minimum).
+	var min *event
+	minIdx := 0
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		if b.head < len(b.evs) && (min == nil || b.evs[b.head].before(min)) {
+			min = &b.evs[b.head]
+			minIdx = i
+		}
+	}
+	q.curIdx = minIdx
+	q.curTop = (min.at/q.width + 1) * q.width
+	return min, true
+}
+
+// pop removes and returns the earliest event. Must follow a successful
+// peek (the cursor already points at it).
+func (q *calQueue) pop() event {
+	b := &q.buckets[q.curIdx]
+	ev := b.evs[b.head]
+	b.evs[b.head] = event{} // drop pkt/closure references promptly
+	b.head++
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+	}
+	q.size--
+	// Width estimation: smoothed gap between consecutive dequeues.
+	if gap := ev.at - q.lastAt; gap >= 0 {
+		q.gapEWMA = 0.875*q.gapEWMA + 0.125*float64(gap)
+	}
+	q.lastAt = ev.at
+	// Shrink with wide hysteresis (an eighth, not half) so a workload
+	// that breathes across a size boundary — e.g. a periodic probe
+	// burst draining every cycle — settles at the burst size instead
+	// of resizing (and reallocating buckets) twice per period.
+	if q.size < len(q.buckets)/8 && len(q.buckets) > cqMinBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+	return ev
+}
+
+// resize rebuilds the ring with n buckets and a width matched to the
+// observed event spacing, redistributing all pending events.
+func (q *calQueue) resize(n int) {
+	all := q.scratch[:0]
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		all = append(all, b.evs[b.head:]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].before(&all[j]) })
+
+	// Aim for a handful of dequeues per bucket per lap. The EWMA can
+	// legitimately be 0 (same-timestamp bursts); clamp to keep width
+	// positive. A bad estimate costs speed, never correctness.
+	w := int64(q.gapEWMA * 4)
+	if w < 1 {
+		w = 1
+	}
+	q.width = w
+	q.buckets = make([]cqBucket, n)
+	q.mask = n - 1
+	for _, ev := range all {
+		b := &q.buckets[int(ev.at/q.width)&q.mask]
+		b.evs = append(b.evs, ev) // sorted insert order is preserved
+	}
+	floor := q.lastAt
+	if len(all) > 0 && all[0].at < floor {
+		floor = all[0].at
+	}
+	q.cursorTo(floor)
+	// Retain the spill buffer for the next resize, dropping the event
+	// payload references it would otherwise pin.
+	for i := range all {
+		all[i] = event{}
+	}
+	q.scratch = all[:0]
 }

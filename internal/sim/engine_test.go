@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refEngine is the historical scheduler this repo shipped before the
+// calendar queue: a container/heap of closures ordered by (at, seq).
+// The property test drives it and the real Engine with identical
+// schedules and asserts identical execution order.
+type refEngine struct {
+	now   int64
+	seq   uint64
+	queue refHeap
+}
+
+type refEvent struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (e *refEngine) At(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, refEvent{at: t, seq: e.seq, fn: fn})
+}
+
+func (e *refEngine) After(d int64, fn func()) { e.At(e.now+d, fn) }
+
+func (e *refEngine) Every(start, period int64, fn func()) (cancel func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		e.After(period, tick)
+	}
+	e.At(start, tick)
+	return func() { stopped = true }
+}
+
+func (e *refEngine) Run(until int64) {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.at > until {
+			e.now = until
+			return
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// scheduler is the surface the property test drives on both engines.
+type scheduler interface {
+	At(t int64, fn func())
+	After(d int64, fn func())
+	Every(start, period int64, fn func()) func()
+	Run(until int64)
+}
+
+// engineAdapter narrows *Engine to the test surface.
+type engineAdapter struct{ e *Engine }
+
+func (a engineAdapter) At(t int64, fn func())    { a.e.At(t, fn) }
+func (a engineAdapter) After(d int64, fn func()) { a.e.After(d, fn) }
+func (a engineAdapter) Every(start, period int64, fn func()) func() {
+	return a.e.Every(start, period, fn)
+}
+func (a engineAdapter) Run(until int64) { a.e.Run(until) }
+
+// driveSchedule runs one randomized scenario against s and returns the
+// execution trace. All randomness comes from the seeded PRNG, so both
+// engines see byte-for-byte the same schedule: bursts of events at the
+// same timestamp, At with past timestamps (clamped), chained After
+// rescheduling from inside callbacks, recurring timers cancelled
+// mid-run, and Run windows that pause between events.
+func driveSchedule(s scheduler, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	var trace []string
+	record := func(tag string) { trace = append(trace, tag) }
+
+	var spawn func(id int, depth int) func()
+	spawn = func(id int, depth int) func() {
+		return func() {
+			record(fmt.Sprintf("ev%d@%d", id, depth))
+			if depth < 3 {
+				nkids := rng.Intn(3)
+				for k := 0; k < nkids; k++ {
+					child := id*10 + k
+					switch rng.Intn(4) {
+					case 0:
+						s.After(int64(rng.Intn(500)), spawn(child, depth+1))
+					case 1:
+						// Same-timestamp burst: ties break by seq.
+						s.After(0, spawn(child, depth+1))
+					case 2:
+						// Past timestamp: clamps to now.
+						s.At(int64(rng.Intn(100)), spawn(child, depth+1))
+					default:
+						s.After(int64(rng.Intn(5000)), spawn(child, depth+1))
+					}
+				}
+			}
+		}
+	}
+
+	for i := 0; i < 40; i++ {
+		at := int64(rng.Intn(10_000))
+		if i%7 == 0 {
+			at = 2500 // bursts at one instant across iterations
+		}
+		s.At(at, spawn(i, 0))
+	}
+	ticks := 0
+	var cancel func()
+	cancel = s.Every(100, 750, func() {
+		ticks++
+		record(fmt.Sprintf("tick%d", ticks))
+		if ticks == 5 {
+			cancel()
+		}
+	})
+	cancel2 := s.Every(50, 300, func() { record("t2") })
+	s.At(1200, func() { record("cancel2"); cancel2() })
+
+	// Pause/resume windows exercise the cursor-restore path.
+	s.Run(1000)
+	s.Run(1001) // immediately re-enter with an empty window
+	s.Run(6000)
+	s.Run(50_000)
+	return trace
+}
+
+// TestSchedulerOrderProperty drives the calendar-queue engine and the
+// reference heap with identical randomized schedules and requires
+// identical execution order — the invariant that keeps campaign output
+// byte-stable across scheduler implementations.
+func TestSchedulerOrderProperty(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		got := driveSchedule(engineAdapter{NewEngine(1)}, seed)
+		want := driveSchedule(&refEngine{}, seed)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: trace lengths differ: engine %d, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: execution order diverges at step %d: engine %q, reference %q",
+					seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEveryCancelInPlace is the regression test for the stale-tick
+// leak: cancelling a recurring timer must release its callback
+// immediately, and the already-queued tick must drain without firing
+// and free the slot for reuse.
+func TestEveryCancelInPlace(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	cancel := e.Every(0, 10, func() { fired++ })
+	e.Run(25) // fires at t=0, 10, 20
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	cancel()
+	if got := e.timersInUse(); got != 0 {
+		t.Fatalf("timersInUse after cancel = %d, want 0", got)
+	}
+	if e.timers[0].fn != nil {
+		t.Fatal("cancel must release the callback immediately, not at the stale tick")
+	}
+	e.Run(100)
+	if fired != 3 {
+		t.Fatalf("cancelled timer fired again: %d", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("stale tick left %d events pending", e.Pending())
+	}
+	if len(e.freeTimers) != 1 {
+		t.Fatalf("timer slot not freed: freelist = %v", e.freeTimers)
+	}
+
+	// The freed slot is reused under a new generation: the new timer
+	// fires and the old cancel stays inert.
+	fired2 := 0
+	cancel2 := e.Every(e.Now()+5, 10, func() { fired2++ })
+	cancel() // stale cancel of the recycled slot: must be a no-op
+	e.Run(e.Now() + 16)
+	if fired2 != 2 {
+		t.Fatalf("recycled timer fired %d times, want 2", fired2)
+	}
+	cancel2()
+	e.Run(e.Now() + 50)
+	if fired2 != 2 {
+		t.Fatalf("recycled timer fired after cancel: %d", fired2)
+	}
+}
+
+// TestEveryCancelFromCallback covers a timer cancelling itself: no
+// further tick is queued and the slot frees without a drain event.
+func TestEveryCancelFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	var cancel func()
+	cancel = e.Every(0, 10, func() {
+		fired++
+		if fired == 2 {
+			cancel()
+		}
+	})
+	e.Run(100)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("self-cancelled timer left %d events pending", e.Pending())
+	}
+	if len(e.freeTimers) != 1 {
+		t.Fatal("self-cancelled timer slot not freed")
+	}
+}
+
+// TestCalendarQueueResizeStress churns the queue through growth and
+// shrink cycles with adversarial time distributions (dense bursts plus
+// far-future stragglers) and checks global ordering end to end.
+func TestCalendarQueueResizeStress(t *testing.T) {
+	e := NewEngine(1)
+	rng := rand.New(rand.NewSource(42))
+	var lastAt int64 = -1
+	var lastSeq int
+	seq := 0
+	check := func(at int64, id int) func() {
+		seq++
+		mySeq := seq
+		return func() {
+			if e.Now() != at {
+				t.Fatalf("event %d executed at %d, scheduled for %d", id, e.Now(), at)
+			}
+			if at < lastAt {
+				t.Fatalf("time went backwards: %d after %d", at, lastAt)
+			}
+			if at == lastAt && mySeq < lastSeq {
+				t.Fatalf("tie at t=%d broke out of scheduling order", at)
+			}
+			lastAt, lastSeq = at, mySeq
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		var at int64
+		switch i % 3 {
+		case 0:
+			at = int64(rng.Intn(1000)) // dense near-term
+		case 1:
+			at = 500 // massive same-timestamp burst
+		default:
+			at = int64(rng.Intn(100_000_000)) // sparse far future
+		}
+		e.At(at, check(at, i))
+	}
+	e.Run(200_000_000)
+	if e.Pending() != 0 {
+		t.Fatalf("%d events never executed", e.Pending())
+	}
+}
+
+// TestEveryFromTimerCallback grows the timer table from inside a tick:
+// the firing slot must survive the reallocation (regression for a
+// stale-pointer hazard in the typed-timer path).
+func TestEveryFromTimerCallback(t *testing.T) {
+	e := NewEngine(1)
+	var spawned int
+	cancel := e.Every(0, 10, func() {
+		// Each tick registers more timers, forcing e.timers to grow
+		// while the outer tick is mid-flight.
+		for i := 0; i < 4; i++ {
+			e.Every(e.Now()+1000, 1000, func() { spawned++ })
+		}
+	})
+	e.Run(95) // 10 outer ticks, 40 spawned timers
+	cancel()
+	e.Run(2000)
+	if spawned == 0 {
+		t.Fatal("spawned timers never fired")
+	}
+	if got := e.timersInUse(); got != 40 {
+		t.Fatalf("timersInUse = %d, want 40", got)
+	}
+}

@@ -42,6 +42,29 @@ func (c *Config) fill() {
 // minRTO returns the configured transport floor.
 func (n *Network) minRTO() float64 { return float64(n.Cfg.MinRTONs) }
 
+// DropReason classifies discarded packets. Typed reasons keep the
+// per-drop cost at an array increment; FoldCounters translates them to
+// the historical string labels at run end.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	DropQueue            DropReason = iota // drop-tail queue overflow
+	DropLinkDown                           // transmit on / in flight over a down link
+	DropTTL                                // TTL expired
+	DropNoRoute                            // no usable forwarding entry
+	DropNoHost                             // destination host unknown
+	DropNoLocal                            // no local port for the destination
+	DropProbeNoTrans                       // probe tag without a product-graph transition
+	DropProbeUnsupported                   // scheme does not process probes
+	numDropReasons
+)
+
+var dropLabels = [numDropReasons]string{
+	"drop_queue", "drop_linkdown", "drop_ttl", "drop_noroute",
+	"drop_nohost", "drop_nolocal", "drop_probe_notrans", "drop_probe_unsupported",
+}
+
 // Router is the forwarding logic attached to a switch: the Contra data
 // plane or one of the baselines. Handle owns the packet: it must either
 // forward it via sw.Send, deliver it via sw.DeliverLocal, or drop it
@@ -53,6 +76,9 @@ type Router interface {
 
 // channel is one direction of a link: a rate limiter with a drop-tail
 // virtual queue, a propagation delay, and a DRE utilization estimator.
+// The delivery metadata (receiving device, ingress port) is resolved
+// once in NewNetwork so the per-packet path never consults maps or
+// scans port lists.
 type channel struct {
 	from, to   topo.NodeID
 	bytesPerNs float64
@@ -62,6 +88,10 @@ type channel struct {
 	down       bool
 	dre        *stats.DRE
 	fabric     bool // switch-switch (vs host-attach) link
+
+	toSwitch *SwitchDev // receiving switch, nil when to is a host
+	toHost   *HostDev   // receiving host, nil when to is a switch
+	inPort   int32      // ingress port index at to (switch delivery)
 
 	txBytes   float64
 	drops     int64
@@ -83,12 +113,29 @@ type Network struct {
 	Topo *topo.Graph
 	Cfg  Config
 
-	switches map[topo.NodeID]*SwitchDev
-	hosts    map[topo.NodeID]*HostDev
-	chans    []channel // 2 per link: linkID*2 (A->B), linkID*2+1 (B->A)
+	// Dense per-node device tables indexed by topo.NodeID (nil where
+	// the node is the other kind).
+	switches []*SwitchDev
+	hosts    []*HostDev
+	chans    []channel     // 2 per link: linkID*2 (A->B), linkID*2+1 (B->A)
+	portChan [][]int32     // node -> local port -> directed channel index
+	hostPort []int32       // host -> port index on its edge switch, -1 otherwise
+	hostEdge []topo.NodeID // host -> its edge switch, -1 otherwise
 
 	pool  pool
 	flows map[uint64]*flowState
+
+	// Hot-path accounting: typed fields bumped per packet, folded into
+	// the string-keyed Counters by FoldCounters at run end.
+	txData      float64
+	txAck       float64
+	txProbe     float64
+	tagOverhead float64
+	dropCounts  [numDropReasons]int64
+	dropData    float64
+	rtoCount    int64
+	fastRetx    int64
+	flowsDone   int64
 
 	// Measurement.
 	Counters *stats.Counter
@@ -119,13 +166,18 @@ type Network struct {
 // SetRouter for every switch, then Start.
 func NewNetwork(e *Engine, g *topo.Graph, cfg Config) *Network {
 	cfg.fill()
+	if e.net != nil {
+		panic("sim: engine already drives a network")
+	}
 	n := &Network{
 		Eng:      e,
 		Topo:     g,
 		Cfg:      cfg,
-		switches: make(map[topo.NodeID]*SwitchDev),
-		hosts:    make(map[topo.NodeID]*HostDev),
+		switches: make([]*SwitchDev, g.NumNodes()),
+		hosts:    make([]*HostDev, g.NumNodes()),
 		chans:    make([]channel, 2*g.NumLinks()),
+		hostPort: make([]int32, g.NumNodes()),
+		hostEdge: make([]topo.NodeID, g.NumNodes()),
 		flows:    make(map[uint64]*flowState),
 		Counters: stats.NewCounter(),
 		FCT:      stats.NewSample(),
@@ -133,6 +185,17 @@ func NewNetwork(e *Engine, g *topo.Graph, cfg Config) *Network {
 		FCTSmall: stats.NewSample(),
 		FCTLarge: stats.NewSample(),
 		QueueMSS: stats.NewReservoir(1<<16, 11),
+	}
+	e.net = n
+	for _, node := range g.Nodes() {
+		n.hostPort[node.ID] = -1
+		n.hostEdge[node.ID] = -1
+		switch node.Kind {
+		case topo.Switch:
+			n.switches[node.ID] = &SwitchDev{Net: n, ID: node.ID}
+		case topo.Host:
+			n.hosts[node.ID] = &HostDev{net: n, id: node.ID}
+		}
 	}
 	for _, l := range g.Links() {
 		fabric := g.Node(l.A).Kind == topo.Switch && g.Node(l.B).Kind == topo.Switch
@@ -150,14 +213,29 @@ func NewNetwork(e *Engine, g *topo.Graph, cfg Config) *Network {
 			// Links marked down in the topology (pre-failed,
 			// "asymmetric" setups) start down in the simulator too.
 			ch.down = l.Down
+			ch.toSwitch = n.switches[ch.to]
+			ch.toHost = n.hosts[ch.to]
+			ch.inPort = int32(g.PortTo(ch.to, ch.from))
 		}
 	}
+	// Per-node port -> directed channel index, replacing the
+	// Ports-slice walk plus Link lookup on every transmit.
+	n.portChan = make([][]int32, g.NumNodes())
 	for _, node := range g.Nodes() {
-		switch node.Kind {
-		case topo.Switch:
-			n.switches[node.ID] = &SwitchDev{Net: n, ID: node.ID}
-		case topo.Host:
-			n.hosts[node.ID] = &HostDev{net: n, id: node.ID}
+		ports := g.Ports(node.ID)
+		row := make([]int32, len(ports))
+		for i, p := range ports {
+			d := 0
+			if g.Link(p.Link).B == node.ID {
+				d = 1
+			}
+			row[i] = int32(p.Link)*2 + int32(d)
+		}
+		n.portChan[node.ID] = row
+		if node.Kind == topo.Host {
+			edge := g.HostEdge(node.ID)
+			n.hostEdge[node.ID] = edge
+			n.hostPort[node.ID] = int32(g.PortTo(edge, node.ID))
 		}
 	}
 	return n
@@ -165,8 +243,8 @@ func NewNetwork(e *Engine, g *topo.Graph, cfg Config) *Network {
 
 // SetRouter installs forwarding logic on a switch.
 func (n *Network) SetRouter(sw topo.NodeID, r Router) {
-	dev, ok := n.switches[sw]
-	if !ok {
+	dev := n.switches[sw]
+	if dev == nil {
 		panic(fmt.Sprintf("sim: %d is not a switch", sw))
 	}
 	dev.router = r
@@ -174,8 +252,8 @@ func (n *Network) SetRouter(sw topo.NodeID, r Router) {
 
 // Start attaches all routers. Every switch must have one.
 func (n *Network) Start() {
-	for id, dev := range n.switches {
-		if dev.router == nil {
+	for _, id := range n.Topo.Switches() {
+		if n.switches[id].router == nil {
 			panic(fmt.Sprintf("sim: switch %s has no router", n.Topo.Node(id).Name))
 		}
 	}
@@ -188,30 +266,38 @@ func (n *Network) Start() {
 // Switch returns a switch device.
 func (n *Network) Switch(id topo.NodeID) *SwitchDev { return n.switches[id] }
 
+// hostOf returns the host device for a node id.
+func (n *Network) hostOf(id topo.NodeID) *HostDev { return n.hosts[id] }
+
+// HostEdge returns the edge switch a host attaches to, from the dense
+// table built in NewNetwork (routers use it on the per-packet path).
+func (n *Network) HostEdge(id topo.NodeID) (topo.NodeID, bool) {
+	if int(id) >= len(n.hostEdge) {
+		return -1, false
+	}
+	e := n.hostEdge[id]
+	return e, e >= 0
+}
+
 // channelFor returns the directed channel leaving `from` on local port
 // index `port`.
 func (n *Network) channelFor(from topo.NodeID, port int) *channel {
-	p := n.Topo.Ports(from)[port]
-	l := n.Topo.Link(p.Link)
-	d := 0
-	if l.B == from {
-		d = 1
-	}
-	return &n.chans[int(l.ID)*2+d]
+	return &n.chans[n.portChan[from][port]]
 }
 
 // transmit pushes a packet onto a directed channel, applying the
 // drop-tail queue and scheduling delivery at the far end.
 func (n *Network) transmit(from topo.NodeID, port int, pkt *Packet) {
-	ch := n.channelFor(from, port)
+	chIdx := n.portChan[from][port]
+	ch := &n.chans[chIdx]
 	now := n.Eng.Now()
 	if ch.down {
-		n.countDrop(ch, pkt, "drop_linkdown")
+		n.countDrop(ch, pkt, DropLinkDown)
 		n.Free(pkt)
 		return
 	}
 	if ch.queuedBytes(now)+float64(pkt.Size) > ch.capBytes {
-		n.countDrop(ch, pkt, "drop_queue")
+		n.countDrop(ch, pkt, DropQueue)
 		n.Free(pkt)
 		return
 	}
@@ -228,17 +314,7 @@ func (n *Network) transmit(from topo.NodeID, port int, pkt *Packet) {
 	ch.txBytes += float64(pkt.Size)
 	n.accountTx(ch, pkt)
 
-	to := ch.to
-	arrive := ch.busyUntil + ch.delayNs
-	n.Eng.At(arrive, func() {
-		if ch.down {
-			// Link died while in flight.
-			n.countDrop(ch, pkt, "drop_linkdown")
-			n.Free(pkt)
-			return
-		}
-		n.deliver(to, from, pkt)
-	})
+	n.Eng.scheduleDeliver(ch.busyUntil+ch.delayNs, chIdx, pkt)
 }
 
 func (n *Network) accountTx(ch *channel, pkt *Packet) {
@@ -247,31 +323,63 @@ func (n *Network) accountTx(ch *channel, pkt *Packet) {
 	}
 	switch pkt.Kind {
 	case Data:
-		n.Counters.Add("bytes_data", float64(pkt.Size))
+		n.txData += float64(pkt.Size)
 	case Ack:
-		n.Counters.Add("bytes_ack", float64(pkt.Size))
+		n.txAck += float64(pkt.Size)
 	case Probe:
-		n.Counters.Add("bytes_probe", float64(pkt.Size))
+		n.txProbe += float64(pkt.Size)
 	}
 	if pkt.HasTag && pkt.Kind == Data {
-		n.Counters.Add("bytes_tag_overhead", TagHeaderBytes)
+		n.tagOverhead += TagHeaderBytes
 	}
 }
 
-func (n *Network) countDrop(ch *channel, pkt *Packet, label string) {
+func (n *Network) countDrop(ch *channel, pkt *Packet, reason DropReason) {
 	ch.drops++
 	ch.dropBytes += float64(pkt.Size)
-	n.Counters.Add(label, 1)
+	n.dropCounts[reason]++
 	if pkt.Kind == Data {
-		n.Counters.Add("drop_data_bytes", float64(pkt.Size))
+		n.dropData += float64(pkt.Size)
 	}
 }
 
-// deliver hands a packet to the receiving device.
-func (n *Network) deliver(to, from topo.NodeID, pkt *Packet) {
-	if sw, ok := n.switches[to]; ok {
-		inPort := n.Topo.PortTo(to, from)
+// FoldCounters folds the typed hot-path accounting fields into the
+// string-keyed Counters set. It is idempotent; call it after a run
+// (scenario.Run does) before reading Counters.
+func (n *Network) FoldCounters() {
+	set := func(label string, v float64) {
+		// Absent labels read as 0 from Counters; only materialize keys
+		// that were actually incremented, matching the historical map.
+		if v != 0 {
+			n.Counters.Set(label, v)
+		}
+	}
+	set("bytes_data", n.txData)
+	set("bytes_ack", n.txAck)
+	set("bytes_probe", n.txProbe)
+	set("bytes_tag_overhead", n.tagOverhead)
+	for r, c := range n.dropCounts {
+		set(dropLabels[r], float64(c))
+	}
+	set("drop_data_bytes", n.dropData)
+	set("rto", float64(n.rtoCount))
+	set("fast_retx", float64(n.fastRetx))
+	set("flows_done", float64(n.flowsDone))
+}
+
+// deliverChan hands the packet in flight on channel chIdx to the
+// receiving device (the evDeliver event body).
+func (n *Network) deliverChan(chIdx int32, pkt *Packet) {
+	ch := &n.chans[chIdx]
+	if ch.down {
+		// Link died while in flight.
+		n.countDrop(ch, pkt, DropLinkDown)
+		n.Free(pkt)
+		return
+	}
+	if sw := ch.toSwitch; sw != nil {
 		if n.Cfg.TrackVisited && pkt.Kind == Data {
+			to := ch.to
 			bit := uint64(1) << (uint(to) & 63)
 			if int(to) < 64 {
 				if pkt.Visited&bit != 0 {
@@ -280,10 +388,10 @@ func (n *Network) deliver(to, from topo.NodeID, pkt *Packet) {
 				pkt.Visited |= bit
 			}
 		}
-		sw.router.Handle(pkt, inPort)
+		sw.router.Handle(pkt, int(ch.inPort))
 		return
 	}
-	if h, ok := n.hosts[to]; ok {
+	if h := ch.toHost; h != nil {
 		h.receive(pkt)
 		return
 	}
@@ -306,7 +414,7 @@ func (n *Network) SampleQueues() {
 // FabricBytes returns total bytes transmitted on switch-switch links,
 // the Figure 16 traffic-overhead metric.
 func (n *Network) FabricBytes() float64 {
-	return n.Counters.Get("bytes_data") + n.Counters.Get("bytes_ack") + n.Counters.Get("bytes_probe")
+	return n.txData + n.txAck + n.txProbe
 }
 
 // SwitchDev is a switch instance: ports plus the attached Router.
@@ -317,14 +425,16 @@ type SwitchDev struct {
 }
 
 // PortCount returns the number of ports.
-func (s *SwitchDev) PortCount() int { return len(s.Net.Topo.Ports(s.ID)) }
+func (s *SwitchDev) PortCount() int { return len(s.Net.portChan[s.ID]) }
 
 // Peer returns the node on the far side of a port.
-func (s *SwitchDev) Peer(port int) topo.NodeID { return s.Net.Topo.Ports(s.ID)[port].Peer }
+func (s *SwitchDev) Peer(port int) topo.NodeID {
+	return s.Net.channelFor(s.ID, port).to
+}
 
 // IsHostPort reports whether a port attaches a host.
 func (s *SwitchDev) IsHostPort(port int) bool {
-	return s.Net.Topo.Node(s.Peer(port)).Kind == topo.Host
+	return s.Net.channelFor(s.ID, port).toHost != nil
 }
 
 // IsSwitchPort reports whether a port attaches another switch.
@@ -357,21 +467,24 @@ func (s *SwitchDev) PortDown(port int) bool {
 // DeliverLocal sends a packet to a locally attached host, stripping
 // the scheme tag.
 func (s *SwitchDev) DeliverLocal(pkt *Packet) {
-	port := s.Net.Topo.PortTo(s.ID, pkt.Dst)
-	if port < 0 {
-		s.Drop(pkt, "drop_nolocal")
+	// hostPort is the port index on the destination's own edge switch;
+	// it only names one of our ports if that edge switch is us.
+	port := s.Net.hostPort[pkt.Dst]
+	row := s.Net.portChan[s.ID]
+	if port < 0 || int(port) >= len(row) || s.Net.chans[row[port]].to != pkt.Dst {
+		s.Drop(pkt, DropNoLocal)
 		return
 	}
 	if pkt.HasTag {
 		pkt.Size -= TagHeaderBytes
 		pkt.HasTag = false
 	}
-	s.Send(port, pkt)
+	s.Send(int(port), pkt)
 }
 
 // Drop discards a packet, counting the reason.
-func (s *SwitchDev) Drop(pkt *Packet, reason string) {
-	s.Net.Counters.Add(reason, 1)
+func (s *SwitchDev) Drop(pkt *Packet, reason DropReason) {
+	s.Net.dropCounts[reason]++
 	s.Net.Free(pkt)
 }
 

@@ -35,7 +35,7 @@ func (r *hopRouter) Attach(sw *SwitchDev) {
 func (r *hopRouter) Handle(pkt *Packet, inPort int) {
 	port, ok := r.next[pkt.Dst]
 	if !ok {
-		r.sw.Drop(pkt, "drop_noroute")
+		r.sw.Drop(pkt, DropNoRoute)
 		return
 	}
 	r.sw.Send(port, pkt)
@@ -64,6 +64,7 @@ func runLine(t *testing.T, g *topo.Graph, flows []FlowSpec, untilNs int64) *Netw
 	n.Start()
 	n.StartFlows(flows)
 	e.Run(untilNs)
+	n.FoldCounters()
 	return n
 }
 
@@ -155,6 +156,7 @@ func TestQueueDropsUnderOverload(t *testing.T) {
 		ID: 1, Src: g.MustNode("H0"), Dst: g.MustNode("H1"), RateBps: 2e9, Start: 0,
 	}})
 	e.Run(20e6) // 20ms
+	n.FoldCounters()
 	if n.Counters.Get("drop_queue") == 0 {
 		t.Fatal("expected queue drops under 2x overload")
 	}
@@ -174,6 +176,7 @@ func TestLinkFailureDropsTraffic(t *testing.T) {
 		ID: 1, Src: g.MustNode("H0"), Dst: g.MustNode("H1"), RateBps: 1e9, Start: 0,
 	}})
 	e.Run(5_000_000)
+	n.FoldCounters()
 	if n.Counters.Get("drop_linkdown") == 0 {
 		t.Fatal("expected link-down drops after failure")
 	}
@@ -181,6 +184,7 @@ func TestLinkFailureDropsTraffic(t *testing.T) {
 	before := n.Counters.Get("drop_linkdown")
 	n.RecoverLink(l.ID, e.Now())
 	e.Run(e.Now() + 5_000_000)
+	n.FoldCounters()
 	after := n.Counters.Get("drop_linkdown")
 	if after > before+1 { // in-flight packet may still count once
 		t.Fatalf("drops kept growing after recovery: %v -> %v", before, after)
@@ -228,6 +232,7 @@ func TestRetransmissionRecoversLoss(t *testing.T) {
 		ID: 1, Src: g.MustNode("H0"), Dst: g.MustNode("H1"), Size: 3_000_000, Start: 0,
 	}})
 	e.Run(10e9)
+	n.FoldCounters()
 	if n.CompletedFlows() != 1 {
 		t.Fatalf("flow did not complete; drops=%v rto=%v fast=%v",
 			n.Counters.Get("drop_queue"), n.Counters.Get("rto"), n.Counters.Get("fast_retx"))
@@ -283,7 +288,7 @@ type bounceRouter struct{ sw *SwitchDev }
 func (r *bounceRouter) Attach(sw *SwitchDev) { r.sw = sw }
 func (r *bounceRouter) Handle(pkt *Packet, inPort int) {
 	if pkt.TTL == 0 {
-		r.sw.Drop(pkt, "drop_ttl")
+		r.sw.Drop(pkt, DropTTL)
 		return
 	}
 	pkt.TTL--
@@ -294,7 +299,7 @@ func (r *bounceRouter) Handle(pkt *Packet, inPort int) {
 			return
 		}
 	}
-	r.sw.Drop(pkt, "drop_noroute")
+	r.sw.Drop(pkt, DropNoRoute)
 }
 
 func TestCBRThroughputSeries(t *testing.T) {

@@ -167,13 +167,9 @@ func (h *HostDev) armRTO(st *flowState) {
 		return
 	}
 	st.rtoArmed++
-	epoch := st.rtoArmed
-	h.net.Eng.After(int64(st.rtoNs), func() {
-		if st.rtoArmed != epoch || st.senderDone || st.done {
-			return
-		}
-		h.onRTO(st)
-	})
+	// Typed timeout event: the engine re-checks the epoch at fire time,
+	// so re-arming invalidates stale timers without closure state.
+	h.net.Eng.scheduleRTO(h.net.Eng.Now()+int64(st.rtoNs), st, st.rtoArmed)
 }
 
 func (h *HostDev) onRTO(st *flowState) {
@@ -194,7 +190,7 @@ func (h *HostDev) onRTO(st *flowState) {
 	st.nextSeq = st.cumAck
 	st.rttSeq = -1
 	st.dupAcks = 0
-	h.net.Counters.Add("rto", 1)
+	h.net.rtoCount++
 	h.pump(st)
 }
 
@@ -300,7 +296,7 @@ func (h *HostDev) onAck(st *flowState, pkt *Packet) {
 		}
 		st.cwnd = st.ssthresh
 		st.dupAcks = 0
-		h.net.Counters.Add("fast_retx", 1)
+		h.net.fastRetx++
 		h.emit(st, st.cumAck) // retransmit the missing segment
 		h.armRTO(st)
 	}
@@ -325,11 +321,11 @@ func (n *Network) recordFCT(f FlowSpec, fctNs int64) {
 	if f.Size >= 1_000_000 {
 		n.FCTLarge.Add(sec)
 	}
-	n.Counters.Add("flows_done", 1)
+	n.flowsDone++
 	if n.FlowDone != nil {
 		n.FlowDone(f, fctNs)
 	}
 }
 
 // CompletedFlows returns the number of finished flows.
-func (n *Network) CompletedFlows() int64 { return int64(n.Counters.Get("flows_done")) }
+func (n *Network) CompletedFlows() int64 { return n.flowsDone }

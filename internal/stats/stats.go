@@ -351,6 +351,10 @@ func NewCounter() *Counter { return &Counter{m: make(map[string]float64)} }
 // Add increments label by v.
 func (c *Counter) Add(label string, v float64) { c.m[label] += v }
 
+// Set overwrites label with v: the fold point for hot paths that
+// accumulate into typed fields and materialize labels at run end.
+func (c *Counter) Set(label string, v float64) { c.m[label] = v }
+
 // Get returns the current value for label.
 func (c *Counter) Get(label string) float64 { return c.m[label] }
 

@@ -98,6 +98,20 @@ type Graph struct {
 	links  []Link
 	ports  [][]Port
 	byName map[string]NodeID
+
+	// portIdx is the reverse-port table: per node, its ports sorted by
+	// peer id, so PortTo is a binary search instead of a linear scan.
+	// Built lazily; portIdxLinks records the link count it was built
+	// at, so AddLink invalidates it implicitly.
+	portIdx      [][]portRef
+	portIdxLinks int
+}
+
+// portRef is one reverse-port table row: the peer reached through
+// local port index port.
+type portRef struct {
+	peer NodeID
+	port int32
 }
 
 // New returns an empty graph with the given name.
@@ -180,14 +194,50 @@ func (g *Graph) MustNode(name string) NodeID {
 
 // PortTo returns the local port index on from that reaches neighbor to,
 // or -1 if they are not adjacent. With parallel links it returns the
-// first.
+// first. Lookups binary-search the precomputed reverse-port table,
+// which is rebuilt transparently after AddLink.
 func (g *Graph) PortTo(from, to NodeID) int {
-	for i, p := range g.ports[from] {
-		if p.Peer == to {
-			return i
+	if g.portIdxLinks != len(g.links) || len(g.portIdx) != len(g.nodes) {
+		g.buildPortIndex()
+	}
+	row := g.portIdx[from]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid].peer < to {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
+	if lo < len(row) && row[lo].peer == to {
+		return int(row[lo].port)
+	}
 	return -1
+}
+
+// buildPortIndex (re)builds the reverse-port table from the port
+// lists. Rows sort by (peer, port), so the lowest port index wins for
+// parallel links — the same answer the historical linear scan gave.
+func (g *Graph) buildPortIndex() {
+	if cap(g.portIdx) < len(g.nodes) {
+		g.portIdx = make([][]portRef, len(g.nodes))
+	}
+	g.portIdx = g.portIdx[:len(g.nodes)]
+	for n, ps := range g.ports {
+		row := g.portIdx[n][:0]
+		for i, p := range ps {
+			row = append(row, portRef{peer: p.Peer, port: int32(i)})
+		}
+		sort.Slice(row, func(i, j int) bool {
+			if row[i].peer != row[j].peer {
+				return row[i].peer < row[j].peer
+			}
+			return row[i].port < row[j].port
+		})
+		g.portIdx[n] = row
+	}
+	g.portIdxLinks = len(g.links)
 }
 
 // LinkBetween returns the first link joining a and b, or nil.

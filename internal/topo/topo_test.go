@@ -358,3 +358,56 @@ func TestHopsUnreachable(t *testing.T) {
 		t.Fatal("Validate should fail on disconnected switch graph")
 	}
 }
+
+// TestPortToIndexInvalidation checks the reverse-port table against
+// the naive scan, including rebuilds after AddLink and on clones.
+func TestPortToIndexInvalidation(t *testing.T) {
+	g := New("idx")
+	a := g.AddNode("A", Switch)
+	b := g.AddNode("B", Switch)
+	c := g.AddNode("C", Switch)
+	g.AddLink(a, b, 1e9, 10)
+	if got := g.PortTo(a, b); got != 0 {
+		t.Fatalf("PortTo(a,b) = %d, want 0", got)
+	}
+	if got := g.PortTo(a, c); got != -1 {
+		t.Fatalf("PortTo(a,c) = %d, want -1 before linking", got)
+	}
+	// Mutating after a lookup must invalidate the prebuilt index.
+	g.AddLink(a, c, 1e9, 10)
+	if got := g.PortTo(a, c); got != 1 {
+		t.Fatalf("PortTo(a,c) = %d after AddLink, want 1", got)
+	}
+	// Parallel links: the lowest port index wins, like the old scan.
+	g.AddLink(a, b, 1e9, 10)
+	if got := g.PortTo(a, b); got != 0 {
+		t.Fatalf("PortTo(a,b) = %d with parallel links, want 0", got)
+	}
+	// Clones rebuild their own index.
+	cl := g.Clone()
+	cl.AddLink(b, c, 1e9, 10)
+	if got := cl.PortTo(b, c); got != 2 {
+		t.Fatalf("clone PortTo(b,c) = %d, want 2", got)
+	}
+	if got := g.PortTo(b, c); got != -1 {
+		t.Fatalf("original PortTo(b,c) = %d, want -1", got)
+	}
+	// Exhaustive agreement with the naive definition.
+	for _, from := range []NodeID{a, b, c} {
+		want := map[NodeID]int{}
+		for i, p := range g.Ports(from) {
+			if _, seen := want[p.Peer]; !seen {
+				want[p.Peer] = i
+			}
+		}
+		for _, to := range []NodeID{a, b, c} {
+			exp, ok := want[to]
+			if !ok {
+				exp = -1
+			}
+			if got := g.PortTo(from, to); got != exp {
+				t.Fatalf("PortTo(%d,%d) = %d, want %d", from, to, got, exp)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulator hot-path benchmark suite and emit
+# machine-readable results.
+#
+# Usage:
+#   scripts/bench.sh [outdir]            # full run (count=5)
+#   BENCH_SHORT=1 scripts/bench.sh       # CI smoke (count=1, 100x)
+#   BENCH_BASELINE=old.json scripts/bench.sh   # embed before/after
+#
+# Outputs in outdir (default bench-out/):
+#   bench.txt       raw `go test -bench` text — feed this to benchstat
+#   BENCH_PR3.json  per-benchmark mean ns/op, B/op, allocs/op; when
+#                   BENCH_BASELINE is set, its numbers embed under
+#                   "before" and the fresh run under "after"
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench-out}"
+mkdir -p "$OUT"
+
+COUNT=5
+EXTRA=()
+if [ "${BENCH_SHORT:-}" = "1" ]; then
+  COUNT=1
+  EXTRA+=(-benchtime=100x)
+fi
+
+BENCHES='BenchmarkEventLoop|BenchmarkPacketTransit|BenchmarkProbeProcessing|BenchmarkDataForwarding'
+
+go test -run='^$' -bench="$BENCHES" -benchmem -count="$COUNT" "${EXTRA[@]}" \
+  ./internal/sim ./internal/dataplane | tee "$OUT/bench.txt"
+
+awk -v baseline="${BENCH_BASELINE:-}" '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+  ns[name]     += $3; b[name] += $5; allocs[name] += $7; cnt[name]++
+}
+END {
+  printf "{\n"
+  printf "  \"suite\": \"internal/sim + internal/dataplane hot paths\",\n"
+  key = (baseline == "") ? "benchmarks" : "after"
+  if (baseline != "") {
+    printf "  \"before_file\": \"%s\",\n", baseline
+  }
+  printf "  \"%s\": {\n", key
+  n = 0
+  for (k in cnt) order[++n] = k
+  # deterministic key order
+  for (i = 1; i <= n; i++)
+    for (j = i + 1; j <= n; j++)
+      if (order[j] < order[i]) { t = order[i]; order[i] = order[j]; order[j] = t }
+  for (i = 1; i <= n; i++) {
+    k = order[i]
+    printf "    \"%s\": {\"ns_op\": %.2f, \"b_op\": %.1f, \"allocs_op\": %.2f}%s\n",
+      k, ns[k]/cnt[k], b[k]/cnt[k], allocs[k]/cnt[k], (i < n ? "," : "")
+  }
+  printf "  }\n}\n"
+}' "$OUT/bench.txt" > "$OUT/BENCH_PR3.json"
+
+if [ -n "${BENCH_BASELINE:-}" ] && [ -f "${BENCH_BASELINE}" ]; then
+  # Splice the baseline object in as "before" (python for JSON safety).
+  python3 - "$OUT/BENCH_PR3.json" "$BENCH_BASELINE" <<'EOF'
+import json, sys
+cur = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+cur["before"] = base.get("after", base.get("benchmarks", base))
+json.dump(cur, open(sys.argv[1], "w"), indent=2)
+EOF
+fi
+
+echo "wrote $OUT/bench.txt and $OUT/BENCH_PR3.json"

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# golden.sh — check (default) or regenerate (--update) the committed
+# golden digest of the fixed-seed fattree campaign. The digest pins the
+# simulator's observable behavior: any hot-path change that shifts a
+# single byte of campaign JSON/CSV output fails the check, which is
+# what lets scheduler/data-structure rewrites land with confidence.
+#
+# Usage:
+#   scripts/golden.sh            # run campaign, verify against digest
+#   scripts/golden.sh --update   # refresh the digest after an
+#                                # intentional behavior change
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN=examples/campaign/golden/fattree_smoke.sha256
+SPEC=examples/campaign/fattree_smoke.json
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/contracamp" ./cmd/contracamp
+
+# Single-process reference run.
+"$WORK/contracamp" -spec "$SPEC" -q -notable \
+  -out "$WORK/fattree_smoke.json" -csv "$WORK/fattree_smoke.csv"
+
+# Two shards, merged: must be byte-identical to the single run.
+"$WORK/contracamp" -spec "$SPEC" -q -shard 0/2 -stream "$WORK/s0.jsonl"
+"$WORK/contracamp" -spec "$SPEC" -q -shard 1/2 -stream "$WORK/s1.jsonl"
+"$WORK/contracamp" -merge "$WORK/s0.jsonl,$WORK/s1.jsonl" -q -notable \
+  -out "$WORK/merged.json" -csv "$WORK/merged.csv"
+cmp "$WORK/fattree_smoke.json" "$WORK/merged.json"
+cmp "$WORK/fattree_smoke.csv" "$WORK/merged.csv"
+
+if [ "${1:-}" = "--update" ]; then
+  mkdir -p "$(dirname "$GOLDEN")"
+  (cd "$WORK" && sha256sum fattree_smoke.json fattree_smoke.csv) > "$GOLDEN"
+  echo "updated $GOLDEN"
+  cat "$GOLDEN"
+else
+  (cd "$WORK" && sha256sum -c) < "$GOLDEN"
+  echo "golden digest OK: campaign output is byte-identical"
+fi

@@ -129,8 +129,12 @@ func (s *Simulation) MeanFCT() time.Duration {
 func (s *Simulation) CompletedFlows() int64 { return s.net.CompletedFlows() }
 
 // Counter reads a named measurement counter (e.g. "bytes_probe",
-// "drop_queue", "loop_break").
-func (s *Simulation) Counter(label string) float64 { return s.net.Counters.Get(label) }
+// "drop_queue", "loop_break"). Hot-path counts accumulate in typed
+// fields; fold them in so the labeled view is current.
+func (s *Simulation) Counter(label string) float64 {
+	s.net.FoldCounters()
+	return s.net.Counters.Get(label)
+}
 
 // HostNamed returns the node ID of a named host (for Flow specs).
 func (s *Simulation) HostNamed(name string) (NodeID, error) {
