@@ -76,6 +76,29 @@ var metrics = []struct {
 		}
 		return out
 	}},
+	{"nodedown_drops", func(r *scenario.Result) []float64 {
+		return []float64{r.NodeDownDrops}
+	}},
+	// probe_loss_frac observes the realized loss rate only where loss
+	// was actually injected (probes crossed a lossy channel).
+	{"probe_loss_frac", func(r *scenario.Result) []float64 {
+		if r.ProbeLossSeen == 0 {
+			return nil
+		}
+		return []float64{r.ProbeLossFrac}
+	}},
+	// swap_conv_ms aggregates every converged policy-swap window;
+	// swaps the run ended on top of (ConvergenceNs < 0) are excluded,
+	// like unconverged recovery windows.
+	{"swap_conv_ms", func(r *scenario.Result) []float64 {
+		var out []float64
+		for _, w := range r.Swaps {
+			if w.ConvergenceNs >= 0 {
+				out = append(out, float64(w.ConvergenceNs)/1e6)
+			}
+		}
+		return out
+	}},
 }
 
 func fctMs(r *scenario.Result, sec float64) []float64 {

@@ -248,3 +248,36 @@ func TestStaticBaselinesOnFailedTopology(t *testing.T) {
 		t.Fatalf("completed %d/%d on asymmetric topology", n.CompletedFlows(), len(flows))
 	}
 }
+
+func TestHulaRebootFlushesSoftState(t *testing.T) {
+	g := topo.Fattree(4, 0)
+	e := sim.NewEngine(3)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	routers := DeployHula(n, HulaConfig{})
+	n.Start()
+	e.Run(12 * 256_000) // warm up: ToR probes populate best tables
+
+	core := -1
+	for _, id := range g.Switches() {
+		if g.Node(id).Role == topo.RoleCore {
+			core = int(id)
+			break
+		}
+	}
+	victim := routers[topo.NodeID(core)]
+	if len(victim.bestPort) == 0 {
+		t.Fatal("warmed-up HULA core learned no best hops")
+	}
+	n.FailNode(topo.NodeID(core), e.Now()+1000)
+	upAt := e.Now() + 2_000_000
+	n.RecoverNode(topo.NodeID(core), upAt)
+	e.Run(upAt + 1)
+	if got := len(victim.bestPort); got != 0 {
+		t.Fatalf("rebooted HULA switch kept %d best-hop entries, want 0 (cold start)", got)
+	}
+	// And it warms back up from fresh ToR probes.
+	e.Run(upAt + 12*256_000)
+	if len(victim.bestPort) == 0 {
+		t.Fatal("rebooted HULA switch never re-learned routes")
+	}
+}

@@ -116,6 +116,22 @@ func (r *Hula) Attach(sw *sim.SwitchDev) {
 	}
 }
 
+var _ sim.Rebooter = (*Hula)(nil)
+
+// Reboot implements sim.Rebooter: a HULA switch coming back from a
+// whole-node failure restarts with its soft state (best-hop tables,
+// probe freshness, flowlet pins) flushed, paying the same cold-start
+// warm-up Contra pays — chaos scheme comparisons stay apples to
+// apples. The level table is topology knowledge, not learned state,
+// so it survives.
+func (r *Hula) Reboot() {
+	r.bestPort = make(map[topo.NodeID]int)
+	r.bestUtil = make(map[topo.NodeID]float64)
+	r.updated = make(map[topo.NodeID]int64)
+	r.updatedVia = make(map[hulaVia]int64)
+	r.flowlets = make(map[hulaFlowKey]*hulaFlowlet)
+}
+
 // originate floods a fresh probe from this ToR upward.
 func (r *Hula) originate() {
 	for port := 0; port < r.sw.PortCount(); port++ {

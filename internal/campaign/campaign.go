@@ -374,7 +374,34 @@ var csvHeader = []string{
 	"name", "topo", "scheme", "script", "dist", "load", "seed",
 	"flows", "completed", "mean_fct_ms", "p50_fct_ms", "p95_fct_ms", "p99_fct_ms",
 	"probe_frac", "queue_drops", "linkdown_drops", "looped_frac",
-	"baseline_gbps", "min_gbps", "recovery_ms", "error",
+	"baseline_gbps", "min_gbps", "recovery_ms",
+	"nodedown_drops", "probe_loss_frac", "swap_conv_ms", "error",
+}
+
+// swapConvCell renders the policy-swap convergence column: blank when
+// the scenario swapped nothing, -1 when a swap never converged before
+// the run ended, otherwise the widest window in milliseconds.
+func swapConvCell(res *scenario.Result) string {
+	ns, ok := res.SwapConvergenceNs()
+	switch {
+	case !ok:
+		return ""
+	case ns < 0:
+		return "-1"
+	default:
+		return msec(float64(ns))
+	}
+}
+
+// probeLossCell renders the realized probe-loss column: blank when no
+// probe ever crossed a loss-injected channel (the metric was never
+// armed), so a true zero loss rate stays distinguishable from "no
+// loss configured" — mirroring how agg excludes those rows.
+func probeLossCell(res *scenario.Result) string {
+	if res.ProbeLossSeen == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.5f", res.ProbeLossFrac)
 }
 
 // WriteCSV renders one row per scenario.
@@ -404,6 +431,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.5f", res.LoopedFrac),
 			fmt.Sprintf("%.3f", res.BaselineBps/1e9), fmt.Sprintf("%.3f", res.MinBps/1e9),
 			msec(float64(res.RecoveryNs)),
+			trimFloat(res.NodeDownDrops),
+			probeLossCell(res),
+			swapConvCell(res),
 			o.Err,
 		}
 		if err := cw.Write(row); err != nil {

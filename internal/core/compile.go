@@ -224,6 +224,20 @@ func (c *Compiled) countReachability() {
 	}
 }
 
+// Recompile compiles a new policy source against the same topology and
+// options as c — the runtime-update entry point. Policy hot-swap uses
+// it so a mid-run recompilation is guaranteed to produce an artifact
+// the running fabric can install: same switches, same probe period,
+// same protocol knobs, only the policy (and hence the product graph,
+// tag space and probe layout) changes.
+func (c *Compiled) Recompile(src string) (*Compiled, error) {
+	pol, err := policy.Parse(src, policy.ParseOptions{Symbols: c.Topo.SortedNames()})
+	if err != nil {
+		return nil, err
+	}
+	return Compile(c.Topo, pol, c.Opts)
+}
+
 // ProbePeriod returns the configured probe period.
 func (c *Compiled) ProbePeriod() time.Duration {
 	return time.Duration(c.Opts.ProbePeriodNs)

@@ -103,6 +103,36 @@ func BenchmarkProbeFanoutFattree8(b *testing.B) {
 	}
 }
 
+// BenchmarkPolicySwap measures the runtime-update hot path: atomically
+// installing an already-compiled policy into every router of a warm
+// k=8 fat-tree fleet (80 switches), plus the probe churn of the first
+// post-swap period — the dominant cost of §5's live policy updates as
+// the fabric re-converges under the new tag space. Recompilation is
+// deliberately outside the loop (BenchmarkCompileFattreeMU covers it),
+// matching how chaos pre-compiles swap targets at arm time.
+func BenchmarkPolicySwap(b *testing.B) {
+	g := topo.Fattree(8, 0)
+	compA, err := core.Compile(g, policy.MustParse("minimize(path.util)"), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	compB, err := compA.Recompile("minimize(path.len)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	fleet := DeployFleet(n, compA)
+	n.Start()
+	e.Run(12 * compA.Opts.ProbePeriodNs) // tables warm
+	targets := [2]*core.Compiled{compB, compA}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet.Install(targets[i&1])
+		e.Run(e.Now() + compA.Opts.ProbePeriodNs)
+	}
+}
+
 // BenchmarkCompileFattreeMU isolates the compiler on the figure 9
 // mid-size point.
 func BenchmarkCompileFattreeMU(b *testing.B) {

@@ -101,22 +101,19 @@ type Contra struct {
 
 	probeSize int
 
+	// era is the policy generation this router's tables were computed
+	// under; Fleet.Install bumps it on every hot swap. Probes and data
+	// packets are stamped with it so tag state from a superseded
+	// compilation is never misread against the new product graph.
+	era uint8
+
+	// originCancel stops the probe-origination timer; Install uses it
+	// when a swap changes whether this switch originates probes.
+	originCancel func()
+
 	// LoopBreaks counts §5.5 flowlet flushes (exported for tests and
 	// the evaluation harness).
 	LoopBreaks int64
-}
-
-// Deploy attaches a Contra router built from comp to every switch in
-// the network. The routers share the compiled artifact but keep
-// independent table state, exactly like distinct devices.
-func Deploy(n *sim.Network, comp *core.Compiled) map[topo.NodeID]*Contra {
-	routers := make(map[topo.NodeID]*Contra)
-	for _, swID := range n.Topo.Switches() {
-		r := New(comp, swID)
-		routers[swID] = r
-		n.SetRouter(swID, r)
-	}
-	return routers
 }
 
 // New builds the router for one switch.
@@ -142,10 +139,7 @@ func (c *Contra) Attach(sw *sim.SwitchDev) {
 	c.lastProbe = make([]int64, sw.PortCount())
 	period := c.comp.Opts.ProbePeriodNs
 	if c.prog.Origin != nil {
-		// Stagger origins deterministically to avoid a synchronized
-		// probe burst every period.
-		offset := (int64(c.prog.Switch) * 7919) % period
-		sw.Net.Eng.Every(offset, period, c.originate)
+		c.originCancel = sw.Net.Eng.Every(originStagger(c.prog.Switch, period), period, c.originate)
 	}
 	// Housekeeping: sweep expired flowlet entries.
 	sw.Net.Eng.Every(period, 16*period, c.sweep)
@@ -154,8 +148,13 @@ func (c *Contra) Attach(sw *sim.SwitchDev) {
 // originate emits one probe per pid from the switch's probe-sending
 // state (INITPROBE of Figure 7).
 func (c *Contra) originate() {
-	c.version++
 	org := c.prog.Origin
+	if org == nil {
+		// A swap can retire this switch's origin role while a tick is
+		// already queued; the timer is cancelled, the tick is a no-op.
+		return
+	}
+	c.version++
 	ports := c.prog.ProbeOut[org.VNode]
 	for _, pid := range org.Pids {
 		for _, port := range ports {
@@ -166,6 +165,7 @@ func (c *Contra) originate() {
 			p.Pid = uint8(pid)
 			p.Version = c.version
 			p.Tag = int32(org.VNode)
+			p.Era = c.era
 			p.TTL = sim.InitialTTL
 			c.sw.Send(port, p)
 		}
@@ -191,6 +191,15 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 	// destination would already have been delivered here.
 	if pkt.Origin == c.prog.Switch {
 		c.sw.Net.Free(pkt)
+		return
+	}
+	// A probe from a superseded policy era carries a tag and metric
+	// layout from the old product graph; discard it rather than
+	// misread it (§5.1's versioning, generalized to whole-policy
+	// swaps). The lastProbe touch above still counts: port liveness is
+	// a physical signal, independent of the policy generation.
+	if pkt.Era != c.era {
+		c.sw.Drop(pkt, sim.DropProbeStale)
 		return
 	}
 	// NEXTPGNODE: the sender's virtual node determines ours.
@@ -364,7 +373,11 @@ func (c *Contra) handleData(pkt *sim.Packet, inPort int) {
 	now := c.sw.Now()
 	fid := flowletHash(pkt.FlowID, pkt.Dst)
 
-	if c.sw.IsHostPort(inPort) || !pkt.HasTag {
+	// A tag stamped under a superseded era no longer names a virtual
+	// node in the running product graph: make a fresh source-style
+	// decision (any switch holds a BestT) instead of dropping traffic
+	// caught in flight by a policy swap.
+	if c.sw.IsHostPort(inPort) || !pkt.HasTag || pkt.Era != c.era {
 		c.forwardFromSource(pkt, dstEdge, fid, now)
 		return
 	}
@@ -416,6 +429,7 @@ func (c *Contra) emit(pkt *sim.Packet, nhop int, ntag pg.NodeID, pid uint8) {
 	}
 	pkt.Pid = pid
 	pkt.Tag = int32(ntag)
+	pkt.Era = c.era
 	c.sw.Send(nhop, pkt)
 }
 
@@ -514,6 +528,110 @@ func (c *Contra) sweep() {
 			delete(c.srcPins, k)
 		}
 	}
+}
+
+// Install atomically replaces this router's compiled artifact with a
+// freshly compiled policy: the per-switch program, analysis result,
+// rank evaluators and probe wire size all swap together, and the soft
+// tables (FwdT, BestT, flowlets, source pins, loop registers) are
+// flushed because their tag space belongs to the old product graph.
+// Port-liveness state (lastProbe) survives — probe arrival is a
+// physical signal, not policy state — and the per-origin probe version
+// keeps counting so receivers' §5.1 ordering is monotonic across swaps.
+//
+// The new artifact must be compiled against the same topology and
+// Options (core.Recompile guarantees this); era is the fleet-wide
+// policy generation that stamps every probe and data packet from now
+// on. Callers swap every router in the fabric in one event-loop step —
+// Fleet.Install does — mirroring an atomic control-plane push.
+func (c *Contra) Install(comp *core.Compiled, era uint8) {
+	id := c.prog.Switch
+	hadOrigin := c.prog.Origin != nil
+	c.comp = comp
+	c.prog = comp.Switches[id]
+	c.res = comp.Analysis
+	c.evCand = comp.Analysis.NewEvaluator()
+	c.evCur = comp.Analysis.NewEvaluator()
+	c.probeSize = comp.Stats.ProbeBytes + 18
+	c.era = era
+	c.flushTables()
+	// The switch's origin role can change across policies (a waypoint
+	// policy may prune a switch's send state entirely): start or stop
+	// the probe generator to match.
+	switch {
+	case hadOrigin && c.prog.Origin == nil:
+		if c.originCancel != nil {
+			c.originCancel()
+			c.originCancel = nil
+		}
+	case !hadOrigin && c.prog.Origin != nil && c.sw != nil:
+		period := comp.Opts.ProbePeriodNs
+		c.originCancel = c.sw.Net.Eng.Every(c.sw.Now()+originStagger(id, period), period, c.originate)
+	}
+}
+
+// originStagger deterministically offsets a switch's probe generator
+// within the period, so origins never burst in sync — the same phase
+// whether the origin started at deploy time or at a policy swap.
+func originStagger(id topo.NodeID, period int64) int64 {
+	return (int64(id) * 7919) % period
+}
+
+// Reboot implements sim.Rebooter: a switch coming back from a
+// whole-node failure restarts with empty tables, zeroed probe
+// freshness (every port presumed dead until fresh probes arrive) and a
+// reset probe version — the cold-start warm-up a real reboot pays.
+// Its neighbors' entries through it age out via §5.4 expiration, so
+// the fabric re-converges around the rebooted switch from scratch.
+func (c *Contra) Reboot() {
+	c.flushTables()
+	for i := range c.lastProbe {
+		c.lastProbe[i] = 0
+	}
+	c.version = 0
+}
+
+// flushTables drops every soft table: forwarding state, best-hop
+// cache, flowlet pins and loop registers.
+func (c *Contra) flushTables() {
+	c.fwd = make(map[fwdKey]*fwdEntry)
+	c.best = make(map[topo.NodeID]fwdKey)
+	c.flowlets = make(map[flowKey]*flowletEntry)
+	c.srcPins = make(map[srcKey]*srcPin)
+	c.loopTbl = [loopSlots]loopSlot{}
+}
+
+// Era returns the policy generation this router currently runs.
+func (c *Contra) Era() uint8 { return c.era }
+
+// HasRoute reports whether the router holds a live source-switch
+// decision for a destination switch (the chaos convergence monitor's
+// probe).
+func (c *Contra) HasRoute(dst topo.NodeID) bool {
+	if key, ok := c.best[dst]; ok {
+		if e := c.fwd[key]; e != nil && c.alive(key, e) {
+			return true
+		}
+	}
+	c.rescanBest(dst)
+	key, ok := c.best[dst]
+	if !ok {
+		return false
+	}
+	e := c.fwd[key]
+	return e != nil && c.alive(key, e)
+}
+
+// LiveRoutes returns the destination switches with a live best entry.
+// The order is unspecified (callers treat it as a set).
+func (c *Contra) LiveRoutes() []topo.NodeID {
+	var out []topo.NodeID
+	for dst, key := range c.best {
+		if e := c.fwd[key]; e != nil && c.alive(key, e) {
+			out = append(out, dst)
+		}
+	}
+	return out
 }
 
 // cloneRank snapshots a rank whose V aliases entry-owned storage that

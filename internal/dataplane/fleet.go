@@ -1,0 +1,77 @@
+package dataplane
+
+import (
+	"contra/internal/core"
+	"contra/internal/sim"
+	"contra/internal/topo"
+)
+
+// The Contra router participates in both runtime-update seams: policy
+// hot-swap (Fleet.Install) and whole-node reboot (sim.Rebooter).
+var _ sim.Rebooter = (*Contra)(nil)
+
+// Fleet is the swappable compiled-policy handle for a deployed Contra
+// fabric: it owns the routers of every switch and the compiled
+// artifact they currently run, and Install atomically replaces that
+// artifact mid-simulation — the runtime-update path of §5. Everything
+// that assumed the policy was fixed at deploy time goes through this
+// seam instead of holding a *core.Compiled directly.
+type Fleet struct {
+	net     *sim.Network
+	routers map[topo.NodeID]*Contra
+	comp    *core.Compiled
+	era     uint8
+}
+
+// DeployFleet attaches a Contra router built from comp to every switch
+// in the network and returns the swappable handle. The routers share
+// the compiled artifact but keep independent table state, exactly like
+// distinct devices.
+func DeployFleet(n *sim.Network, comp *core.Compiled) *Fleet {
+	f := &Fleet{
+		net:     n,
+		routers: make(map[topo.NodeID]*Contra),
+		comp:    comp,
+	}
+	for _, swID := range n.Topo.Switches() {
+		r := New(comp, swID)
+		f.routers[swID] = r
+		n.SetRouter(swID, r)
+	}
+	return f
+}
+
+// Deploy is the fixed-policy entry point: DeployFleet without keeping
+// the swap handle.
+func Deploy(n *sim.Network, comp *core.Compiled) map[topo.NodeID]*Contra {
+	return DeployFleet(n, comp).routers
+}
+
+// Routers exposes the per-switch routers (diagnostics and tests).
+func (f *Fleet) Routers() map[topo.NodeID]*Contra { return f.routers }
+
+// Router returns one switch's router.
+func (f *Fleet) Router(id topo.NodeID) *Contra { return f.routers[id] }
+
+// Compiled returns the artifact the fleet currently runs.
+func (f *Fleet) Compiled() *core.Compiled { return f.comp }
+
+// Era returns the current policy generation (0 until the first swap).
+func (f *Fleet) Era() uint8 { return f.era }
+
+// Install hot-swaps a freshly compiled policy into every router in one
+// event-loop step: the fleet era is bumped, and each switch (in
+// deterministic topology order) swaps its program, flushes tables
+// whose tag space belonged to the old product graph, and re-stamps all
+// future probes and packets with the new era. The new artifact must
+// target the same topology and options — core.Recompile is the
+// intended producer. Convergence is not instant: routes re-form as
+// new-era probes propagate, which is exactly the window the chaos
+// subsystem measures.
+func (f *Fleet) Install(comp *core.Compiled) {
+	f.era++
+	f.comp = comp
+	for _, swID := range f.net.Topo.Switches() {
+		f.routers[swID].Install(comp, f.era)
+	}
+}

@@ -76,6 +76,88 @@ func TestShardsPartitionTheExpansion(t *testing.T) {
 	}
 }
 
+// chaosSpec is a fixed-seed chaos campaign: whole-switch failure and
+// reboot, seeded probe loss, and a live policy swap on a fattree. The
+// CBR workload fixes the simulated horizon so every chaos event fires.
+func chaosSpec() *campaign.Spec {
+	return &campaign.Spec{
+		Name:    "chaos",
+		Topos:   []string{"fattree:4:1"},
+		Schemes: []scenario.Scheme{scenario.SchemeContra},
+		Seeds:   []int64{1, 2},
+		Workload: scenario.Workload{
+			Kind: scenario.WorkloadCBR, EndNs: 20_000_000,
+		},
+		Scripts: []campaign.Script{{
+			Name: "chaos",
+			Events: []scenario.Event{
+				{Kind: scenario.ProbeLoss, AtNs: 500_000, Node: "auto", Rate: 0.25},
+				{Kind: scenario.SwitchDown, AtNs: 6_000_000, Node: "auto"},
+				{Kind: scenario.SwitchUp, AtNs: 9_000_000, Node: "auto"},
+				{Kind: scenario.PolicySwap, AtNs: 13_000_000, NewPolicy: "minimize(path.len)"},
+			},
+		}},
+	}
+}
+
+// TestChaosCampaignShardMergeDeterminism pins the chaos subsystem's
+// determinism contract end to end: a fixed-seed chaos campaign must be
+// byte-identical between a single-process run and a 2-shard merged
+// run — probe-loss draws, switch reboots, and swap convergence windows
+// included.
+func TestChaosCampaignShardMergeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := chaosSpec()
+	direct, err := campaign.Run(spec, campaign.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderReport(t, direct)
+	// The campaign must actually measure chaos, not just run: every
+	// outcome carries a converged swap window and realized probe loss.
+	for _, o := range direct.Outcomes {
+		if o.Result == nil {
+			t.Fatalf("scenario %s failed: %s", o.Scenario.Name, o.Err)
+		}
+		if ns, ok := o.Result.SwapConvergenceNs(); !ok || ns <= 0 {
+			t.Fatalf("scenario %s: empty swap convergence window (%d, %v)", o.Scenario.Name, ns, ok)
+		}
+		if o.Result.ProbeLossDropped == 0 {
+			t.Fatalf("scenario %s: no probes dropped", o.Scenario.Name)
+		}
+	}
+
+	dir := t.TempDir()
+	var paths []string
+	for idx := 0; idx < 2; idx++ {
+		path := filepath.Join(dir, fmt.Sprintf("chaos%d.jsonl", idx))
+		paths = append(paths, path)
+		sink, err := CreateJSONL(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Run(spec, Options{Workers: 2, Shard: Shard{idx, 2}}, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if st.Failed > 0 {
+			t.Fatalf("shard %d/2: %d scenarios failed", idx, st.Failed)
+		}
+	}
+	merged, err := Merge(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderReport(t, merged); got != want {
+		t.Fatalf("chaos 2-shard merge differs from single-process run:\n--- merged\n%.1500s\n--- direct\n%.1500s", got, want)
+	}
+}
+
 func TestShardMergeIsByteIdenticalToSingleProcess(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"contra/internal/baseline"
+	"contra/internal/chaos"
 	"contra/internal/cliutil"
 	"contra/internal/core"
 	"contra/internal/dataplane"
@@ -69,6 +70,17 @@ type Result struct {
 	BinNs       int64            `json:"bin_ns,omitempty"` // Series bin width
 	Recoveries  []RecoveryWindow `json:"recoveries,omitempty"`
 
+	// Chaos measurements (switch failures, probe loss, policy swaps).
+	// NodeDownDrops counts packets lost to whole-switch failures;
+	// ProbeLossSeen/Dropped count probes offered to and discarded by
+	// loss-injected channels (their ratio is ProbeLossFrac); Swaps
+	// carries one convergence window per policy_swap event.
+	NodeDownDrops    float64            `json:"nodedown_drops,omitempty"`
+	ProbeLossSeen    int64              `json:"probe_loss_seen,omitempty"`
+	ProbeLossDropped int64              `json:"probe_loss_dropped,omitempty"`
+	ProbeLossFrac    float64            `json:"probe_loss_frac,omitempty"`
+	Swaps            []chaos.SwapWindow `json:"swaps,omitempty"`
+
 	SimulatedNs int64 `json:"simulated_ns"`
 
 	// Artifacts excluded from the deterministic encoding.
@@ -83,6 +95,26 @@ func (r *Result) ProbeFrac() float64 {
 		return 0
 	}
 	return r.ProbeBytes / r.FabricBytes
+}
+
+// SwapConvergenceNs summarizes the policy-swap outcome for flat
+// reports: no swaps (0, false); at least one swap that never converged
+// before the run ended (-1, true); otherwise the widest convergence
+// window across the scenario's swaps (ns, true).
+func (r *Result) SwapConvergenceNs() (int64, bool) {
+	if len(r.Swaps) == 0 {
+		return 0, false
+	}
+	var widest int64
+	for _, w := range r.Swaps {
+		if w.ConvergenceNs < 0 {
+			return -1, true
+		}
+		if w.ConvergenceNs > widest {
+			widest = w.ConvergenceNs
+		}
+	}
+	return widest, true
 }
 
 // String renders one result row.
@@ -133,9 +165,65 @@ func AutoFailLink(g *topo.Graph) (topo.LinkID, error) {
 	return -1, fmt.Errorf("scenario: no fabric link to fail in %s", g.Name)
 }
 
+// AutoFailSwitch picks the default target of "auto" switch events: the
+// first core switch (whole-spine failure, the classic node-failure
+// experiment), falling back to the first aggregation switch and then
+// any switch.
+func AutoFailSwitch(g *topo.Graph) (topo.NodeID, error) {
+	var firstAgg, firstAny topo.NodeID = -1, -1
+	for _, id := range g.Switches() {
+		switch g.Node(id).Role {
+		case topo.RoleCore:
+			return id, nil
+		case topo.RoleAgg:
+			if firstAgg < 0 {
+				firstAgg = id
+			}
+		}
+		if firstAny < 0 {
+			firstAny = id
+		}
+	}
+	if firstAgg >= 0 {
+		return firstAgg, nil
+	}
+	if firstAny >= 0 {
+		return firstAny, nil
+	}
+	return -1, fmt.Errorf("scenario: no switch to fail in %s", g.Name)
+}
+
+// findSwitch resolves a switch name ("auto"/empty via AutoFailSwitch).
+func findSwitch(g *topo.Graph, name string) (topo.NodeID, error) {
+	if name == "" || name == "auto" {
+		return AutoFailSwitch(g)
+	}
+	id, ok := g.NodeByName(name)
+	if !ok {
+		return -1, fmt.Errorf("scenario: no node %q in %s", name, g.Name)
+	}
+	if g.Node(id).Kind != topo.Switch {
+		return -1, fmt.Errorf("scenario: node %q in %s is a host, not a switch", name, g.Name)
+	}
+	return id, nil
+}
+
+// fabricLinksOf lists the switch-switch links attached to a switch
+// (the per-switch probe_loss target set).
+func fabricLinksOf(g *topo.Graph, id topo.NodeID) []topo.LinkID {
+	var out []topo.LinkID
+	for _, p := range g.Ports(id) {
+		if g.Node(p.Peer).Kind == topo.Switch {
+			out = append(out, p.Link)
+		}
+	}
+	return out
+}
+
 // Deploy installs a scheme's routers on a network, returning the
-// Contra routers when applicable (for diagnostics).
-func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options) (map[topo.NodeID]*dataplane.Contra, *core.Compiled, error) {
+// Contra fleet handle when applicable (diagnostics and runtime policy
+// swaps; fleet.Routers() exposes the per-switch routers).
+func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options) (*dataplane.Fleet, *core.Compiled, error) {
 	switch scheme {
 	case SchemeContra:
 		pol, err := policy.Parse(policySrc, policy.ParseOptions{Symbols: g.SortedNames()})
@@ -146,8 +234,8 @@ func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts
 		if err != nil {
 			return nil, nil, err
 		}
-		routers := dataplane.Deploy(n, comp)
-		return routers, comp, nil
+		fleet := dataplane.DeployFleet(n, comp)
+		return fleet, comp, nil
 	case SchemeECMP:
 		baseline.DeployECMP(n)
 	case SchemeSP:
@@ -187,12 +275,55 @@ func (s *Scenario) resolveTopo() (*topo.Graph, error) {
 }
 
 // resolvedEvents splits the script into topology-level pre-fails,
-// runtime link events for the sim injector, and traffic surges.
-func (s *Scenario) resolvedEvents(g *topo.Graph) (pre []topo.LinkID, net []sim.NetworkEvent, surges []Event, err error) {
+// runtime link events for the sim injector, traffic surges, and the
+// chaos plan (switch failures, probe loss, policy swaps) that
+// chaos.Arm schedules.
+func (s *Scenario) resolvedEvents(g *topo.Graph) (pre []topo.LinkID, net []sim.NetworkEvent, surges []Event, plan chaos.Plan, err error) {
+	plan.Seed = s.Seed
 	for _, ev := range s.Events {
 		switch ev.Kind {
 		case Surge:
 			surges = append(surges, ev)
+			continue
+		case SwitchDown, SwitchUp:
+			var node topo.NodeID
+			node, err = findSwitch(g, ev.Node)
+			if err != nil {
+				return nil, nil, nil, plan, err
+			}
+			plan.Nodes = append(plan.Nodes, chaos.NodeEvent{
+				At: ev.AtNs, Node: node, Up: ev.Kind == SwitchUp,
+			})
+			continue
+		case PolicySwap:
+			plan.Swaps = append(plan.Swaps, chaos.SwapEvent{At: ev.AtNs, Source: ev.NewPolicy})
+			continue
+		case ProbeLoss:
+			var links []topo.LinkID
+			if ev.Node != "" {
+				var node topo.NodeID
+				node, err = findSwitch(g, ev.Node)
+				if err != nil {
+					return nil, nil, nil, plan, err
+				}
+				links = fabricLinksOf(g, node)
+				if len(links) == 0 {
+					err = fmt.Errorf("scenario %q: switch %q has no fabric links for probe_loss", s.Name, ev.Node)
+					return nil, nil, nil, plan, err
+				}
+			} else {
+				var id topo.LinkID
+				if ev.Link == "" || ev.Link == "auto" {
+					id, err = AutoFailLink(g)
+				} else {
+					id, err = cliutil.FindLink(g, ev.Link)
+				}
+				if err != nil {
+					return nil, nil, nil, plan, err
+				}
+				links = []topo.LinkID{id}
+			}
+			plan.Loss = append(plan.Loss, chaos.LossEvent{At: ev.AtNs, Links: links, Rate: ev.Rate})
 			continue
 		case LinkDown, LinkUp, Degrade:
 		}
@@ -203,7 +334,7 @@ func (s *Scenario) resolvedEvents(g *topo.Graph) (pre []topo.LinkID, net []sim.N
 			id, err = cliutil.FindLink(g, ev.Link)
 		}
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, plan, err
 		}
 		if ev.Kind == LinkDown && ev.AtNs <= 0 {
 			pre = append(pre, id)
@@ -221,13 +352,20 @@ func (s *Scenario) resolvedEvents(g *topo.Graph) (pre []topo.LinkID, net []sim.N
 		}
 		net = append(net, ne)
 	}
-	return pre, net, surges, nil
+	return pre, net, surges, plan, nil
 }
 
 // Run executes a scenario and collects its Result. Execution is
 // deterministic: the same scenario (including seed) produces an
 // identical Result on every run, serial or inside a parallel campaign.
 func Run(s Scenario) (*Result, error) {
+	// Validate before fill: fill expands ramp sugar into surges, so a
+	// malformed ramp (e.g. negative steps) must be rejected while it
+	// is still visible — otherwise a Go-constructed scenario would
+	// silently lose the event instead of failing like a decoded spec.
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	s.fill()
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -237,7 +375,7 @@ func Run(s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pre, netEvents, surges, err := s.resolvedEvents(g)
+	pre, netEvents, surges, plan, err := s.resolvedEvents(g)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +392,7 @@ func Run(s Scenario) (*Result, error) {
 	}
 	e := sim.NewEngine(engSeed)
 	n := sim.NewNetwork(e, g, sim.Config{TrackVisited: s.TrackLoops})
-	_, _, err = Deploy(n, s.Scheme, g, s.Policy, core.Options{
+	fleet, _, err := Deploy(n, s.Scheme, g, s.Policy, core.Options{
 		ProbePeriodNs:        s.ProbePeriodNs,
 		FlowletTimeoutNs:     s.FlowletTimeoutNs,
 		FailureDetectPeriods: s.FailureDetectPeriods,
@@ -266,6 +404,15 @@ func Run(s Scenario) (*Result, error) {
 		n.RxSeries = stats.NewTimeseries(s.BinNs)
 	}
 	n.Start()
+	// Arm the chaos plan (switch failures, probe loss, policy swaps)
+	// before any simulated time passes, so its events land on the
+	// calendar queue in script order. Scenarios without chaos events
+	// schedule nothing here and replay their historical event streams
+	// byte-identically.
+	chaosRT, err := chaos.Arm(n, fleet, plan, s.ProbePeriodNs)
+	if err != nil {
+		return nil, err
+	}
 
 	warmup := 12 * s.ProbePeriodNs
 	// Result.Topo carries the campaign's axis value (the spec string)
@@ -302,7 +449,15 @@ func Run(s Scenario) (*Result, error) {
 	res.TagBytes = n.Counters.Get("bytes_tag_overhead")
 	res.QueueDrops = n.Counters.Get("drop_queue")
 	res.LinkDownDrops = n.Counters.Get("drop_linkdown")
+	res.NodeDownDrops = n.Counters.Get("drop_nodedown")
 	res.LoopBreaks = n.Counters.Get("loop_break")
+	if chaosRT != nil {
+		rep := chaosRT.Report()
+		res.Swaps = rep.Swaps
+		res.ProbeLossSeen = rep.ProbeLossSeen
+		res.ProbeLossDropped = rep.ProbeLossDropped
+		res.ProbeLossFrac = rep.ProbeLossFrac()
+	}
 	if n.DataPkts > 0 {
 		res.LoopedFrac = float64(n.LoopedPkts) / float64(n.DataPkts)
 	}
@@ -466,26 +621,58 @@ type RecoveryWindow struct {
 	RecoveryNs  int64     `json:"recovery_ns"`
 }
 
-// disruptions returns the runtime disruption instants in time order,
-// events at the same nanosecond coalesced into one. A disruption is a
-// link_down at AtNs > 0 or a degrade that actually shrinks bandwidth
-// (0 < Scale < 1); link_up and degrade-restores are recovery actions,
-// not disruptions, so they bound the preceding window instead of
-// opening one of their own.
+// disruptionSeverity orders coalescing: when several disruptions land
+// on the same nanosecond, the merged window is labeled with the most
+// severe kind — a whole-switch failure over a link failure over a
+// degradation.
+func disruptionSeverity(k EventKind) int {
+	switch k {
+	case SwitchDown:
+		return 3
+	case LinkDown:
+		return 2
+	case Degrade:
+		return 1
+	}
+	return 0
+}
+
+// disruptions returns the runtime disruption instants in time order. A
+// disruption is a switch_down, a link_down at AtNs > 0, or a degrade
+// that actually shrinks bandwidth (0 < Scale < 1); switch_up, link_up
+// and degrade-restores are recovery actions, not disruptions, so they
+// bound the preceding window instead of opening one of their own.
+//
+// Overlapping disruptions merge by splitting the timeline: each
+// disruption closes the previous window at its own instant and opens
+// its own (analyzeRecovery bounds every window at the next disruption
+// and anchors a nested disruption's baseline at the previous one), so
+// a switch_down landing inside an open link_down window yields two
+// windows — the link_down's, measured up to the switch failure, and
+// the switch_down's, measured against the already-degraded throughput
+// delivered between the two events. Disruptions at the same nanosecond
+// coalesce into one window labeled with the most severe kind.
 func (s *Scenario) disruptions() []RecoveryWindow {
 	var ds []RecoveryWindow
 	for _, ev := range s.Events {
 		if ev.AtNs <= 0 {
 			continue
 		}
-		if ev.Kind == LinkDown || (ev.Kind == Degrade && ev.Scale > 0 && ev.Scale < 1) {
-			ds = append(ds, RecoveryWindow{Kind: ev.Kind, AtNs: ev.AtNs})
+		switch {
+		case ev.Kind == LinkDown || ev.Kind == SwitchDown:
+		case ev.Kind == Degrade && ev.Scale > 0 && ev.Scale < 1:
+		default:
+			continue
 		}
+		ds = append(ds, RecoveryWindow{Kind: ev.Kind, AtNs: ev.AtNs})
 	}
 	sort.SliceStable(ds, func(i, j int) bool { return ds[i].AtNs < ds[j].AtNs })
 	out := ds[:0]
 	for _, d := range ds {
 		if len(out) > 0 && out[len(out)-1].AtNs == d.AtNs {
+			if disruptionSeverity(d.Kind) > disruptionSeverity(out[len(out)-1].Kind) {
+				out[len(out)-1].Kind = d.Kind
+			}
 			continue
 		}
 		out = append(out, d)

@@ -57,6 +57,35 @@ const (
 	// Surge injects extra FCT traffic at Load fraction of fabric
 	// capacity over [AtNs, AtNs+DurationNs]. FCT workloads only.
 	Surge EventKind = "surge"
+	// SwitchDown fails a whole switch at AtNs: every attached port
+	// goes dark, packets in flight toward it are lost, and anything it
+	// transmits is dropped. Node selects the switch ("auto" picks the
+	// first core switch, falling back to agg then any switch).
+	SwitchDown EventKind = "switch_down"
+	// SwitchUp reboots a failed switch: its links come back (unless
+	// independently failed) and its learned forwarding/probe state is
+	// flushed (Contra and HULA, via sim.Rebooter), so adaptive control
+	// planes pay a cold-start warm-up; static-table baselines
+	// (ecmp/sp/spain) resume with their offline-computed tables, which
+	// is what those schemes model.
+	SwitchUp EventKind = "switch_up"
+	// ProbeLoss sets a probabilistic probe-drop rate (Rate in [0,1],
+	// 0 clears) on a link (Link) or on every fabric link of a switch
+	// (Node) from AtNs on. Drops are drawn from a dedicated RNG
+	// deterministic in the scenario seed, so measurement noise
+	// replays identically per seed. Only probes are affected.
+	ProbeLoss EventKind = "probe_loss"
+	// PolicySwap recompiles NewPolicy against the running topology at
+	// arm time and atomically hot-swaps it into every Contra router at
+	// AtNs, then measures the convergence window until every route
+	// that was live just before the swap is live again under the new
+	// policy (Result.Swaps). Contra scheme only.
+	PolicySwap EventKind = "policy_swap"
+	// Ramp is sugar for a diurnal load swell: it expands into a chain
+	// of Surge steps rising linearly to Load over the first half of
+	// DurationNs and falling back over the second half (Steps levels
+	// each way, default 4). FCT workloads only.
+	Ramp EventKind = "ramp"
 )
 
 // Event is one entry of a scenario's timed script. Times are absolute
@@ -72,12 +101,27 @@ type Event struct {
 	// one the paper's Figure 14 experiment fails.
 	Link string `json:"link,omitempty"`
 
+	// Node selects the target switch of switch_down/switch_up, or the
+	// switch whose fabric links a probe_loss covers; "auto" (or empty
+	// for switch events) picks the first core switch.
+	Node string `json:"node,omitempty"`
+
 	// Scale is the Degrade bandwidth multiplier.
 	Scale float64 `json:"scale,omitempty"`
 
-	// Load and DurationNs shape a Surge.
+	// Rate is the ProbeLoss drop probability in [0,1]; 0 clears.
+	Rate float64 `json:"rate,omitempty"`
+
+	// NewPolicy is the PolicySwap target policy source.
+	NewPolicy string `json:"policy,omitempty"`
+
+	// Load and DurationNs shape a Surge or a Ramp.
 	Load       float64 `json:"load,omitempty"`
 	DurationNs int64   `json:"duration_ns,omitempty"`
+
+	// Steps is the Ramp resolution: load levels per ramp direction
+	// (default 4, so a ramp expands into 7 surge segments).
+	Steps int `json:"steps,omitempty"`
 }
 
 // Workload kinds.
@@ -166,11 +210,12 @@ type Scenario struct {
 	PairIDs [][2]topo.NodeID `json:"-"`
 }
 
-// fill applies the paper's defaults in place.
+// fill applies the paper's defaults in place and expands event sugar.
 func (s *Scenario) fill() {
 	if s.Scheme == "" {
 		s.Scheme = SchemeContra
 	}
+	s.expandRamps()
 	if s.Policy == "" {
 		s.Policy = "minimize(path.util)"
 	}
@@ -242,11 +287,100 @@ func (s *Scenario) Validate() error {
 			if ev.Load <= 0 || ev.DurationNs <= 0 {
 				return fmt.Errorf("scenario %q: surge event %d needs load and duration_ns", s.Name, i)
 			}
+		case Ramp:
+			if s.Workload.Kind == WorkloadCBR {
+				return fmt.Errorf("scenario %q: ramp events require an fct workload", s.Name)
+			}
+			if ev.Load <= 0 || ev.DurationNs <= 0 {
+				return fmt.Errorf("scenario %q: ramp event %d needs load and duration_ns", s.Name, i)
+			}
+			if ev.Steps < 0 {
+				return fmt.Errorf("scenario %q: ramp event %d has negative steps", s.Name, i)
+			}
+		case SwitchDown, SwitchUp:
+			// No pre-fail form: a switch that never exists is a
+			// different topology, not an event.
+			if ev.AtNs <= 0 {
+				return fmt.Errorf("scenario %q: %s event %d needs at_ns > 0", s.Name, ev.Kind, i)
+			}
+		case ProbeLoss:
+			if ev.Rate < 0 || ev.Rate > 1 {
+				return fmt.Errorf("scenario %q: probe_loss event %d rate %g outside [0,1]", s.Name, i, ev.Rate)
+			}
+			if ev.Link != "" && ev.Node != "" {
+				return fmt.Errorf("scenario %q: probe_loss event %d sets both link and node", s.Name, i)
+			}
+			// at_ns 0 means "from the start"; a negative time is a spec
+			// typo, not a pre-fail form (loss has none).
+			if ev.AtNs < 0 {
+				return fmt.Errorf("scenario %q: probe_loss event %d needs at_ns >= 0", s.Name, i)
+			}
+		case PolicySwap:
+			if s.Scheme != SchemeContra && s.Scheme != "" {
+				return fmt.Errorf("scenario %q: policy_swap requires the contra scheme, not %q", s.Name, s.Scheme)
+			}
+			if ev.NewPolicy == "" {
+				return fmt.Errorf("scenario %q: policy_swap event %d needs a policy", s.Name, i)
+			}
+			if ev.AtNs <= 0 {
+				return fmt.Errorf("scenario %q: policy_swap event %d needs at_ns > 0", s.Name, i)
+			}
 		default:
 			return fmt.Errorf("scenario %q: unknown event kind %q", s.Name, ev.Kind)
 		}
 	}
 	return nil
+}
+
+// expandRamps rewrites every Ramp event into its chain of Surge steps:
+// Steps levels rising linearly to Load across the first half of
+// DurationNs, then the mirror image falling back — 2*Steps-1 equal
+// segments in all, the diurnal swell of the ROADMAP's time-varying
+// load item. Non-ramp events pass through in order; the scenario's
+// Events slice is replaced, never mutated in place (campaign cells
+// share backing arrays).
+func (s *Scenario) expandRamps() {
+	any := false
+	for _, ev := range s.Events {
+		if ev.Kind == Ramp {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	out := make([]Event, 0, len(s.Events)+8)
+	for _, ev := range s.Events {
+		if ev.Kind != Ramp {
+			out = append(out, ev)
+			continue
+		}
+		steps := ev.Steps
+		if steps <= 0 {
+			// Validate rejects negatives before expansion runs; the
+			// clamp keeps a defensive default for the zero value.
+			steps = 4
+		}
+		segs := 2*steps - 1
+		segNs := ev.DurationNs / int64(segs)
+		if segNs <= 0 {
+			segNs = 1
+		}
+		for i := 0; i < segs; i++ {
+			level := i + 1
+			if i >= steps {
+				level = segs - i
+			}
+			out = append(out, Event{
+				Kind:       Surge,
+				AtNs:       ev.AtNs + int64(i)*segNs,
+				Load:       ev.Load * float64(level) / float64(steps),
+				DurationNs: segNs,
+			})
+		}
+	}
+	s.Events = out
 }
 
 // Key returns a stable canonical identifier for the scenario: its name

@@ -48,18 +48,223 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 
 func TestDecodeRejectsUnknownFieldsAndBadValues(t *testing.T) {
 	cases := map[string]string{
-		"unknown field":  `{"topo":"dc","scheme":"contra","worload":{}}`,
-		"unknown scheme": `{"topo":"dc","scheme":"ospf"}`,
-		"unknown kind":   `{"topo":"dc","scheme":"ecmp","events":[{"kind":"meteor","at_ns":1}]}`,
-		"unknown dist":   `{"topo":"dc","scheme":"ecmp","workload":{"dist":"uniform"}}`,
-		"surge in cbr":   `{"topo":"dc","scheme":"ecmp","workload":{"kind":"cbr"},"events":[{"kind":"surge","at_ns":1,"load":0.1,"duration_ns":1}]}`,
-		"empty surge":    `{"topo":"dc","scheme":"ecmp","events":[{"kind":"surge","at_ns":1}]}`,
-		"no topology":    `{"scheme":"ecmp"}`,
+		"unknown field":        `{"topo":"dc","scheme":"contra","worload":{}}`,
+		"unknown scheme":       `{"topo":"dc","scheme":"ospf"}`,
+		"unknown kind":         `{"topo":"dc","scheme":"ecmp","events":[{"kind":"meteor","at_ns":1}]}`,
+		"unknown dist":         `{"topo":"dc","scheme":"ecmp","workload":{"dist":"uniform"}}`,
+		"surge in cbr":         `{"topo":"dc","scheme":"ecmp","workload":{"kind":"cbr"},"events":[{"kind":"surge","at_ns":1,"load":0.1,"duration_ns":1}]}`,
+		"empty surge":          `{"topo":"dc","scheme":"ecmp","events":[{"kind":"surge","at_ns":1}]}`,
+		"no topology":          `{"scheme":"ecmp"}`,
+		"pre-fail switch":      `{"topo":"dc","scheme":"contra","events":[{"kind":"switch_down","at_ns":0}]}`,
+		"probe_loss rate":      `{"topo":"dc","scheme":"contra","events":[{"kind":"probe_loss","at_ns":1,"rate":1.5}]}`,
+		"probe_loss two nodes": `{"topo":"dc","scheme":"contra","events":[{"kind":"probe_loss","at_ns":1,"rate":0.1,"link":"auto","node":"s0"}]}`,
+		"swap on ecmp":         `{"topo":"dc","scheme":"ecmp","events":[{"kind":"policy_swap","at_ns":1,"policy":"minimize(path.len)"}]}`,
+		"swap no policy":       `{"topo":"dc","scheme":"contra","events":[{"kind":"policy_swap","at_ns":1}]}`,
+		"swap at zero":         `{"topo":"dc","scheme":"contra","events":[{"kind":"policy_swap","at_ns":0,"policy":"minimize(path.len)"}]}`,
+		"empty ramp":           `{"topo":"dc","scheme":"ecmp","events":[{"kind":"ramp","at_ns":1}]}`,
+		"ramp in cbr":          `{"topo":"dc","scheme":"ecmp","workload":{"kind":"cbr"},"events":[{"kind":"ramp","at_ns":1,"load":0.2,"duration_ns":1000}]}`,
+		"probe_loss past":      `{"topo":"dc","scheme":"contra","events":[{"kind":"probe_loss","at_ns":-1,"rate":0.1}]}`,
 	}
 	for name, spec := range cases {
 		if _, err := Decode([]byte(spec)); err == nil {
 			t.Errorf("%s: decode accepted %s", name, spec)
 		}
+	}
+}
+
+func TestRampExpandsIntoSurgeChain(t *testing.T) {
+	s := Scenario{
+		TopoSpec: "dc",
+		Events: []Event{
+			{Kind: LinkDown, AtNs: 1_000_000, Link: "auto"},
+			{Kind: Ramp, AtNs: 10_000_000, Load: 0.8, DurationNs: 7_000_000, Steps: 2},
+		},
+	}
+	shared := s.Events
+	s.fill()
+	// Steps=2 -> 3 segments: up 0.4, peak 0.8, down 0.4.
+	if len(s.Events) != 4 {
+		t.Fatalf("expanded to %d events, want link_down + 3 surges: %+v", len(s.Events), s.Events)
+	}
+	want := []Event{
+		{Kind: LinkDown, AtNs: 1_000_000, Link: "auto"},
+		{Kind: Surge, AtNs: 10_000_000, Load: 0.4, DurationNs: 2_333_333},
+		{Kind: Surge, AtNs: 12_333_333, Load: 0.8, DurationNs: 2_333_333},
+		{Kind: Surge, AtNs: 14_666_666, Load: 0.4, DurationNs: 2_333_333},
+	}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Fatalf("expansion mismatch:\n got %+v\nwant %+v", s.Events, want)
+	}
+	// The caller's slice must be untouched (campaign cells share it).
+	if shared[1].Kind != Ramp {
+		t.Fatal("expansion mutated the shared events slice")
+	}
+	// Default step count: 4 levels -> 7 segments.
+	d := Scenario{TopoSpec: "dc", Events: []Event{{Kind: Ramp, AtNs: 1, Load: 0.6, DurationNs: 7000}}}
+	d.fill()
+	if len(d.Events) != 7 {
+		t.Fatalf("default ramp expanded to %d segments, want 7", len(d.Events))
+	}
+	peak := d.Events[3]
+	if peak.Load != 0.6 {
+		t.Fatalf("ramp peak load %g, want 0.6", peak.Load)
+	}
+	if d.Events[0].Load != 0.15 || d.Events[6].Load != 0.15 {
+		t.Fatalf("ramp edges %g/%g, want 0.15", d.Events[0].Load, d.Events[6].Load)
+	}
+}
+
+func TestRunRejectsMalformedRampBeforeExpansion(t *testing.T) {
+	// Go-constructed scenarios skip Decode, so Run itself must reject
+	// a bad ramp before fill() expands (and would silently drop) it.
+	s := fastFCT(SchemeECMP)
+	s.Events = []Event{{Kind: Ramp, AtNs: 1, Load: 0.5, DurationNs: 1_000_000, Steps: -1}}
+	if _, err := Run(s); err == nil {
+		t.Fatal("Run accepted a negative-steps ramp")
+	}
+}
+
+func TestRampAddsTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := fastFCT(SchemeECMP)
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramped := base
+	ramped.Events = []Event{{Kind: Ramp, AtNs: 4_000_000, Load: 0.5, DurationNs: 3_000_000, Steps: 3}}
+	got, err := Run(ramped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flows <= plain.Flows {
+		t.Fatalf("ramp added no flows: %d vs %d", got.Flows, plain.Flows)
+	}
+}
+
+func TestDisruptionSeverityCoalescing(t *testing.T) {
+	s := Scenario{
+		TopoSpec: "dc",
+		Events: []Event{
+			// Same instant: degrade + link_down + switch_down coalesce
+			// into one window labeled with the most severe kind.
+			{Kind: Degrade, AtNs: 5_000_000, Link: "auto", Scale: 0.1},
+			{Kind: LinkDown, AtNs: 5_000_000, Link: "auto"},
+			{Kind: SwitchDown, AtNs: 5_000_000, Node: "auto"},
+			// A switch_down inside the open window: its own window.
+			{Kind: SwitchDown, AtNs: 9_000_000, Node: "auto"},
+			// Recovery actions never open windows.
+			{Kind: SwitchUp, AtNs: 12_000_000, Node: "auto"},
+			{Kind: LinkUp, AtNs: 13_000_000, Link: "auto"},
+		},
+	}
+	ds := s.disruptions()
+	if len(ds) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(ds), ds)
+	}
+	if ds[0].AtNs != 5_000_000 || ds[0].Kind != SwitchDown {
+		t.Fatalf("coalesced window = %+v, want switch_down at 5ms", ds[0])
+	}
+	if ds[1].AtNs != 9_000_000 || ds[1].Kind != SwitchDown {
+		t.Fatalf("nested window = %+v, want switch_down at 9ms", ds[1])
+	}
+}
+
+// TestChaosScenarioEndToEnd exercises the whole chaos stack through
+// scenario.Run: a fattree CBR run scripting probe loss, a whole-core
+// failure and reboot, and a live policy swap, checking every chaos
+// metric the Result carries.
+func TestChaosScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := Scenario{
+		Name:     "chaos-e2e",
+		TopoSpec: "fattree:4:1",
+		Scheme:   SchemeContra,
+		Seed:     3,
+		Workload: Workload{Kind: WorkloadCBR, EndNs: 30_000_000},
+		Events: []Event{
+			{Kind: ProbeLoss, AtNs: 1_000_000, Node: "auto", Rate: 0.2},
+			{Kind: SwitchDown, AtNs: 8_000_000, Node: "auto"},
+			{Kind: SwitchUp, AtNs: 12_000_000, Node: "auto"},
+			{Kind: PolicySwap, AtNs: 18_000_000, NewPolicy: "minimize(path.len)"},
+		},
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbeLossSeen == 0 || res.ProbeLossDropped == 0 {
+		t.Fatalf("probe loss idle: seen=%d dropped=%d", res.ProbeLossSeen, res.ProbeLossDropped)
+	}
+	if res.ProbeLossFrac < 0.1 || res.ProbeLossFrac > 0.3 {
+		t.Fatalf("realized probe loss %.3f far from configured 0.2", res.ProbeLossFrac)
+	}
+	if res.NodeDownDrops == 0 {
+		t.Fatal("whole-switch failure dropped nothing")
+	}
+	if len(res.Swaps) != 1 {
+		t.Fatalf("got %d swap windows, want 1: %+v", len(res.Swaps), res.Swaps)
+	}
+	w := res.Swaps[0]
+	if w.AtNs != 18_000_000 || w.Pairs == 0 {
+		t.Fatalf("swap window %+v: wrong anchor or empty snapshot", w)
+	}
+	if w.ConvergenceNs <= 0 {
+		t.Fatalf("swap never converged inside the run: %+v", w)
+	}
+	if ns, ok := res.SwapConvergenceNs(); !ok || ns != w.ConvergenceNs {
+		t.Fatalf("SwapConvergenceNs = (%d,%v), want (%d,true)", ns, ok, w.ConvergenceNs)
+	}
+	// The switch failure must surface as a recovery window labeled
+	// with its kind.
+	var found bool
+	for _, rw := range res.Recoveries {
+		if rw.AtNs == 8_000_000 && rw.Kind == SwitchDown {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no switch_down recovery window at 8ms: %+v", res.Recoveries)
+	}
+}
+
+// TestChaosScenarioDeterminism pins the acceptance bar: the same chaos
+// scenario must produce byte-identical results on every run.
+func TestChaosScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := Scenario{
+		Name:     "chaos-det",
+		TopoSpec: "fattree:4:1",
+		Scheme:   SchemeContra,
+		Seed:     5,
+		Workload: Workload{Kind: WorkloadCBR, EndNs: 20_000_000},
+		Events: []Event{
+			{Kind: ProbeLoss, AtNs: 500_000, Link: "auto", Rate: 0.3},
+			{Kind: SwitchDown, AtNs: 6_000_000, Node: "auto"},
+			{Kind: SwitchUp, AtNs: 9_000_000, Node: "auto"},
+			{Kind: PolicySwap, AtNs: 12_000_000, NewPolicy: "minimize((path.util, path.len))"},
+		},
+	}
+	var prev []byte
+	for i := 0; i < 2; i++ {
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !reflect.DeepEqual(prev, b) {
+			t.Fatalf("same chaos scenario, different results:\n%s\n%s", prev, b)
+		}
+		prev = b
 	}
 }
 

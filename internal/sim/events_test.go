@@ -71,3 +71,112 @@ func TestFailRecoverLinkCompat(t *testing.T) {
 		t.Fatal("RecoverLink did not recover the link")
 	}
 }
+
+// rebootSpy is a hopRouter that records Reboot calls.
+type rebootSpy struct {
+	hopRouter
+	reboots int
+}
+
+func (r *rebootSpy) Reboot() { r.reboots++ }
+
+func TestNodeDownUpAndLinkStateCompose(t *testing.T) {
+	g := lineTopo(10e9)
+	e := NewEngine(1)
+	n := NewNetwork(e, g, Config{})
+	spies := map[topo.NodeID]*rebootSpy{}
+	for _, sw := range g.Switches() {
+		spy := &rebootSpy{}
+		spies[sw] = spy
+		n.SetRouter(sw, spy)
+	}
+	n.Start()
+	s0, s1 := g.MustNode("S0"), g.MustNode("S1")
+	mid := g.LinkBetween(s0, s1)
+	ab := &n.chans[int(mid.ID)*2]
+
+	n.Inject(
+		NetworkEvent{At: 1000, Kind: EvNodeDown, Node: s1},
+		// Link-level failure while the node is down...
+		NetworkEvent{At: 2000, Kind: EvLinkDown, Link: mid.ID},
+		// ...so the node's recovery must NOT revive the link.
+		NetworkEvent{At: 3000, Kind: EvNodeUp, Node: s1},
+		NetworkEvent{At: 4000, Kind: EvLinkUp, Link: mid.ID},
+	)
+	e.Run(1500)
+	if !n.NodeDown(s1) {
+		t.Fatal("EvNodeDown did not mark the node")
+	}
+	if !ab.down {
+		t.Fatal("channel into the failed node is still up")
+	}
+	if spies[s1].reboots != 0 {
+		t.Fatal("going down must not reboot")
+	}
+	e.Run(3500)
+	if n.NodeDown(s1) {
+		t.Fatal("EvNodeUp did not clear the node")
+	}
+	if spies[s1].reboots != 1 {
+		t.Fatalf("reboots = %d after recovery, want 1", spies[s1].reboots)
+	}
+	if spies[s0].reboots != 0 {
+		t.Fatal("a neighbor rebooted spuriously")
+	}
+	if !ab.down {
+		t.Fatal("node recovery revived an admin-down link")
+	}
+	e.Run(4500)
+	if ab.down {
+		t.Fatal("EvLinkUp did not restore the link after both recoveries")
+	}
+	// Duplicate node-up is a no-op, not a second reboot.
+	n.RecoverNode(s1, 5000)
+	e.Run(5500)
+	if spies[s1].reboots != 1 {
+		t.Fatalf("duplicate recovery rebooted again: %d", spies[s1].reboots)
+	}
+}
+
+func TestNodeDownDropsAreTyped(t *testing.T) {
+	e, n, mid := eventNet(t)
+	s1 := n.Topo.MustNode("S1")
+	_ = mid
+	n.FailNode(s1, 1000)
+	n.StartFlows([]FlowSpec{{ID: 1, Src: n.Topo.MustNode("H0"), Dst: n.Topo.MustNode("H1"), Size: 40_000, Start: 2000}})
+	e.Run(5_000_000)
+	n.FoldCounters()
+	if got := n.Counters.Get("drop_nodedown"); got == 0 {
+		t.Fatal("transmissions toward a failed node not counted as drop_nodedown")
+	}
+	if got := n.Counters.Get("drop_linkdown"); got != 0 {
+		t.Fatalf("node-failure drops misfiled as drop_linkdown: %v", got)
+	}
+}
+
+func TestProbeLossOnlyDropsProbes(t *testing.T) {
+	e, n, mid := eventNet(t)
+	n.SetProbeLossSeed(9)
+	n.SetProbeLoss(mid, 1.0, 0) // drop every probe on the fabric link
+	// Data flow crosses the same link: must be untouched.
+	n.StartFlows([]FlowSpec{{ID: 1, Src: n.Topo.MustNode("H0"), Dst: n.Topo.MustNode("H1"), Size: 40_000, Start: 1000}})
+	// Inject probes by hand from S0 toward S1.
+	s0 := n.Topo.MustNode("S0")
+	e.At(2000, func() {
+		for i := 0; i < 8; i++ {
+			p := n.NewPacket()
+			p.Kind = Probe
+			p.Size = 64
+			p.Origin = s0
+			n.transmit(s0, int(n.Topo.PortTo(s0, n.Topo.MustNode("S1"))), p)
+		}
+	})
+	e.Run(10_000_000)
+	seen, dropped := n.ProbeLossStats()
+	if seen != 8 || dropped != 8 {
+		t.Fatalf("probe loss stats = (%d,%d), want (8,8) at rate 1.0", seen, dropped)
+	}
+	if n.CompletedFlows() != 1 {
+		t.Fatal("probe loss affected the data flow")
+	}
+}

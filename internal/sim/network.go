@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"contra/internal/stats"
 	"contra/internal/topo"
@@ -57,12 +58,16 @@ const (
 	DropNoLocal                            // no local port for the destination
 	DropProbeNoTrans                       // probe tag without a product-graph transition
 	DropProbeUnsupported                   // scheme does not process probes
+	DropNodeDown                           // endpoint node failed (switch_down)
+	DropProbeLoss                          // injected probabilistic probe loss
+	DropProbeStale                         // probe from a superseded policy era
 	numDropReasons
 )
 
 var dropLabels = [numDropReasons]string{
 	"drop_queue", "drop_linkdown", "drop_ttl", "drop_noroute",
 	"drop_nohost", "drop_nolocal", "drop_probe_notrans", "drop_probe_unsupported",
+	"drop_nodedown", "drop_probeloss", "drop_probe_stale",
 }
 
 // Router is the forwarding logic attached to a switch: the Contra data
@@ -85,7 +90,9 @@ type channel struct {
 	delayNs    int64
 	capBytes   float64
 	busyUntil  int64
-	down       bool
+	down       bool // effective: adminDown or either endpoint node failed
+	adminDown  bool // link-level admin state (link_down / pre-failed topology)
+	probeLoss  float64
 	dre        *stats.DRE
 	fabric     bool // switch-switch (vs host-attach) link
 
@@ -121,6 +128,16 @@ type Network struct {
 	portChan [][]int32     // node -> local port -> directed channel index
 	hostPort []int32       // host -> port index on its edge switch, -1 otherwise
 	hostEdge []topo.NodeID // host -> its edge switch, -1 otherwise
+	nodeDown []bool        // node-level failure state (EvNodeDown/EvNodeUp)
+
+	// Probe-loss injection: a dedicated deterministic RNG, decoupled
+	// from the engine's so arming loss never perturbs any other
+	// randomness consumer; probeLossOn gates the per-delivery check so
+	// runs without loss pay nothing.
+	lossRng        *rand.Rand
+	probeLossOn    bool
+	probeLossSeen  int64 // probes offered to lossy channels
+	probeLossDrops int64 // probes discarded by injected loss
 
 	pool  pool
 	flows map[uint64]*flowState
@@ -178,6 +195,7 @@ func NewNetwork(e *Engine, g *topo.Graph, cfg Config) *Network {
 		chans:    make([]channel, 2*g.NumLinks()),
 		hostPort: make([]int32, g.NumNodes()),
 		hostEdge: make([]topo.NodeID, g.NumNodes()),
+		nodeDown: make([]bool, g.NumNodes()),
 		flows:    make(map[uint64]*flowState),
 		Counters: stats.NewCounter(),
 		FCT:      stats.NewSample(),
@@ -212,6 +230,7 @@ func NewNetwork(e *Engine, g *topo.Graph, cfg Config) *Network {
 			ch.fabric = fabric
 			// Links marked down in the topology (pre-failed,
 			// "asymmetric" setups) start down in the simulator too.
+			ch.adminDown = l.Down
 			ch.down = l.Down
 			ch.toSwitch = n.switches[ch.to]
 			ch.toHost = n.hosts[ch.to]
@@ -292,7 +311,7 @@ func (n *Network) transmit(from topo.NodeID, port int, pkt *Packet) {
 	ch := &n.chans[chIdx]
 	now := n.Eng.Now()
 	if ch.down {
-		n.countDrop(ch, pkt, DropLinkDown)
+		n.countDrop(ch, pkt, n.downReason(ch))
 		n.Free(pkt)
 		return
 	}
@@ -343,6 +362,30 @@ func (n *Network) countDrop(ch *channel, pkt *Packet, reason DropReason) {
 	}
 }
 
+// downReason attributes a drop on a down channel: node failure when
+// either endpoint is failed, plain link-down otherwise. Only reached on
+// the already-down branch, so the healthy path pays nothing.
+func (n *Network) downReason(ch *channel) DropReason {
+	if n.nodeDown[ch.from] || n.nodeDown[ch.to] {
+		return DropNodeDown
+	}
+	return DropLinkDown
+}
+
+// SetProbeLossSeed (re)seeds the dedicated probe-loss RNG. Chaos
+// injection calls it with a scenario-derived seed before arming
+// EvProbeLoss events, which is what makes measurement noise a
+// deterministic function of the scenario seed.
+func (n *Network) SetProbeLossSeed(seed int64) {
+	n.lossRng = rand.New(rand.NewSource(seed))
+}
+
+// ProbeLossStats reports how many probes crossed loss-injected channels
+// and how many of those the injection discarded.
+func (n *Network) ProbeLossStats() (seen, dropped int64) {
+	return n.probeLossSeen, n.probeLossDrops
+}
+
 // FoldCounters folds the typed hot-path accounting fields into the
 // string-keyed Counters set. It is idempotent; call it after a run
 // (scenario.Run does) before reading Counters.
@@ -372,10 +415,19 @@ func (n *Network) FoldCounters() {
 func (n *Network) deliverChan(chIdx int32, pkt *Packet) {
 	ch := &n.chans[chIdx]
 	if ch.down {
-		// Link died while in flight.
-		n.countDrop(ch, pkt, DropLinkDown)
+		// Link (or an endpoint node) died while in flight.
+		n.countDrop(ch, pkt, n.downReason(ch))
 		n.Free(pkt)
 		return
+	}
+	if n.probeLossOn && pkt.Kind == Probe && ch.probeLoss > 0 {
+		n.probeLossSeen++
+		if n.lossRng.Float64() < ch.probeLoss {
+			n.probeLossDrops++
+			n.countDrop(ch, pkt, DropProbeLoss)
+			n.Free(pkt)
+			return
+		}
 	}
 	if sw := ch.toSwitch; sw != nil {
 		if n.Cfg.TrackVisited && pkt.Kind == Data {

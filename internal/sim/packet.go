@@ -43,6 +43,12 @@ type Packet struct {
 	Tag    int32 // product-graph virtual node id, or -1
 	Pid    uint8
 	HasTag bool
+	// Era is the policy generation the tag/pid/MV were computed under.
+	// A runtime policy swap bumps the fleet era; packets and probes
+	// stamped with a superseded era carry tags whose meaning changed,
+	// so routers re-route (data) or discard (probes) them instead of
+	// misinterpreting the stale tag space.
+	Era uint8
 
 	// Probe fields.
 	Origin  topo.NodeID // destination switch the probe advertises

@@ -25,7 +25,7 @@ if [ "${BENCH_SHORT:-}" = "1" ]; then
   EXTRA+=(-benchtime=100x)
 fi
 
-BENCHES='BenchmarkEventLoop|BenchmarkPacketTransit|BenchmarkProbeProcessing|BenchmarkDataForwarding'
+BENCHES='BenchmarkEventLoop|BenchmarkPacketTransit|BenchmarkProbeProcessing|BenchmarkDataForwarding|BenchmarkPolicySwap'
 
 go test -run='^$' -bench="$BENCHES" -benchmem -count="$COUNT" "${EXTRA[@]}" \
   ./internal/sim ./internal/dataplane | tee "$OUT/bench.txt"

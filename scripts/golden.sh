@@ -1,42 +1,53 @@
 #!/usr/bin/env bash
 # golden.sh — check (default) or regenerate (--update) the committed
-# golden digest of the fixed-seed fattree campaign. The digest pins the
+# golden digests of the fixed-seed campaigns. The digests pin the
 # simulator's observable behavior: any hot-path change that shifts a
 # single byte of campaign JSON/CSV output fails the check, which is
 # what lets scheduler/data-structure rewrites land with confidence.
 #
+# Two campaigns are pinned: the fattree FCT smoke (steady + link
+# failures) and the chaos smoke (whole-switch failure/reboot, seeded
+# probe loss, live policy hot-swap) — so the chaos subsystem's
+# determinism contract is guarded byte-for-byte too. Each campaign is
+# also run as 2 shards and merged, which must match the single-process
+# bytes exactly.
+#
 # Usage:
-#   scripts/golden.sh            # run campaign, verify against digest
-#   scripts/golden.sh --update   # refresh the digest after an
+#   scripts/golden.sh            # run campaigns, verify against digests
+#   scripts/golden.sh --update   # refresh the digests after an
 #                                # intentional behavior change
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-GOLDEN=examples/campaign/golden/fattree_smoke.sha256
-SPEC=examples/campaign/fattree_smoke.json
+SPECS=(fattree_smoke chaos_smoke)
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/contracamp" ./cmd/contracamp
 
-# Single-process reference run.
-"$WORK/contracamp" -spec "$SPEC" -q -notable \
-  -out "$WORK/fattree_smoke.json" -csv "$WORK/fattree_smoke.csv"
+for name in "${SPECS[@]}"; do
+  SPEC=examples/campaign/$name.json
+  GOLDEN=examples/campaign/golden/$name.sha256
 
-# Two shards, merged: must be byte-identical to the single run.
-"$WORK/contracamp" -spec "$SPEC" -q -shard 0/2 -stream "$WORK/s0.jsonl"
-"$WORK/contracamp" -spec "$SPEC" -q -shard 1/2 -stream "$WORK/s1.jsonl"
-"$WORK/contracamp" -merge "$WORK/s0.jsonl,$WORK/s1.jsonl" -q -notable \
-  -out "$WORK/merged.json" -csv "$WORK/merged.csv"
-cmp "$WORK/fattree_smoke.json" "$WORK/merged.json"
-cmp "$WORK/fattree_smoke.csv" "$WORK/merged.csv"
+  # Single-process reference run.
+  "$WORK/contracamp" -spec "$SPEC" -q -notable \
+    -out "$WORK/$name.json" -csv "$WORK/$name.csv"
 
-if [ "${1:-}" = "--update" ]; then
-  mkdir -p "$(dirname "$GOLDEN")"
-  (cd "$WORK" && sha256sum fattree_smoke.json fattree_smoke.csv) > "$GOLDEN"
-  echo "updated $GOLDEN"
-  cat "$GOLDEN"
-else
-  (cd "$WORK" && sha256sum -c) < "$GOLDEN"
-  echo "golden digest OK: campaign output is byte-identical"
-fi
+  # Two shards, merged: must be byte-identical to the single run.
+  "$WORK/contracamp" -spec "$SPEC" -q -shard 0/2 -stream "$WORK/$name.s0.jsonl"
+  "$WORK/contracamp" -spec "$SPEC" -q -shard 1/2 -stream "$WORK/$name.s1.jsonl"
+  "$WORK/contracamp" -merge "$WORK/$name.s0.jsonl,$WORK/$name.s1.jsonl" -q -notable \
+    -out "$WORK/$name.merged.json" -csv "$WORK/$name.merged.csv"
+  cmp "$WORK/$name.json" "$WORK/$name.merged.json"
+  cmp "$WORK/$name.csv" "$WORK/$name.merged.csv"
+
+  if [ "${1:-}" = "--update" ]; then
+    mkdir -p "$(dirname "$GOLDEN")"
+    (cd "$WORK" && sha256sum "$name.json" "$name.csv") > "$GOLDEN"
+    echo "updated $GOLDEN"
+    cat "$GOLDEN"
+  else
+    (cd "$WORK" && sha256sum -c) < "$GOLDEN"
+    echo "golden digest OK: $name output is byte-identical"
+  fi
+done
