@@ -35,6 +35,9 @@ func main() {
 	loops := flag.Bool("loops", false, "track looped traffic")
 	failover := flag.Bool("failover", false, "run the Figure 14 failover experiment instead")
 	failLink := flag.String("fail", "", "pre-fail link `A-B` (asymmetric topology)")
+	packing := flag.Bool("probe-packing", false, "pack multi-origin probes into one frame per port per period (contra/hula)")
+	suppressEps := flag.Float64("suppress-eps", 0, "delta-suppression epsilon; > 0 (or -refresh-every) enables suppression")
+	refreshEvery := flag.Int("refresh-every", 0, "forced re-advertisement every N probe periods under suppression (default 4)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file` (pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to `file` at exit (pprof)")
 	flag.Parse()
@@ -45,7 +48,8 @@ func main() {
 		os.Exit(1)
 	}
 	runErr := run(*topoSpec, *scheme, *policyArg, *dist, *load, *durationMs,
-		*maxFlows, *seed, *queues, *loops, *failover, *failLink)
+		*maxFlows, *seed, *queues, *loops, *failover, *failLink,
+		*packing, *suppressEps, *refreshEvery)
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -56,7 +60,8 @@ func main() {
 }
 
 func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
-	maxFlows int, seed int64, queues, loops, failover bool, failLink string) error {
+	maxFlows int, seed int64, queues, loops, failover bool, failLink string,
+	packing bool, suppressEps float64, refreshEvery int) error {
 	src, err := cliutil.ReadPolicyArg(policyArg)
 	if err != nil {
 		return err
@@ -69,6 +74,9 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 		Seed:         seed,
 		SampleQueues: queues,
 		TrackLoops:   loops,
+		ProbePacking: packing,
+		SuppressEps:  suppressEps,
+		RefreshEvery: refreshEvery,
 	}
 	if failLink != "" {
 		// A pre-failed link is a link_down event at t=0: the scenario
@@ -110,6 +118,10 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 	fmt.Println(res)
 	fmt.Printf("fabric bytes: data=%.0f ack=%.0f probe=%.0f tag=%.0f (probe share %.3f%%)\n",
 		res.DataBytes, res.AckBytes, res.ProbeBytes, res.TagBytes, 100*res.ProbeFrac())
+	if res.ProbeTxSaved > 0 || res.ProbeSuppressed > 0 {
+		fmt.Printf("probe aggregation: %.0f probe transmissions avoided, %.0f re-advertisements suppressed\n",
+			res.ProbeTxSaved, res.ProbeSuppressed)
+	}
 	if loops {
 		fmt.Printf("looped traffic: %.4f%% of data packets, %d loop breaks\n",
 			100*res.LoopedFrac, int64(res.LoopBreaks))

@@ -99,6 +99,22 @@ var metrics = []struct {
 		}
 		return out
 	}},
+	// probe_tx_saved / probe_suppressed observe the probe-aggregation
+	// savings only where a knob was actually on (ProbeAggOn), so
+	// knobs-off cells stay blank while a knobs-on run that genuinely
+	// saved nothing still contributes its zero.
+	{"probe_tx_saved", func(r *scenario.Result) []float64 {
+		if !r.ProbeAggOn {
+			return nil
+		}
+		return []float64{r.ProbeTxSaved}
+	}},
+	{"probe_suppressed", func(r *scenario.Result) []float64 {
+		if !r.ProbeAggOn {
+			return nil
+		}
+		return []float64{r.ProbeSuppressed}
+	}},
 }
 
 func fctMs(r *scenario.Result, sec float64) []float64 {

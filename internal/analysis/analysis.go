@@ -200,11 +200,30 @@ type Evaluator struct {
 	env fullEnv
 	mv  [MaxMV]float64
 	buf []float64
+	// keep is the second scratch rank: BetterRank parks the candidate's
+	// components here so evaluating the incumbent cannot clobber them,
+	// letting one evaluator process a whole packed-probe batch of
+	// origins entry by entry with zero allocation.
+	keep []float64
 }
 
 // NewEvaluator returns a reusable rank evaluator over r.
 func (r *Result) NewEvaluator() *Evaluator {
-	return &Evaluator{res: r, buf: make([]float64, 0, 2*MaxMV)}
+	return &Evaluator{res: r, buf: make([]float64, 0, 2*MaxMV), keep: make([]float64, 0, MaxMV)}
+}
+
+// BetterRank reports whether the candidate metric vector strictly
+// outranks the incumbent under pid's propagation order. Both
+// evaluations run on this evaluator's scratch state — the candidate's
+// result is moved to the second scratch before the incumbent is
+// evaluated — so the packed receive loop compares a batch of origins
+// against one reusable evaluator without allocating or holding a
+// second Evaluator.
+func (ev *Evaluator) BetterRank(pid int, cand, inc [MaxMV]float64) bool {
+	rc := ev.EvalRank(pid, cand)
+	ev.keep = append(ev.keep[:0], rc.V...)
+	rc.V = ev.keep
+	return rc.Better(ev.EvalRank(pid, inc))
 }
 
 // zeroRank is the shared constant-subpolicy rank; comparisons never

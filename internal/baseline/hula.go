@@ -29,6 +29,36 @@ type Hula struct {
 
 	flowlets map[hulaFlowKey]*hulaFlowlet
 	probeSz  int
+
+	// Probe aggregation (mirroring the Contra data plane, so scheme
+	// comparisons stay apples to apples): packing defers transit
+	// re-advertisement to a per-period flush emitting one packed
+	// multi-origin probe per eligible port (with heartbeats on quiet
+	// fabric ports); suppression skips re-advertising origins whose
+	// best port and utilization are unchanged within eps, with a
+	// forced refresh every refreshNs.
+	packing    bool
+	suppressOn bool
+	eps        float64
+	refreshNs  int64
+	pend       map[topo.NodeID]*hulaPend
+	pendList   []topo.NodeID // deterministic flush order
+	lastAdv    map[topo.NodeID]*hulaAdv
+}
+
+// hulaPend is one origin's queued re-advertisement: the latest
+// propagated utilization and the probe-path state it arrived with.
+type hulaPend struct {
+	util   float64
+	up     bool
+	inPort int
+}
+
+// hulaAdv snapshots what was last re-advertised for an origin.
+type hulaAdv struct {
+	util float64
+	port int
+	at   int64
 }
 
 type hulaVia struct {
@@ -50,6 +80,14 @@ type hulaFlowlet struct {
 type HulaConfig struct {
 	ProbePeriodNs    int64 // default 256us (§6.3)
 	FlowletTimeoutNs int64 // default 200us
+
+	// ProbePacking enables multi-origin probe packing; SuppressEps and
+	// RefreshEvery enable delta suppression with the same semantics as
+	// core.Options (setting either turns suppression on; RefreshEvery
+	// defaults to 4 when only the epsilon is given).
+	ProbePacking bool
+	SuppressEps  float64
+	RefreshEvery int
 }
 
 // NewHula builds one HULA switch router.
@@ -60,16 +98,36 @@ func NewHula(cfg HulaConfig) *Hula {
 	if cfg.FlowletTimeoutNs == 0 {
 		cfg.FlowletTimeoutNs = 200_000
 	}
+	if cfg.SuppressEps > 0 && cfg.RefreshEvery == 0 {
+		cfg.RefreshEvery = 4
+	}
+	suppressOn := cfg.RefreshEvery > 0
+	// Suppression legitimately quiets an origin, and the quiet window
+	// compounds across a hop (an upstream forced refresh arriving just
+	// inside this switch's own horizon is suppressed), so consecutive
+	// advertisements can be nearly 2x RefreshEvery apart; stretch the
+	// aging horizon by that bound so suppressed-but-alive routes never
+	// expire.
+	slack := int64(0)
+	if suppressOn {
+		slack = 2 * int64(cfg.RefreshEvery)
+	}
 	return &Hula{
 		periodNs:   cfg.ProbePeriodNs,
 		flowletNs:  cfg.FlowletTimeoutNs,
-		ageNs:      3*cfg.ProbePeriodNs + cfg.ProbePeriodNs,
+		ageNs:      (3+slack)*cfg.ProbePeriodNs + cfg.ProbePeriodNs,
 		bestPort:   make(map[topo.NodeID]int),
 		bestUtil:   make(map[topo.NodeID]float64),
 		updated:    make(map[topo.NodeID]int64),
 		updatedVia: make(map[hulaVia]int64),
 		flowlets:   make(map[hulaFlowKey]*hulaFlowlet),
 		probeSz:    64,
+		packing:    cfg.ProbePacking,
+		suppressOn: suppressOn,
+		eps:        cfg.SuppressEps,
+		refreshNs:  int64(cfg.RefreshEvery) * cfg.ProbePeriodNs,
+		pend:       make(map[topo.NodeID]*hulaPend),
+		lastAdv:    make(map[topo.NodeID]*hulaAdv),
 	}
 }
 
@@ -110,8 +168,14 @@ func (r *Hula) Attach(sw *sim.SwitchDev) {
 		}
 		r.level[s] = lvl
 	}
+	offset := (int64(sw.ID) * 7919) % r.periodNs
+	if r.packing {
+		// Every switch flushes once per period; edge origination rides
+		// the packed flush instead of a separate probe burst.
+		sw.Net.Eng.Every(offset, r.periodNs, r.flush)
+		return
+	}
 	if g.Node(sw.ID).Role == topo.RoleEdge {
-		offset := (int64(sw.ID) * 7919) % r.periodNs
 		sw.Net.Eng.Every(offset, r.periodNs, r.originate)
 	}
 }
@@ -130,6 +194,9 @@ func (r *Hula) Reboot() {
 	r.updated = make(map[topo.NodeID]int64)
 	r.updatedVia = make(map[hulaVia]int64)
 	r.flowlets = make(map[hulaFlowKey]*hulaFlowlet)
+	r.pend = make(map[topo.NodeID]*hulaPend)
+	r.pendList = r.pendList[:0]
+	r.lastAdv = make(map[topo.NodeID]*hulaAdv)
 }
 
 // originate floods a fresh probe from this ToR upward.
@@ -151,7 +218,11 @@ func (r *Hula) originate() {
 // Handle implements sim.Router.
 func (r *Hula) Handle(pkt *sim.Packet, inPort int) {
 	if pkt.Kind == sim.Probe {
-		r.handleProbe(pkt, inPort)
+		if pkt.IsPacked {
+			r.handlePacked(pkt, inPort)
+		} else {
+			r.handleProbe(pkt, inPort)
+		}
 		return
 	}
 	dstEdge, ok := r.pre(pkt)
@@ -228,43 +299,224 @@ func (r *Hula) handleProbe(pkt *sim.Packet, inPort int) {
 	if u := r.sw.TxUtil(inPort); u > util {
 		util = u
 	}
-	r.updatedVia[hulaVia{dst: pkt.Origin, port: inPort}] = now
-	cur, have := r.bestUtil[pkt.Origin]
-	fresh := now-r.updated[pkt.Origin] <= r.ageNs
-	better := !have || !fresh || util < cur || r.bestPort[pkt.Origin] == inPort
-	if !better {
+	accepted, goingUpStill := r.acceptProbe(pkt.Origin, util, pkt.Up, inPort, now)
+	if !accepted {
 		r.sw.Net.Free(pkt)
 		return
 	}
-	r.bestUtil[pkt.Origin] = util
-	r.bestPort[pkt.Origin] = inPort
-	r.updated[pkt.Origin] = now
+	if r.suppressOn && r.suppressAdvert(pkt.Origin, now) {
+		r.sw.Net.CountProbeSuppressed(1)
+		// Count the re-multicasts this skip avoids, mirroring the
+		// Contra data plane's accounting so scheme comparisons of
+		// probe_tx_saved stay apples to apples.
+		saved := int64(0)
+		for port := 0; port < r.sw.PortCount(); port++ {
+			if _, ok := r.eligiblePort(port, inPort, goingUpStill); ok {
+				saved++
+			}
+		}
+		if saved > 0 {
+			r.sw.Net.CountProbeSaved(saved)
+		}
+		r.sw.Net.Free(pkt)
+		return
+	}
+	if r.suppressOn {
+		r.recordAdvert(pkt.Origin, now)
+	}
+	pkt.MV[0] = util
+	for port := 0; port < r.sw.PortCount(); port++ {
+		up, ok := r.eligiblePort(port, inPort, goingUpStill)
+		if !ok {
+			continue
+		}
+		cp := r.sw.Net.Clone(pkt)
+		cp.Up = up
+		r.sw.Send(port, cp)
+	}
+	r.sw.Net.Free(pkt)
+}
 
+// acceptProbe runs HULA's update rule for one origin advertisement and
+// reports whether it was accepted plus the outgoing propagation state.
+func (r *Hula) acceptProbe(origin topo.NodeID, util float64, up bool, inPort int, now int64) (accepted, goingUpStill bool) {
+	r.updatedVia[hulaVia{dst: origin, port: inPort}] = now
+	cur, have := r.bestUtil[origin]
+	fresh := now-r.updated[origin] <= r.ageNs
+	if have && fresh && util >= cur && r.bestPort[origin] != inPort {
+		return false, false
+	}
+	r.bestUtil[origin] = util
+	r.bestPort[origin] = inPort
+	r.updated[origin] = now
 	// Propagate along reverse up-down paths: a probe that has started
 	// descending (arrived from a switch above us) may only continue
 	// descending.
 	fromLevel := r.level[r.sw.Peer(inPort)]
-	myLevel := r.level[r.sw.ID]
-	goingUpStill := pkt.Up && fromLevel < myLevel
-	pkt.MV[0] = util
-	sent := false
-	for port := 0; port < r.sw.PortCount(); port++ {
-		if port == inPort || !r.sw.IsSwitchPort(port) {
-			continue
-		}
-		peerLevel := r.level[r.sw.Peer(port)]
-		down := peerLevel < myLevel
-		up := peerLevel > myLevel
-		if !(down || (up && goingUpStill)) {
-			continue
-		}
-		cp := r.sw.Net.Clone(pkt)
-		cp.Up = goingUpStill && up
-		r.sw.Send(port, cp)
-		sent = true
+	return true, up && fromLevel < r.level[r.sw.ID]
+}
+
+// eligiblePort reports whether a re-advertisement may leave on port
+// under the up-down constraint, and whether it keeps traveling upward.
+func (r *Hula) eligiblePort(port, inPort int, goingUpStill bool) (up, ok bool) {
+	if port == inPort || !r.sw.IsSwitchPort(port) {
+		return false, false
 	}
-	_ = sent
+	myLevel := r.level[r.sw.ID]
+	peerLevel := r.level[r.sw.Peer(port)]
+	down := peerLevel < myLevel
+	upward := peerLevel > myLevel
+	if !(down || (upward && goingUpStill)) {
+		return false, false
+	}
+	return goingUpStill && upward, true
+}
+
+// suppressAdvert reports whether re-advertising origin may be skipped:
+// best port unchanged, utilization within eps of the last
+// advertisement, and the forced-refresh horizon not yet elapsed.
+func (r *Hula) suppressAdvert(origin topo.NodeID, now int64) bool {
+	adv := r.lastAdv[origin]
+	if adv == nil || adv.port != r.bestPort[origin] {
+		return false
+	}
+	if now-adv.at >= r.refreshNs {
+		return false
+	}
+	d := r.bestUtil[origin] - adv.util
+	if d < 0 {
+		d = -d
+	}
+	return d <= r.eps
+}
+
+// recordAdvert snapshots the advertised state for origin.
+func (r *Hula) recordAdvert(origin topo.NodeID, now int64) {
+	adv := r.lastAdv[origin]
+	if adv == nil {
+		adv = &hulaAdv{}
+		r.lastAdv[origin] = adv
+	}
+	adv.util = r.bestUtil[origin]
+	adv.port = r.bestPort[origin]
+	adv.at = now
+}
+
+// markPending queues an accepted advertisement for the packed flush;
+// the latest accept within a period wins.
+func (r *Hula) markPending(origin topo.NodeID, util float64, up bool, inPort int) {
+	pe := r.pend[origin]
+	if pe == nil {
+		pe = &hulaPend{}
+		r.pend[origin] = pe
+		r.pendList = append(r.pendList, origin)
+	}
+	pe.util = util
+	pe.up = up
+	pe.inPort = inPort
+}
+
+// Packed HULA probe wire accounting: the single-probe frame is 64B;
+// packing pays the frame plus a small header once and ~10B per packed
+// origin entry.
+const (
+	hulaPackedBase  = 22
+	hulaPackedEntry = 10
+)
+
+// handlePacked processes a packed multi-origin HULA probe: each entry
+// runs the standard update rule, and accepted entries are queued for
+// this switch's own per-period flush instead of being forwarded
+// immediately. Empty packed probes are liveness heartbeats.
+func (r *Hula) handlePacked(pkt *sim.Packet, inPort int) {
+	now := r.sw.Now()
+	txu := r.sw.TxUtil(inPort)
+	for i := range pkt.Packed {
+		en := &pkt.Packed[i]
+		if en.Origin == r.sw.ID {
+			continue
+		}
+		util := en.MV[0]
+		if txu > util {
+			util = txu
+		}
+		accepted, goingUpStill := r.acceptProbe(en.Origin, util, en.Up, inPort, now)
+		if !accepted {
+			continue
+		}
+		if r.pend[en.Origin] != nil {
+			// Already queued: refresh the pending advertisement in place
+			// (the flush emits the latest state, so nothing is suppressed).
+			r.markPending(en.Origin, util, goingUpStill, inPort)
+			continue
+		}
+		if r.suppressOn && r.suppressAdvert(en.Origin, now) {
+			r.sw.Net.CountProbeSuppressed(1)
+			continue
+		}
+		if r.suppressOn {
+			r.recordAdvert(en.Origin, now)
+		}
+		r.markPending(en.Origin, util, goingUpStill, inPort)
+	}
 	r.sw.Net.Free(pkt)
+}
+
+// flush is the packed per-period emission: one packed probe per fabric
+// port carrying this switch's own origination (edges only) plus every
+// eligible pending re-advertisement. Unlike Contra, HULA keeps no
+// port-level liveness table — freshness is per (dst, port) and the
+// aging horizon is already stretched by the refresh bound — so quiet
+// ports get no heartbeat.
+func (r *Hula) flush() {
+	isEdge := r.level[r.sw.ID] == 0
+	for port := 0; port < r.sw.PortCount(); port++ {
+		if !r.sw.IsSwitchPort(port) {
+			continue
+		}
+		p := r.sw.Net.NewPacket()
+		p.Kind = sim.Probe
+		p.IsPacked = true
+		p.TTL = sim.InitialTTL
+		if isEdge {
+			p.Packed = append(p.Packed, sim.ProbeEntry{Origin: r.sw.ID, Up: true})
+		}
+		for _, origin := range r.pendList {
+			pe := r.pend[origin]
+			up, ok := r.eligiblePort(port, pe.inPort, pe.up)
+			if !ok {
+				continue
+			}
+			p.Packed = append(p.Packed, sim.ProbeEntry{
+				Origin: origin, Up: up, MV: [4]float64{pe.util},
+			})
+		}
+		n := len(p.Packed)
+		if n == 0 {
+			r.sw.Net.Free(p)
+			continue
+		}
+		if n > 1 {
+			r.sw.Net.CountProbeSaved(int64(n - 1))
+		}
+		p.Size = hulaPackedBase + hulaPackedEntry*n
+		r.sw.Send(port, p)
+	}
+	if r.suppressOn {
+		// Re-snapshot from the state actually emitted: a pending
+		// advertisement may have been refreshed in place after it was
+		// recorded, and suppression must compare against what went out
+		// on the wire (bestUtil/bestPort track the latest accept, which
+		// is exactly what the flush advertised).
+		now := r.sw.Now()
+		for _, origin := range r.pendList {
+			r.recordAdvert(origin, now)
+		}
+	}
+	for _, origin := range r.pendList {
+		delete(r.pend, origin)
+	}
+	r.pendList = r.pendList[:0]
 }
 
 // BestNextHop exposes HULA's current decision (tests/diagnostics).

@@ -59,6 +59,13 @@ type Spec struct {
 	FailureDetectPeriods int               `json:"failure_detect_periods,omitempty"`
 	BinNs                int64             `json:"bin_ns,omitempty"`
 	TrackLoops           bool              `json:"track_loops,omitempty"`
+
+	// Probe aggregation knobs, shared by every cell (see the scenario
+	// fields of the same names): multi-origin probe packing and delta
+	// suppression with a forced refresh every RefreshEvery periods.
+	ProbePacking bool    `json:"probe_packing,omitempty"`
+	SuppressEps  float64 `json:"suppress_eps,omitempty"`
+	RefreshEvery int     `json:"refresh_every,omitempty"`
 }
 
 // Parse decodes a campaign spec, rejecting unknown fields.
@@ -199,6 +206,9 @@ func (s *Spec) Expand() ([]scenario.Scenario, error) {
 							ProbePeriodNs:        s.ProbePeriodNs,
 							FlowletTimeoutNs:     s.FlowletTimeoutNs,
 							FailureDetectPeriods: s.FailureDetectPeriods,
+							ProbePacking:         s.ProbePacking,
+							SuppressEps:          s.SuppressEps,
+							RefreshEvery:         s.RefreshEvery,
 							BinNs:                s.BinNs,
 							TrackLoops:           s.TrackLoops,
 						}
@@ -375,7 +385,8 @@ var csvHeader = []string{
 	"flows", "completed", "mean_fct_ms", "p50_fct_ms", "p95_fct_ms", "p99_fct_ms",
 	"probe_frac", "queue_drops", "linkdown_drops", "looped_frac",
 	"baseline_gbps", "min_gbps", "recovery_ms",
-	"nodedown_drops", "probe_loss_frac", "swap_conv_ms", "error",
+	"nodedown_drops", "probe_loss_frac", "swap_conv_ms",
+	"probe_tx_saved", "probe_suppressed", "error",
 }
 
 // swapConvCell renders the policy-swap convergence column: blank when
@@ -434,6 +445,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			trimFloat(res.NodeDownDrops),
 			probeLossCell(res),
 			swapConvCell(res),
+			trimFloat(res.ProbeTxSaved), trimFloat(res.ProbeSuppressed),
 			o.Err,
 		}
 		if err := cw.Write(row); err != nil {

@@ -35,6 +35,27 @@ type Options struct {
 	// LoopTTLDelta is the max observed TTL spread per packet hash
 	// before the loop breaker fires (§5.5). 0 uses 4.
 	LoopTTLDelta int
+
+	// ProbePacking enables multi-origin probe packing (§5.2 overhead
+	// reduction): a switch that would emit N per-origin probes on a
+	// port in one period instead emits a single packed probe carrying
+	// N entries, and defers transit re-advertisement to a once-per-
+	// period flush. Off by default; the unpacked protocol is
+	// byte-identical to pre-packing builds.
+	ProbePacking bool
+
+	// SuppressEps enables delta suppression when > 0 (or when
+	// RefreshEvery is set): a switch skips re-advertising an origin
+	// whose route is unchanged and whose metric vector moved by at
+	// most SuppressEps per component since the last advertisement.
+	// 0 with RefreshEvery set suppresses exact repeats only.
+	SuppressEps float64
+
+	// RefreshEvery bounds suppression staleness: every entry is
+	// re-advertised at least once every RefreshEvery probe periods
+	// regardless of SuppressEps. Setting it (or SuppressEps) turns
+	// suppression on; 0 with SuppressEps > 0 defaults to 4.
+	RefreshEvery int
 }
 
 func (o *Options) fill(t *topo.Graph) {
@@ -54,7 +75,15 @@ func (o *Options) fill(t *topo.Graph) {
 	if o.LoopTTLDelta == 0 {
 		o.LoopTTLDelta = 4
 	}
+	if o.SuppressEps > 0 && o.RefreshEvery == 0 {
+		o.RefreshEvery = 4
+	}
 }
+
+// SuppressOn reports whether delta suppression is enabled. After fill,
+// SuppressEps > 0 implies RefreshEvery > 0, so the forced-refresh knob
+// alone decides.
+func (o *Options) SuppressOn() bool { return o.RefreshEvery > 0 }
 
 // SwitchProgram is the compiled artifact for one switch: everything the
 // data-plane runtime needs that is static for a given policy+topology.
@@ -252,6 +281,18 @@ func (c *Compiled) probeWireBytes() int {
 		tagBytes = 1
 	}
 	return 2 + 1 + 2 + tagBytes + 2*len(c.Analysis.MV)
+}
+
+// packedProbeHeaderBytes is the fixed overhead of one packed probe: a
+// 2-byte entry count plus a 2-byte era/flags word. The per-entry
+// payload reuses Stats.ProbeBytes, so packing amortizes both the L2
+// framing and this header across every origin advertised on the port.
+const packedProbeHeaderBytes = 4
+
+// PackedProbeBytes returns the payload wire size of a packed probe
+// carrying n per-origin entries (n may be 0: a liveness heartbeat).
+func (c *Compiled) PackedProbeBytes(n int) int {
+	return packedProbeHeaderBytes + n*c.Stats.ProbeBytes
 }
 
 // Describe renders a human-readable compilation report.

@@ -103,6 +103,34 @@ func BenchmarkProbeFanoutFattree8(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeFanoutFattree8Packed is BenchmarkProbeFanoutFattree8
+// with multi-origin probe packing and delta suppression on: the same
+// k=8 fat-tree probe period, but transit re-advertisements are batched
+// into one packed probe per port and unchanged origins are suppressed
+// between forced refreshes. The ratio to the unpacked benchmark is the
+// PR 5 headline number (target >= 2x).
+func BenchmarkProbeFanoutFattree8Packed(b *testing.B) {
+	g := topo.Fattree(8, 0)
+	pol := policy.MustParse("minimize(path.util)")
+	comp, err := core.Compile(g, pol, core.Options{
+		ProbePacking: true,
+		SuppressEps:  0.01,
+		RefreshEvery: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	Deploy(n, comp)
+	n.Start()
+	e.Run(12 * comp.Opts.ProbePeriodNs) // tables warm, fwd maps sized
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(e.Now() + comp.Opts.ProbePeriodNs)
+	}
+}
+
 // BenchmarkPolicySwap measures the runtime-update hot path: atomically
 // installing an already-compiled policy into every router of a warm
 // k=8 fat-tree fleet (80 switches), plus the probe churn of the first

@@ -31,6 +31,19 @@ type fwdEntry struct {
 	version uint32
 	updated int64
 	rank    policy.Rank // cached full-policy rank (recombination input)
+
+	// Advertisement state (probe packing / delta suppression).
+	// pending marks the entry queued for the next packed flush;
+	// lastAdv* snapshot what was last re-advertised downstream, so
+	// suppression can skip origins whose route and metrics are
+	// unchanged — a route change (nhop/ntag) always re-advertises,
+	// which is what keeps chaos scenarios converging.
+	pending   bool
+	advValid  bool
+	advNhop   int
+	advNtag   pg.NodeID
+	lastAdvAt int64
+	lastAdvMV [4]float64
 }
 
 // setRank stores a (possibly scratch-aliased) rank into the entry's
@@ -111,6 +124,26 @@ type Contra struct {
 	// when a swap changes whether this switch originates probes.
 	originCancel func()
 
+	// Probe aggregation (§5.2 overhead reduction). With packing on,
+	// transit re-advertisements are deferred to a once-per-period flush
+	// that emits one packed multi-origin probe per egress port (plus a
+	// liveness heartbeat on quiet ports), and probe origination rides
+	// the same flush. With suppression on, an accepted update whose
+	// route is unchanged and whose metric vector moved at most
+	// suppressEps per component since the last advertisement is not
+	// re-advertised at all; a forced refresh every refreshNs bounds
+	// downstream staleness, and the failure/expiry horizons stretch by
+	// the same bound so suppressed-but-alive routes never age out.
+	packing     bool
+	suppressOn  bool
+	suppressEps float64
+	refreshNs   int64      // forced-refresh horizon (RefreshEvery periods)
+	expireNs    int64      // entry expiry horizon incl. suppression slack
+	deadNs      int64      // port-liveness horizon incl. suppression slack
+	pend        [][]fwdKey // per egress port: entries awaiting the packed flush
+	advPorts    []int      // union of ProbeOut ports (flush/heartbeat targets)
+	originPorts []bool     // per port: carries this switch's own origin entries
+
 	// LoopBreaks counts §5.5 flowlet flushes (exported for tests and
 	// the evaluation harness).
 	LoopBreaks int64
@@ -118,7 +151,7 @@ type Contra struct {
 
 // New builds the router for one switch.
 func New(comp *core.Compiled, swID topo.NodeID) *Contra {
-	return &Contra{
+	c := &Contra{
 		comp:      comp,
 		prog:      comp.Switches[swID],
 		res:       comp.Analysis,
@@ -130,19 +163,80 @@ func New(comp *core.Compiled, swID topo.NodeID) *Contra {
 		evCur:     comp.Analysis.NewEvaluator(),
 		probeSize: comp.Stats.ProbeBytes + 18, // + minimal L2 framing
 	}
+	c.packing = comp.Opts.ProbePacking
+	c.suppressOn = comp.Opts.SuppressOn()
+	c.suppressEps = comp.Opts.SuppressEps
+	c.setHorizons()
+	return c
+}
+
+// setHorizons derives the expiry and failure-detection horizons from
+// the compiled options. Suppression legitimately quiets re-advertise-
+// ments, and the quiet window compounds across a hop: an upstream's
+// forced refresh arriving just inside this switch's own refresh
+// horizon is suppressed, so consecutive advertisements can be nearly
+// 2x RefreshEvery periods apart. Both horizons stretch by that bound —
+// except port liveness under packing, where the per-period heartbeat
+// keeps ports fresh at the §5.4 horizon.
+func (c *Contra) setHorizons() {
+	period := c.comp.Opts.ProbePeriodNs
+	k := int64(c.comp.Opts.FailureDetectPeriods)
+	var slack int64
+	if c.suppressOn {
+		c.refreshNs = int64(c.comp.Opts.RefreshEvery) * period
+		slack = 2 * int64(c.comp.Opts.RefreshEvery)
+	}
+	c.expireNs = (k+slack)*period + period
+	if c.packing {
+		slack = 0 // heartbeats refresh port liveness every period
+	}
+	c.deadNs = (k + slack) * period
 }
 
 // Attach implements sim.Router: initialize port state and start the
-// probe generator.
+// probe generator (or, under packing, the per-period packed flush).
 func (c *Contra) Attach(sw *sim.SwitchDev) {
 	c.sw = sw
 	c.lastProbe = make([]int64, sw.PortCount())
 	period := c.comp.Opts.ProbePeriodNs
-	if c.prog.Origin != nil {
+	switch {
+	case c.packing:
+		// Every switch flushes once per period: origin entries and
+		// pending transit re-advertisements share the packed probes.
+		c.pend = make([][]fwdKey, sw.PortCount())
+		c.recomputeAdv()
+		sw.Net.Eng.Every(originStagger(c.prog.Switch, period), period, c.flushPacked)
+	case c.prog.Origin != nil:
 		c.originCancel = sw.Net.Eng.Every(originStagger(c.prog.Switch, period), period, c.originate)
 	}
 	// Housekeeping: sweep expired flowlet entries.
 	sw.Net.Eng.Every(period, 16*period, c.sweep)
+}
+
+// recomputeAdv rebuilds the packed-flush port sets from the current
+// program: the union of product-graph out-ports (flush and heartbeat
+// targets) and the ports carrying this switch's own origin entries.
+// Called at attach and after every policy install.
+func (c *Contra) recomputeAdv() {
+	n := c.sw.PortCount()
+	seen := make([]bool, n)
+	for _, ports := range c.prog.ProbeOut {
+		for _, p := range ports {
+			seen[p] = true
+		}
+	}
+	c.advPorts = c.advPorts[:0]
+	for p := 0; p < n; p++ {
+		if seen[p] {
+			c.advPorts = append(c.advPorts, p)
+		}
+	}
+	c.originPorts = make([]bool, n)
+	if org := c.prog.Origin; org != nil {
+		for _, p := range c.prog.ProbeOut[org.VNode] {
+			c.originPorts[p] = true
+		}
+	}
 }
 
 // originate emits one probe per pid from the switch's probe-sending
@@ -174,8 +268,10 @@ func (c *Contra) originate() {
 
 // Handle implements sim.Router.
 func (c *Contra) Handle(pkt *sim.Packet, inPort int) {
-	switch pkt.Kind {
-	case sim.Probe:
+	switch {
+	case pkt.Kind == sim.Probe && pkt.IsPacked:
+		c.handlePacked(pkt, inPort)
+	case pkt.Kind == sim.Probe:
 		c.handleProbe(pkt, inPort)
 	default:
 		c.handleData(pkt, inPort)
@@ -265,19 +361,222 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 	c.updateBest(pkt.Origin, key, e)
 
 	// Retag and multicast along product graph out-edges.
-	pkt.Tag = int32(v)
-	pkt.MV = mv
 	outPorts := c.prog.ProbeOut[v]
 	if len(outPorts) == 0 {
 		c.sw.Net.Free(pkt)
 		return
 	}
+	if c.suppressOn && c.suppressAdvert(e, now) {
+		c.sw.Net.CountProbeSuppressed(1)
+		c.sw.Net.CountProbeSaved(int64(len(outPorts)))
+		c.sw.Net.Free(pkt)
+		return
+	}
+	if c.suppressOn {
+		c.recordAdvert(e, now)
+	}
+	pkt.Tag = int32(v)
+	pkt.MV = mv
 	for i, port := range outPorts {
 		if i == len(outPorts)-1 {
 			c.sw.Send(port, pkt)
 		} else {
 			c.sw.Send(port, c.sw.Net.Clone(pkt))
 		}
+	}
+}
+
+// suppressAdvert reports whether re-advertising entry e may be skipped
+// under delta suppression: its route is unchanged since the last
+// advertisement, the forced-refresh horizon has not elapsed, and every
+// metric component moved by at most the configured epsilon. New
+// entries, route changes (the bad-news path after failures and swaps)
+// and stale advertisements always propagate.
+func (c *Contra) suppressAdvert(e *fwdEntry, now int64) bool {
+	if !e.advValid || e.advNhop != e.nhop || e.advNtag != e.ntag {
+		return false
+	}
+	if now-e.lastAdvAt >= c.refreshNs {
+		return false
+	}
+	for i := 0; i < len(c.res.MV); i++ {
+		d := e.mv[i] - e.lastAdvMV[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > c.suppressEps {
+			return false
+		}
+	}
+	return true
+}
+
+// recordAdvert snapshots what is being advertised for entry e.
+func (c *Contra) recordAdvert(e *fwdEntry, now int64) {
+	e.advValid = true
+	e.advNhop = e.nhop
+	e.advNtag = e.ntag
+	e.lastAdvAt = now
+	e.lastAdvMV = e.mv
+}
+
+// markPending queues entry e (at key, virtual node v) for the next
+// packed flush on every product-graph out-port.
+func (c *Contra) markPending(key fwdKey, e *fwdEntry, outPorts []int) {
+	if e.pending {
+		return
+	}
+	e.pending = true
+	for _, port := range outPorts {
+		c.pend[port] = append(c.pend[port], key)
+	}
+}
+
+// handlePacked is PROCESSPROBE over a packed multi-origin probe: each
+// entry runs the same accept/update logic as a standalone probe, but
+// re-advertisement is deferred to the per-period flush instead of
+// forwarding the packet. An empty packed probe is a pure liveness
+// heartbeat. The loop is allocation-free: entries are read in place
+// and both rank evaluations run on one reusable evaluator.
+func (c *Contra) handlePacked(pkt *sim.Packet, inPort int) {
+	now := c.sw.Now()
+	c.lastProbe[inPort] = now
+	if pkt.Era != c.era {
+		c.sw.Drop(pkt, sim.DropProbeStale)
+		return
+	}
+	// Link-metric folds shared by every entry on this port.
+	util := c.sw.TxUtil(inPort)
+	latAdd := float64(c.sw.PortDelay(inPort)) / 1e9
+	for i := range pkt.Packed {
+		en := &pkt.Packed[i]
+		if en.Origin == c.prog.Switch {
+			continue
+		}
+		v, ok := c.prog.InTransition[pg.NodeID(en.Tag)]
+		if !ok {
+			continue
+		}
+		mv := en.MV
+		for j, m := range c.res.MV {
+			switch m {
+			case policy.Util:
+				if util > mv[j] {
+					mv[j] = util
+				}
+			case policy.Lat:
+				mv[j] += latAdd
+			case policy.Len:
+				mv[j]++
+			}
+		}
+		key := fwdKey{origin: en.Origin, vnode: v, pid: en.Pid}
+		e := c.fwd[key]
+		accept := false
+		switch {
+		case e == nil:
+			accept = true
+		case en.Version < e.version:
+			// Outdated entry (§5.1).
+		case inPort == e.nhop && pg.NodeID(en.Tag) == e.ntag:
+			accept = true // DSDV/Babel upstream-refresh rule
+		case c.expired(e):
+			accept = true // §5.4 metric expiration
+		default:
+			accept = c.evCand.BetterRank(int(en.Pid), mv, e.mv)
+		}
+		if !accept {
+			continue
+		}
+		if e == nil {
+			e = &fwdEntry{}
+			c.fwd[key] = e
+		}
+		e.mv = mv
+		e.ntag = pg.NodeID(en.Tag)
+		e.nhop = inPort
+		e.version = en.Version
+		e.updated = now
+		e.setRank(c.policyRank(v, mv))
+		c.updateBest(en.Origin, key, e)
+
+		outPorts := c.prog.ProbeOut[v]
+		if len(outPorts) == 0 {
+			continue
+		}
+		if e.pending {
+			// Already queued: the flush emits the entry's latest mv, so
+			// this refresh is advertised, not suppressed.
+			continue
+		}
+		if c.suppressOn && c.suppressAdvert(e, now) {
+			c.sw.Net.CountProbeSuppressed(1)
+			continue
+		}
+		if c.suppressOn {
+			c.recordAdvert(e, now)
+		}
+		c.markPending(key, e, outPorts)
+	}
+	c.sw.Net.Free(pkt)
+}
+
+// flushPacked is the per-period packed emission: one packed probe per
+// advertisement port carrying this switch's own origin entries (INIT-
+// PROBE riding the flush) plus every pending transit re-advertisement,
+// or a bare heartbeat when the port has nothing to say — which is what
+// keeps §5.4 port-liveness detection at its normal horizon even when
+// suppression quiets the fabric.
+func (c *Contra) flushPacked() {
+	org := c.prog.Origin
+	if org != nil {
+		c.version++
+	}
+	for _, port := range c.advPorts {
+		p := c.sw.Net.NewPacket()
+		p.Kind = sim.Probe
+		p.IsPacked = true
+		p.Era = c.era
+		p.TTL = sim.InitialTTL
+		if org != nil && c.originPorts[port] {
+			for _, pid := range org.Pids {
+				p.Packed = append(p.Packed, sim.ProbeEntry{
+					Origin: c.prog.Switch, Tag: int32(org.VNode),
+					Version: c.version, Pid: uint8(pid),
+				})
+			}
+		}
+		for _, key := range c.pend[port] {
+			e := c.fwd[key]
+			if e == nil {
+				continue
+			}
+			p.Packed = append(p.Packed, sim.ProbeEntry{
+				Origin: key.origin, Tag: int32(key.vnode),
+				Version: e.version, Pid: key.pid, MV: e.mv,
+			})
+		}
+		if n := len(p.Packed); n > 1 {
+			// n per-origin probes collapsed into one wire packet.
+			c.sw.Net.CountProbeSaved(int64(n - 1))
+		}
+		p.Size = c.comp.PackedProbeBytes(len(p.Packed)) + 18
+		c.sw.Send(port, p)
+	}
+	now := c.sw.Now()
+	for port := range c.pend {
+		for _, key := range c.pend[port] {
+			if e := c.fwd[key]; e != nil {
+				e.pending = false
+				if c.suppressOn {
+					// Re-snapshot from the metrics actually emitted: the
+					// entry may have been refreshed again since it was
+					// queued.
+					c.recordAdvert(e, now)
+				}
+			}
+		}
+		c.pend[port] = c.pend[port][:0]
 	}
 }
 
@@ -332,10 +631,10 @@ func (c *Contra) rescanBest(origin topo.NodeID) {
 
 // expired reports §5.4 metric expiration: the entry has not been
 // refreshed for k probe periods (plus one period of slack for probe
-// jitter).
+// jitter, plus the forced-refresh bound when suppression legitimately
+// quiets refreshes — see setHorizons).
 func (c *Contra) expired(e *fwdEntry) bool {
-	ageOut := int64(c.comp.Opts.FailureDetectPeriods) * c.comp.Opts.ProbePeriodNs
-	return c.sw.Now()-e.updated > ageOut+c.comp.Opts.ProbePeriodNs
+	return c.sw.Now()-e.updated > c.expireNs
 }
 
 // alive reports whether an entry is usable: recently refreshed (§5.4
@@ -345,11 +644,11 @@ func (c *Contra) alive(key fwdKey, e *fwdEntry) bool {
 }
 
 // portDead is the §5.4 failure detector: no probes on the port for k
-// periods.
+// periods (stretched by the forced-refresh bound when suppression can
+// quiet a port without packing's heartbeats — see setHorizons).
 func (c *Contra) portDead(port int) bool {
 	now := c.sw.Now()
-	k := int64(c.comp.Opts.FailureDetectPeriods)
-	return now-c.lastProbe[port] > k*c.comp.Opts.ProbePeriodNs && now > k*c.comp.Opts.ProbePeriodNs
+	return now-c.lastProbe[port] > c.deadNs && now > c.deadNs
 }
 
 // handleData is SWIFORWARDPKT (Figure 7) with policy-aware flowlet
@@ -554,7 +853,16 @@ func (c *Contra) Install(comp *core.Compiled, era uint8) {
 	c.evCur = comp.Analysis.NewEvaluator()
 	c.probeSize = comp.Stats.ProbeBytes + 18
 	c.era = era
+	c.setHorizons()
 	c.flushTables()
+	if c.packing {
+		// The packed flush reads the program each tick, so the timer
+		// survives swaps unchanged; only the port sets need rebuilding.
+		if c.sw != nil {
+			c.recomputeAdv()
+		}
+		return
+	}
 	// The switch's origin role can change across policies (a waypoint
 	// policy may prune a switch's send state entirely): start or stop
 	// the probe generator to match.
@@ -592,13 +900,17 @@ func (c *Contra) Reboot() {
 }
 
 // flushTables drops every soft table: forwarding state, best-hop
-// cache, flowlet pins and loop registers.
+// cache, flowlet pins, loop registers and any queued packed
+// re-advertisements (their keys belong to the flushed tag space).
 func (c *Contra) flushTables() {
 	c.fwd = make(map[fwdKey]*fwdEntry)
 	c.best = make(map[topo.NodeID]fwdKey)
 	c.flowlets = make(map[flowKey]*flowletEntry)
 	c.srcPins = make(map[srcKey]*srcPin)
 	c.loopTbl = [loopSlots]loopSlot{}
+	for i := range c.pend {
+		c.pend[i] = c.pend[i][:0]
+	}
 }
 
 // Era returns the policy generation this router currently runs.

@@ -1,0 +1,199 @@
+package dataplane
+
+import (
+	"fmt"
+	"testing"
+
+	"contra/internal/core"
+	"contra/internal/sim"
+	"contra/internal/topo"
+)
+
+// deployOpts builds engine+network+routers under explicit options and
+// runs the warmup.
+func deployOpts(t *testing.T, g *topo.Graph, policySrc string, opts core.Options, warmupPeriods int) (*sim.Engine, *sim.Network, map[topo.NodeID]*Contra, *core.Compiled) {
+	t.Helper()
+	comp := compileOn(t, g, policySrc, opts)
+	e := sim.NewEngine(42)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	routers := Deploy(n, comp)
+	n.Start()
+	e.Run(int64(warmupPeriods) * comp.Opts.ProbePeriodNs)
+	return e, n, routers, comp
+}
+
+// routeSnapshot captures every switch's source decision for every
+// destination: the observable routing table. withPort includes the
+// chosen egress port; callers comparing runs with a different probe
+// arrival order leave it out, because the tie-break among equal-rank
+// paths is arrival-order dependent (any of them is a correct table).
+func routeSnapshot(g *topo.Graph, routers map[topo.NodeID]*Contra, withPort bool) map[string]string {
+	out := make(map[string]string)
+	for _, src := range g.Switches() {
+		for _, dst := range g.Switches() {
+			if src == dst {
+				continue
+			}
+			k := g.Node(src).Name + "->" + g.Node(dst).Name
+			vnode, pid, rank, ok := routers[src].BestEntry(dst)
+			if !ok {
+				out[k] = "none"
+				continue
+			}
+			out[k] = fmt.Sprintf("v%d pid%d rank%s", vnode, pid, rank.String())
+			if withPort {
+				port, _ := routers[src].BestNextHop(dst)
+				out[k] += fmt.Sprintf(" port%d", port)
+			}
+		}
+	}
+	return out
+}
+
+// TestSuppressionTablesMatchUnsuppressed is the suppression
+// correctness property: with epsilon 0 (exact repeats only) the final
+// routing tables after quiescence must be identical to the
+// unsuppressed run, with and without packing. The property is stated
+// over load-independent metrics (hop count, latency): a utilization
+// policy legitimately diverges, because packing shrinks the probes'
+// own bandwidth footprint and with it the measured utilization — that
+// is the optimization working, not a table bug (the util case is
+// covered by reachability below and the FCT-level scenario test).
+func TestSuppressionTablesMatchUnsuppressed(t *testing.T) {
+	aggVariants := []struct {
+		opts core.Options
+		// Packing batches re-advertisements, changing the arrival
+		// order that breaks ties among equal-rank paths; only the
+		// suppression-only run preserves the exact egress choice.
+		withPort bool
+	}{
+		{core.Options{SuppressEps: 0, RefreshEvery: 4}, true},
+		{core.Options{ProbePacking: true}, false},
+		{core.Options{ProbePacking: true, SuppressEps: 0, RefreshEvery: 4}, false},
+	}
+	for _, pol := range []string{"minimize(path.len)", "minimize(path.lat)"} {
+		for _, v := range aggVariants {
+			g := topo.Fattree(4, 2)
+			_, _, base, _ := deployOpts(t, g, pol, core.Options{}, 30)
+			want := routeSnapshot(g, base, v.withPort)
+			g2 := topo.Fattree(4, 2)
+			_, _, routers, _ := deployOpts(t, g2, pol, v.opts, 30)
+			got := routeSnapshot(g2, routers, v.withPort)
+			for k, w := range want {
+				if w == "none" {
+					t.Fatalf("%s %+v: baseline has no route for %s", pol, v.opts, k)
+				}
+				if got[k] != w {
+					t.Errorf("%s %+v: %s diverged: got %q want %q", pol, v.opts, k, got[k], w)
+				}
+			}
+		}
+	}
+	// Utilization policy: ranks may differ (less probe self-traffic)
+	// but every pair must still converge to a live route.
+	for _, v := range aggVariants {
+		g := topo.Fattree(4, 2)
+		_, _, routers, _ := deployOpts(t, g, "minimize(path.util)", v.opts, 30)
+		for k, val := range routeSnapshot(g, routers, false) {
+			if val == "none" {
+				t.Errorf("minimize(path.util) %+v: no route for %s", v.opts, k)
+			}
+		}
+	}
+}
+
+// TestSuppressionSavesProbes proves the knobs actually reduce probe
+// volume on an idle fabric: with suppression on, fabric probe bytes
+// over a quiet window must drop well below the unsuppressed volume,
+// and the suppression counter must account for skipped
+// re-advertisements.
+func TestSuppressionSavesProbes(t *testing.T) {
+	run := func(opts core.Options) (probeBytes float64, saved, suppressed float64) {
+		g := topo.Fattree(4, 2)
+		e, n, _, comp := deployOpts(t, g, "minimize(path.util)", opts, 12)
+		e.Run(e.Now() + 20*comp.Opts.ProbePeriodNs)
+		n.FoldCounters()
+		return n.Counters.Get("bytes_probe"), n.Counters.Get("probe_tx_saved"), n.Counters.Get("probe_suppressed")
+	}
+	plainBytes, _, _ := run(core.Options{})
+	packedBytes, saved, suppressed := run(core.Options{ProbePacking: true, SuppressEps: 0.01})
+	if packedBytes >= plainBytes/4 {
+		t.Errorf("packed+suppressed probe bytes %.0f, want < 1/4 of unpacked %.0f", packedBytes, plainBytes)
+	}
+	if saved <= 0 {
+		t.Errorf("probe_tx_saved = %.0f, want > 0", saved)
+	}
+	if suppressed <= 0 {
+		t.Errorf("probe_suppressed = %.0f, want > 0", suppressed)
+	}
+}
+
+// TestSuppressedOriginReadvertisesWithinRefresh is the forced-refresh
+// regression: silence an origin with rate-1.0 probe loss on its fabric
+// links until every remote route to it expires, then clear the loss.
+// Upstream switches now hold entries whose metrics are unchanged since
+// their last advertisement — exactly what a large epsilon suppresses —
+// so only the forced refresh every RefreshEvery periods can carry the
+// recovery downstream. Remote switches must re-learn the origin within
+// a few refresh horizons; a suppression bug that skips the forced
+// refresh leaves them dark forever.
+func TestSuppressedOriginReadvertisesWithinRefresh(t *testing.T) {
+	const refreshEvery = 4
+	for _, packing := range []bool{false, true} {
+		g := topo.Fattree(4, 2)
+		opts := core.Options{ProbePacking: packing, SuppressEps: 1.0, RefreshEvery: refreshEvery}
+		e, n, routers, comp := deployOpts(t, g, "minimize(path.util)", opts, 12)
+		period := comp.Opts.ProbePeriodNs
+
+		// The origin is the first edge switch; the observer the last.
+		edges := []topo.NodeID{}
+		for _, s := range g.Switches() {
+			if g.Node(s).Role == topo.RoleEdge {
+				edges = append(edges, s)
+			}
+		}
+		origin, observer := edges[0], edges[len(edges)-1]
+		if !routers[observer].HasRoute(origin) {
+			t.Fatalf("packing=%v: observer has no route to origin after warmup", packing)
+		}
+
+		var lossLinks []topo.LinkID
+		for _, p := range g.Ports(origin) {
+			if g.Node(p.Peer).Kind == topo.Switch {
+				lossLinks = append(lossLinks, p.Link)
+			}
+		}
+		n.SetProbeLossSeed(7)
+		start := e.Now()
+		for _, id := range lossLinks {
+			n.SetProbeLoss(id, 1.0, start)
+		}
+		// Expiry horizon is (failure-detect + refresh) periods + slack;
+		// run well past it so every remote entry for the origin ages out.
+		e.Run(start + 16*period)
+		if routers[observer].HasRoute(origin) {
+			t.Fatalf("packing=%v: observer still routes to silenced origin after 16 periods", packing)
+		}
+		clear := e.Now()
+		for _, id := range lossLinks {
+			n.SetProbeLoss(id, 0, clear)
+		}
+		// Recovery budget: one refresh horizon per hop of the 4-hop
+		// fat-tree path, plus propagation slack.
+		deadline := clear + int64(4*refreshEvery+4)*period
+		recovered := int64(-1)
+		for e.Now() < deadline {
+			e.Run(e.Now() + period)
+			if routers[observer].HasRoute(origin) {
+				recovered = e.Now() - clear
+				break
+			}
+		}
+		if recovered < 0 {
+			t.Fatalf("packing=%v: origin never re-advertised within %d periods of loss clearing",
+				packing, 4*refreshEvery+4)
+		}
+		t.Logf("packing=%v: re-learned origin %.1f periods after loss cleared",
+			packing, float64(recovered)/float64(period))
+	}
+}

@@ -57,6 +57,17 @@ type Result struct {
 	LoopedFrac    float64 `json:"looped_frac,omitempty"`
 	LoopBreaks    float64 `json:"loop_breaks,omitempty"`
 
+	// Probe aggregation (probe_packing / suppress_eps / refresh_every):
+	// on-wire probe transmissions avoided by packing and per-origin
+	// re-advertisements skipped by delta suppression. Zero (and absent
+	// from the JSON) when the knobs are off, so historical campaign
+	// output is byte-identical. ProbeAggOn records that a knob was
+	// enabled, so downstream aggregation can tell a genuine zero
+	// saving apart from knobs-off.
+	ProbeAggOn      bool    `json:"probe_agg_on,omitempty"`
+	ProbeTxSaved    float64 `json:"probe_tx_saved,omitempty"`
+	ProbeSuppressed float64 `json:"probe_suppressed,omitempty"`
+
 	// Failover analysis (BinNs > 0 and a runtime link_down/degrade
 	// event): throughput before the first event, the deepest dip after
 	// it, and how long delivered throughput stayed depressed. For
@@ -244,6 +255,9 @@ func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts
 		baseline.DeployHula(n, baseline.HulaConfig{
 			ProbePeriodNs:    opts.ProbePeriodNs,
 			FlowletTimeoutNs: opts.FlowletTimeoutNs,
+			ProbePacking:     opts.ProbePacking,
+			SuppressEps:      opts.SuppressEps,
+			RefreshEvery:     opts.RefreshEvery,
 		})
 	case SchemeSpain:
 		baseline.DeploySpain(n, baseline.SpainConfig{})
@@ -396,6 +410,9 @@ func Run(s Scenario) (*Result, error) {
 		ProbePeriodNs:        s.ProbePeriodNs,
 		FlowletTimeoutNs:     s.FlowletTimeoutNs,
 		FailureDetectPeriods: s.FailureDetectPeriods,
+		ProbePacking:         s.ProbePacking,
+		SuppressEps:          s.SuppressEps,
+		RefreshEvery:         s.RefreshEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -451,6 +468,9 @@ func Run(s Scenario) (*Result, error) {
 	res.LinkDownDrops = n.Counters.Get("drop_linkdown")
 	res.NodeDownDrops = n.Counters.Get("drop_nodedown")
 	res.LoopBreaks = n.Counters.Get("loop_break")
+	res.ProbeAggOn = s.ProbePacking || s.SuppressEps > 0 || s.RefreshEvery > 0
+	res.ProbeTxSaved = n.Counters.Get("probe_tx_saved")
+	res.ProbeSuppressed = n.Counters.Get("probe_suppressed")
 	if chaosRT != nil {
 		rep := chaosRT.Report()
 		res.Swaps = rep.Swaps

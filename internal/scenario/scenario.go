@@ -199,6 +199,18 @@ type Scenario struct {
 	FlowletTimeoutNs     int64 `json:"flowlet_timeout_ns,omitempty"`
 	FailureDetectPeriods int   `json:"failure_detect_periods,omitempty"`
 
+	// Probe aggregation knobs (contra and hula; no-ops for static
+	// schemes). ProbePacking batches per-origin probes into one packed
+	// probe per port per period. SuppressEps / RefreshEvery enable
+	// delta suppression: setting either turns it on (RefreshEvery
+	// defaults to 4 periods when only the epsilon is given), and
+	// suppressed origins are force-refreshed every RefreshEvery
+	// periods. Defaults-off preserves the historical byte-identical
+	// probe protocol.
+	ProbePacking bool    `json:"probe_packing,omitempty"`
+	SuppressEps  float64 `json:"suppress_eps,omitempty"`
+	RefreshEvery int     `json:"refresh_every,omitempty"`
+
 	// BinNs enables the delivered-throughput time series (and, with a
 	// link_down event, recovery analysis). CBR defaults to 500us.
 	BinNs int64 `json:"bin_ns,omitempty"`
@@ -276,6 +288,12 @@ func (s *Scenario) Validate() error {
 	if !workload.ValidPattern(s.Workload.Pattern) {
 		return fmt.Errorf("scenario %q: unknown traffic pattern %q (want one of %v)",
 			s.Name, s.Workload.Pattern, workload.Patterns())
+	}
+	if s.SuppressEps < 0 {
+		return fmt.Errorf("scenario %q: suppress_eps %g is negative", s.Name, s.SuppressEps)
+	}
+	if s.RefreshEvery < 0 {
+		return fmt.Errorf("scenario %q: refresh_every %d is negative", s.Name, s.RefreshEvery)
 	}
 	for i, ev := range s.Events {
 		switch ev.Kind {

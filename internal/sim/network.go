@@ -154,6 +154,13 @@ type Network struct {
 	fastRetx    int64
 	flowsDone   int64
 
+	// Probe aggregation accounting (typed, folded at run end):
+	// probeTxSaved counts on-wire probe transmissions avoided by
+	// multi-origin packing; probeSuppressed counts per-origin
+	// re-advertisements skipped by delta suppression.
+	probeTxSaved    int64
+	probeSuppressed int64
+
 	// Measurement.
 	Counters *stats.Counter
 	FCT      *stats.Sample // seconds, all completed flows
@@ -408,7 +415,17 @@ func (n *Network) FoldCounters() {
 	set("rto", float64(n.rtoCount))
 	set("fast_retx", float64(n.fastRetx))
 	set("flows_done", float64(n.flowsDone))
+	set("probe_tx_saved", float64(n.probeTxSaved))
+	set("probe_suppressed", float64(n.probeSuppressed))
 }
+
+// CountProbeSaved records on-wire probe transmissions avoided by
+// multi-origin packing (routers call it from their flush paths).
+func (n *Network) CountProbeSaved(k int64) { n.probeTxSaved += k }
+
+// CountProbeSuppressed records per-origin re-advertisements skipped by
+// delta suppression.
+func (n *Network) CountProbeSuppressed(k int64) { n.probeSuppressed += k }
 
 // deliverChan hands the packet in flight on channel chIdx to the
 // receiving device (the evDeliver event body).

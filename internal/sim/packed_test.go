@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"contra/internal/topo"
+)
+
+func packedTestNet(t *testing.T) *Network {
+	t.Helper()
+	g := topo.New("packed")
+	a := g.AddNode("A", topo.Switch)
+	b := g.AddNode("B", topo.Switch)
+	g.AddLink(a, b, 10e9, 1000)
+	return NewNetwork(NewEngine(1), g, Config{})
+}
+
+// TestPacketPoolPreservesPackedBacking pins the allocation contract of
+// packed probes: recycling a packet through the pool zeroes it but
+// keeps the packed-entry backing array, so steady-state packed fan-out
+// reuses storage instead of allocating per period.
+func TestPacketPoolPreservesPackedBacking(t *testing.T) {
+	n := packedTestNet(t)
+	p := n.NewPacket()
+	p.IsPacked = true
+	for i := 0; i < 8; i++ {
+		p.Packed = append(p.Packed, ProbeEntry{Origin: topo.NodeID(i)})
+	}
+	n.Free(p)
+	q := n.NewPacket()
+	if q != p {
+		t.Fatalf("pool did not recycle the freed packet")
+	}
+	if q.IsPacked || len(q.Packed) != 0 {
+		t.Fatalf("recycled packet not zeroed: IsPacked=%v len=%d", q.IsPacked, len(q.Packed))
+	}
+	if cap(q.Packed) < 8 {
+		t.Fatalf("recycled packet lost its packed backing array (cap %d)", cap(q.Packed))
+	}
+}
+
+// TestClonePackedIsDeepCopy guards against aliasing: a multicast clone
+// must own its packed entries, so mutating one copy (retagging at the
+// next hop) cannot corrupt the other.
+func TestClonePackedIsDeepCopy(t *testing.T) {
+	n := packedTestNet(t)
+	p := n.NewPacket()
+	p.IsPacked = true
+	p.Packed = append(p.Packed, ProbeEntry{Origin: 1, Version: 7}, ProbeEntry{Origin: 2, Version: 9})
+	c := n.Clone(p)
+	if len(c.Packed) != 2 || c.Packed[0].Origin != 1 || c.Packed[1].Version != 9 {
+		t.Fatalf("clone lost packed entries: %+v", c.Packed)
+	}
+	c.Packed[0].Version = 100
+	if p.Packed[0].Version != 7 {
+		t.Fatalf("clone aliases the original's packed entries")
+	}
+}

@@ -25,6 +25,21 @@ const (
 	InitialTTL     = 64
 )
 
+// ProbeEntry is one origin's advertisement inside a packed probe: the
+// per-origin fields a standalone probe would carry in its own frame.
+// Packing amortizes the L2 framing and — far more importantly — the
+// per-packet event cost across every origin a switch re-advertises on
+// a port in the same probe period (§5.2: probe volume dominates at
+// fattree scale).
+type ProbeEntry struct {
+	Origin  topo.NodeID // destination switch the entry advertises
+	Tag     int32       // sender's product-graph virtual node
+	Version uint32
+	Pid     uint8
+	Up      bool       // HULA packed propagation state (still traveling upward)
+	MV      [4]float64 // metric vector, laid out per the compiled policy
+}
+
 // Packet is the single on-wire unit. One struct serves data, acks and
 // probes to keep the hot path free of interface dispatch and type
 // switches (a packet arrives every few hundred ns of simulated time).
@@ -56,6 +71,16 @@ type Packet struct {
 	Up      bool       // Hula: probe still traveling upward
 	MV      [4]float64 // metric vector, laid out per the compiled policy
 
+	// Packed multi-origin probe (probe packing, §5.2 overhead
+	// reduction): when IsPacked is set, the per-origin probe fields
+	// above are unused and Packed carries one entry per advertised
+	// origin. An empty Packed with IsPacked set is a heartbeat: it
+	// refreshes port liveness without advertising anything. The slice's
+	// backing array survives pool recycling, so steady-state packed
+	// fan-out allocates nothing.
+	IsPacked bool
+	Packed   []ProbeEntry
+
 	// Diagnostics.
 	Hops    uint8
 	Visited uint64 // bitmask of visited switches (loop accounting, <=64 switches)
@@ -72,7 +97,11 @@ func (p *pool) get() *Packet {
 	}
 	pkt := p.head
 	p.head = pkt.next
+	// Zero the packet but keep the packed-entry backing array: packed
+	// probe fan-out reuses it instead of allocating per period.
+	packed := pkt.Packed[:0]
 	*pkt = Packet{}
+	pkt.Packed = packed
 	return pkt
 }
 
@@ -84,11 +113,14 @@ func (p *pool) put(pkt *Packet) {
 // NewPacket returns a zeroed packet from the pool.
 func (n *Network) NewPacket() *Packet { return n.pool.get() }
 
-// Clone copies a packet (for multicast).
+// Clone copies a packet (for multicast). Packed entries are copied
+// into the clone's own backing array, never aliased.
 func (n *Network) Clone(pkt *Packet) *Packet {
 	c := n.pool.get()
+	packed := c.Packed
 	*c = *pkt
 	c.next = nil
+	c.Packed = append(packed[:0], pkt.Packed...)
 	return c
 }
 

@@ -1,0 +1,159 @@
+// Command benchcmp is the CI performance gate's comparator: it reads
+// two bench JSON files (the shape scripts/bench.sh emits — benchmark
+// name -> {ns_op, b_op, allocs_op}, under a "benchmarks" or "after"
+// key) and fails when the current run regresses against the committed
+// baseline.
+//
+// Three checks, in decreasing order of machine-independence:
+//
+//   - ratio constraints (-maxratio A/B=0.5,...): the current run's
+//     ns_op ratio between two benchmarks must stay under the bound.
+//     Ratios within one run cancel out machine speed, so this is the
+//     strongest cross-machine signal — it is how the probe-packing
+//     speedup (packed <= 0.5x unpacked) is enforced.
+//   - allocs_op: allocation counts are deterministic per build, so a
+//     regression beyond the tolerance (plus a slack of 2 for warm-up
+//     effects in tiny counts) fails regardless of hardware.
+//   - ns_op: fails when the current time exceeds baseline * (1+tol).
+//     This assumes comparable hardware; refresh the baseline with
+//     scripts/bench.sh on quiet hardware after intentional changes.
+//
+// Usage:
+//
+//	go run scripts/benchcmp.go -base BENCH_PR5.json -cur bench-out/BENCH_PR5.json \
+//	    -tol 0.20 -maxratio 'BenchmarkProbeFanoutFattree8Packed/BenchmarkProbeFanoutFattree8=0.5'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type bench struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// load reads a bench JSON file, looking for the benchmark map under
+// "benchmarks", then "after" (the before/after shape), then the top
+// level itself.
+func load(path string) (map[string]bench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	for _, key := range []string{"benchmarks", "after"} {
+		if msg, ok := top[key]; ok {
+			var m map[string]bench
+			if err := json.Unmarshal(msg, &m); err != nil {
+				return nil, fmt.Errorf("%s: %q: %v", path, key, err)
+			}
+			return m, nil
+		}
+	}
+	var m map[string]bench
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%s: no benchmarks/after key and not a flat map: %v", path, err)
+	}
+	return m, nil
+}
+
+func main() {
+	base := flag.String("base", "BENCH_PR5.json", "committed baseline bench JSON")
+	cur := flag.String("cur", "", "freshly measured bench JSON")
+	tol := flag.Float64("tol", 0.20, "allowed fractional regression (0.20 = 20%)")
+	ratios := flag.String("maxratio", "", "comma-separated A/B=r constraints on current ns_op ratios")
+	flag.Parse()
+	if *cur == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -cur is required")
+		os.Exit(2)
+	}
+	b, err := load(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	c, err := load(*cur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range b {
+		if _, ok := c[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks in common")
+		os.Exit(2)
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL: "+format+"\n", args...)
+	}
+
+	fmt.Printf("%-40s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "cur ns/op", "delta", "allocs")
+	for _, name := range names {
+		bb, cc := b[name], c[name]
+		delta := 0.0
+		if bb.NsOp > 0 {
+			delta = (cc.NsOp - bb.NsOp) / bb.NsOp
+		}
+		fmt.Printf("%-40s %14.1f %14.1f %+7.1f%% %5.0f→%-4.0f\n",
+			name, bb.NsOp, cc.NsOp, 100*delta, bb.AllocsOp, cc.AllocsOp)
+		if delta > *tol {
+			fail("%s ns/op regressed %.1f%% (limit %.0f%%)", name, 100*delta, 100**tol)
+		}
+		if cc.AllocsOp > bb.AllocsOp*(1+*tol)+2 {
+			fail("%s allocs/op regressed: %.1f -> %.1f", name, bb.AllocsOp, cc.AllocsOp)
+		}
+	}
+
+	if *ratios != "" {
+		for _, spec := range strings.Split(*ratios, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			pair, bound, ok := strings.Cut(spec, "=")
+			a, bn, ok2 := strings.Cut(pair, "/")
+			r, err := strconv.ParseFloat(bound, 64)
+			if !ok || !ok2 || err != nil {
+				fmt.Fprintf(os.Stderr, "benchcmp: bad -maxratio %q (want A/B=r)\n", spec)
+				os.Exit(2)
+			}
+			ca, okA := c[a]
+			cb, okB := c[bn]
+			switch {
+			case !okA || !okB:
+				fail("ratio %s: benchmark missing from current run", spec)
+			case cb.NsOp <= 0:
+				fail("ratio %s: denominator has no time", spec)
+			case ca.NsOp/cb.NsOp > r:
+				fail("%s/%s = %.3f exceeds %.3f", a, bn, ca.NsOp/cb.NsOp, r)
+			default:
+				fmt.Printf("ratio %s/%s = %.3f (limit %.3f)\n", a, bn, ca.NsOp/cb.NsOp, r)
+			}
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: all benchmarks within tolerance")
+}

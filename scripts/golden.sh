@@ -5,10 +5,12 @@
 # single byte of campaign JSON/CSV output fails the check, which is
 # what lets scheduler/data-structure rewrites land with confidence.
 #
-# Two campaigns are pinned: the fattree FCT smoke (steady + link
-# failures) and the chaos smoke (whole-switch failure/reboot, seeded
-# probe loss, live policy hot-swap) — so the chaos subsystem's
-# determinism contract is guarded byte-for-byte too. Each campaign is
+# Three campaigns are pinned: the fattree FCT smoke (steady + link
+# failures), the chaos smoke (whole-switch failure/reboot, seeded
+# probe loss, live policy hot-swap), and the packed smoke (multi-origin
+# probe packing + delta suppression riding a switch failure/reboot) —
+# so both the chaos subsystem's and the probe-aggregation path's
+# determinism contracts are guarded byte-for-byte. Each campaign is
 # also run as 2 shards and merged, which must match the single-process
 # bytes exactly.
 #
@@ -19,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SPECS=(fattree_smoke chaos_smoke)
+SPECS=(fattree_smoke chaos_smoke packed_smoke)
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
