@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 
@@ -36,15 +37,18 @@ import (
 	"contra/internal/cliutil"
 	"contra/internal/dist"
 	"contra/internal/scenario"
+	"contra/internal/trace"
 )
 
 type options struct {
-	spec    string
-	workers int
-	out     string
-	csvOut  string
-	quiet   bool
-	noTable bool
+	spec       string
+	workers    int
+	out        string
+	csvOut     string
+	quiet      bool
+	noTable    bool
+	traceLevel string
+	traceDir   string
 
 	shard      string
 	stream     string
@@ -69,6 +73,8 @@ func main() {
 	flag.StringVar(&o.csvOut, "csv", "", "write per-scenario CSV to `file` (- for stdout)")
 	flag.BoolVar(&o.quiet, "q", false, "suppress per-scenario progress")
 	flag.BoolVar(&o.noTable, "notable", false, "skip the scheme-comparison table")
+	flag.StringVar(&o.traceLevel, "trace-level", "", "override the spec's trace_level (off|flows|decisions; off clears it)")
+	flag.StringVar(&o.traceDir, "trace-dir", "", "write per-scenario trace JSONL files into `dir` (in-memory runs only)")
 	flag.StringVar(&o.shard, "shard", "", "run only shard `i/N` of the expansion (requires -stream)")
 	flag.StringVar(&o.stream, "stream", "", "stream outcomes to a JSONL `file` instead of holding them in memory")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "record completed scenario keys in `file` (requires -stream)")
@@ -123,6 +129,14 @@ func run(o options) error {
 	if o.resume && (o.checkpoint == "" || o.stream == "") {
 		return fmt.Errorf("-resume needs both -checkpoint and -stream")
 	}
+	if o.traceLevel != "" {
+		if _, err := trace.ParseLevel(o.traceLevel); err != nil {
+			return err
+		}
+	}
+	if o.traceDir != "" && o.stream != "" {
+		return fmt.Errorf("-trace-dir needs the in-memory report (traces are not streamed); drop -stream")
+	}
 	if o.stream != "" {
 		return runStreaming(o)
 	}
@@ -153,6 +167,7 @@ func runInMemory(o options) error {
 	if err != nil {
 		return err
 	}
+	applyTraceLevel(spec, o)
 	if !o.quiet {
 		fmt.Fprintf(os.Stderr, "campaign %q: %d scenarios on %d workers\n",
 			spec.Name, spec.Size(), o.workers)
@@ -160,6 +175,11 @@ func runInMemory(o options) error {
 	report, err := campaign.Run(spec, campaign.Options{Workers: o.workers, Progress: progress(o)})
 	if err != nil {
 		return err
+	}
+	if o.traceDir != "" {
+		if err := writeTraces(report, o.traceDir, o.quiet); err != nil {
+			return err
+		}
 	}
 	if err := render(report, spec.Schemes, o); err != nil {
 		return err
@@ -180,6 +200,7 @@ func runStreaming(o options) error {
 	if err != nil {
 		return err
 	}
+	applyTraceLevel(spec, o)
 	shard, err := dist.ParseShard(o.shard)
 	if err != nil {
 		return err
@@ -313,6 +334,57 @@ func render(report *campaign.Report, schemes []scenario.Scheme, o options) error
 		cliutil.Table(header, rows)
 	}
 	return nil
+}
+
+// applyTraceLevel lets the -trace-level flag override the spec's
+// trace_level: "off" clears it (the zero-cost default), anything else
+// replaces it. Campaign.Expand normalizes "off" away, so scenario keys
+// — and hence checkpoints and golden digests — are unaffected by an
+// explicit off.
+func applyTraceLevel(spec *campaign.Spec, o options) {
+	if o.traceLevel != "" {
+		spec.TraceLevel = o.traceLevel
+	}
+}
+
+// writeTraces writes one JSONL file per traced scenario into dir,
+// named by the sanitized scenario name.
+func writeTraces(report *campaign.Report, dir string, quiet bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	for i := range report.Outcomes {
+		out := &report.Outcomes[i]
+		if out.Result == nil || out.Result.Trace == nil {
+			continue
+		}
+		path := filepath.Join(dir, sanitizeName(out.Scenario.Name)+".jsonl")
+		if err := writeTo(path, out.Result.Trace.WriteJSONL); err != nil {
+			return err
+		}
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("-trace-dir: no scenario recorded a trace; set -trace-level (or trace_level in the spec)")
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "wrote %d trace file(s) to %s\n", n, dir)
+	}
+	return nil
+}
+
+// sanitizeName maps a scenario name to a safe file stem.
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 // splitList splits a comma-separated file list.

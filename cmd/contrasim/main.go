@@ -11,6 +11,8 @@
 //	contrasim -topo dc -scheme contra -failover
 //	contrasim -topo abilene+hosts -scheme spain -dist cache -load 0.3
 //	contrasim -topo dc -scheme contra -fail E0-A0 -load 0.5
+//	contrasim -topo dc -scheme contra -trace-level decisions -trace-out trace.jsonl
+//	contrasim -topo dc -scheme contra -class-stats -counterfactual 10
 package main
 
 import (
@@ -20,7 +22,19 @@ import (
 
 	"contra/internal/cliutil"
 	"contra/internal/scenario"
+	"contra/internal/trace"
 )
+
+// obsOpts bundles the observability flags: decision tracing, per-class
+// FCT attribution, and counterfactual what-if replay.
+type obsOpts struct {
+	traceLevel    string
+	traceOut      string
+	classStats    bool
+	elephantBytes int64
+	counterK      int
+	counterMode   string
+}
 
 func main() {
 	topoSpec := flag.String("topo", "dc", "topology spec")
@@ -40,6 +54,13 @@ func main() {
 	refreshEvery := flag.Int("refresh-every", 0, "forced re-advertisement every N probe periods under suppression (default 4)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file` (pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to `file` at exit (pprof)")
+	var obs obsOpts
+	flag.StringVar(&obs.traceLevel, "trace-level", "off", "decision tracing: off|flows|decisions")
+	flag.StringVar(&obs.traceOut, "trace-out", "", "write the trace as JSONL to `file` (- for stdout)")
+	flag.BoolVar(&obs.classStats, "class-stats", false, "report per-class FCT attribution (elephants vs mice, Jain index)")
+	flag.Int64Var(&obs.elephantBytes, "elephant-bytes", 0, "elephant/mice size threshold in bytes (default 1MB)")
+	flag.IntVar(&obs.counterK, "counterfactual", 0, "replay with the top-`K` divergent flows pinned to the counterfactual choice and report per-flow ΔFCT")
+	flag.StringVar(&obs.counterMode, "counterfactual-mode", "runnerup", "counterfactual choice: runnerup|ecmp|hula")
 	flag.Parse()
 
 	stop, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
@@ -49,7 +70,7 @@ func main() {
 	}
 	runErr := run(*topoSpec, *scheme, *policyArg, *dist, *load, *durationMs,
 		*maxFlows, *seed, *queues, *loops, *failover, *failLink,
-		*packing, *suppressEps, *refreshEvery)
+		*packing, *suppressEps, *refreshEvery, obs)
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -61,22 +82,31 @@ func main() {
 
 func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 	maxFlows int, seed int64, queues, loops, failover bool, failLink string,
-	packing bool, suppressEps float64, refreshEvery int) error {
+	packing bool, suppressEps float64, refreshEvery int, obs obsOpts) error {
 	src, err := cliutil.ReadPolicyArg(policyArg)
 	if err != nil {
 		return err
 	}
+	if _, err := trace.ParseLevel(obs.traceLevel); err != nil {
+		return err
+	}
+	if obs.traceOut != "" && (obs.traceLevel == "" || obs.traceLevel == "off") {
+		return fmt.Errorf("-trace-out needs -trace-level flows or decisions")
+	}
 	s := scenario.Scenario{
-		Name:         topoSpec + "/" + scheme,
-		TopoSpec:     topoSpec,
-		Scheme:       scenario.Scheme(scheme),
-		Policy:       src,
-		Seed:         seed,
-		SampleQueues: queues,
-		TrackLoops:   loops,
-		ProbePacking: packing,
-		SuppressEps:  suppressEps,
-		RefreshEvery: refreshEvery,
+		Name:          topoSpec + "/" + scheme,
+		TopoSpec:      topoSpec,
+		Scheme:        scenario.Scheme(scheme),
+		Policy:        src,
+		Seed:          seed,
+		SampleQueues:  queues,
+		TrackLoops:    loops,
+		ProbePacking:  packing,
+		SuppressEps:   suppressEps,
+		RefreshEvery:  refreshEvery,
+		TraceLevel:    obs.traceLevel,
+		ClassStats:    obs.classStats,
+		ElephantBytes: obs.elephantBytes,
 	}
 	if failLink != "" {
 		// A pre-failed link is a link_down event at t=0: the scenario
@@ -101,7 +131,8 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 			}
 			fmt.Printf("t=%6.2fms  %6.2f Gbps%s\n", float64(p.T)/1e6, p.V/1e9, mark)
 		}
-		return nil
+		printTraceSummary(res)
+		return writeTrace(res, obs.traceOut)
 	}
 
 	s.Workload = scenario.Workload{
@@ -111,11 +142,30 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 		DurationNs: int64(durationMs) * 1_000_000,
 		MaxFlows:   maxFlows,
 	}
+
+	if obs.counterK > 0 {
+		rep, baseRes, err := scenario.Counterfactual(s, scenario.CounterfactualConfig{
+			TopK: obs.counterK, Mode: obs.counterMode,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(baseRes)
+		printClasses(baseRes)
+		printCounterfactual(rep)
+		return writeTrace(baseRes, obs.traceOut)
+	}
+
 	res, err := scenario.Run(s)
 	if err != nil {
 		return err
 	}
 	fmt.Println(res)
+	printClasses(res)
+	printTraceSummary(res)
+	if err := writeTrace(res, obs.traceOut); err != nil {
+		return err
+	}
 	fmt.Printf("fabric bytes: data=%.0f ack=%.0f probe=%.0f tag=%.0f (probe share %.3f%%)\n",
 		res.DataBytes, res.AckBytes, res.ProbeBytes, res.TagBytes, 100*res.ProbeFrac())
 	if res.ProbeTxSaved > 0 || res.ProbeSuppressed > 0 {
@@ -134,4 +184,75 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 	}
 	fmt.Printf("simulated %.2fms in %v\n", float64(res.SimulatedNs)/1e6, res.WallTime)
 	return nil
+}
+
+// printTraceSummary reports the trace volume when tracing was on.
+func printTraceSummary(res *scenario.Result) {
+	if res.Trace == nil {
+		return
+	}
+	fmt.Printf("trace: level=%s flows=%d decisions=%d divergent=%d\n",
+		res.TraceLevel, res.TraceFlows, res.TraceDecisions, res.TraceDivergent)
+}
+
+// printClasses reports the per-class FCT attribution block.
+func printClasses(res *scenario.Result) {
+	c := res.Classes
+	if c == nil {
+		return
+	}
+	fmt.Printf("classes (elephant >= %d B): jain=%.4f\n", c.ElephantBytes, c.Jain)
+	fmt.Printf("  mice:      flows=%-5d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms jain=%.4f\n",
+		c.Mice.Flows, c.Mice.MeanMs, c.Mice.P50Ms, c.Mice.P95Ms, c.Mice.P99Ms, c.JainMice)
+	fmt.Printf("  elephants: flows=%-5d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms jain=%.4f\n",
+		c.Elephants.Flows, c.Elephants.MeanMs, c.Elephants.P50Ms, c.Elephants.P95Ms, c.Elephants.P99Ms, c.JainElephants)
+	for _, co := range c.Cohorts {
+		fmt.Printf("  cohort %d:  flows=%-5d mean=%.3fms p99=%.3fms\n",
+			co.Cohort, co.Flows, co.MeanMs, co.P99Ms)
+	}
+}
+
+// printCounterfactual renders the per-flow ΔFCT table of a what-if
+// replay. Negative delta: the counterfactual choice would have been
+// faster for that flow.
+func printCounterfactual(rep *scenario.CounterfactualReport) {
+	fmt.Printf("counterfactual (%s): %d/%d decisions divergent, %d candidate flows, pinned top %d\n",
+		rep.Mode, rep.BaseDivergent, rep.BaseDecisions, rep.Candidates, len(rep.Flows))
+	if len(rep.Flows) == 0 {
+		return
+	}
+	fmt.Printf("  %-12s %-8s %-8s %10s %6s %12s %12s %10s\n",
+		"flow", "src", "dst", "bytes", "div", "base_ms", "alt_ms", "delta")
+	for _, f := range rep.Flows {
+		alt, delta := "lost", "-"
+		if f.AltFctNs >= 0 {
+			alt = fmt.Sprintf("%.3f", float64(f.AltFctNs)/1e6)
+			delta = fmt.Sprintf("%+.1f%%", f.DeltaPct)
+		}
+		fmt.Printf("  %-12d %-8s %-8s %10d %6d %12.3f %12s %10s\n",
+			f.Flow, f.Src, f.Dst, f.SizeBytes, f.Divergent,
+			float64(f.BaseFctNs)/1e6, alt, delta)
+	}
+}
+
+// writeTrace emits the recorded trace as JSONL.
+func writeTrace(res *scenario.Result, out string) error {
+	if out == "" {
+		return nil
+	}
+	if res.Trace == nil {
+		return fmt.Errorf("-trace-out: no trace was recorded")
+	}
+	if out == "-" {
+		return res.Trace.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := res.Trace.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

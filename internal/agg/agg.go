@@ -115,6 +115,29 @@ var metrics = []struct {
 		}
 		return []float64{r.ProbeSuppressed}
 	}},
+	// Per-class attribution metrics apply only when class_stats was on
+	// (Classes non-nil), so existing campaigns aggregate identically.
+	// The class quantiles additionally require a completion in that
+	// class — a run whose elephants all timed out stays blank rather
+	// than contributing a zero.
+	{"mice_p99_fct_ms", func(r *scenario.Result) []float64 {
+		if r.Classes == nil || r.Classes.Mice.Flows == 0 {
+			return nil
+		}
+		return []float64{r.Classes.Mice.P99Ms}
+	}},
+	{"elephant_p99_fct_ms", func(r *scenario.Result) []float64 {
+		if r.Classes == nil || r.Classes.Elephants.Flows == 0 {
+			return nil
+		}
+		return []float64{r.Classes.Elephants.P99Ms}
+	}},
+	{"jain", func(r *scenario.Result) []float64 {
+		if r.Classes == nil {
+			return nil
+		}
+		return []float64{r.Classes.Jain}
+	}},
 }
 
 func fctMs(r *scenario.Result, sec float64) []float64 {

@@ -3,6 +3,7 @@ package baseline
 import (
 	"contra/internal/sim"
 	"contra/internal/topo"
+	"contra/internal/trace"
 )
 
 // Hula reimplements HULA (Katta et al., SOSR 2016): utilization-aware
@@ -44,7 +45,15 @@ type Hula struct {
 	pend       map[topo.NodeID]*hulaPend
 	pendList   []topo.NodeID // deterministic flush order
 	lastAdv    map[topo.NodeID]*hulaAdv
+
+	// tr, when non-nil, records fresh flowlet decisions at the
+	// decisions trace level: HULA's rank is its scalar path
+	// utilization, emitted as a one-element vector.
+	tr *trace.Recorder
 }
+
+// SetTracer attaches a decision-trace recorder (nil detaches).
+func (r *Hula) SetTracer(t *trace.Recorder) { r.tr = t }
 
 // hulaPend is one origin's queued re-advertisement: the latest
 // propagated utilization and the probe-path state it arrived with.
@@ -244,8 +253,49 @@ func (r *Hula) Handle(pkt *sim.Packet, inPort int) {
 		r.sw.Drop(pkt, sim.DropNoRoute)
 		return
 	}
+	if r.tr != nil && pkt.Kind == sim.Data && r.tr.DecisionsOn() {
+		r.recordDecision(pkt, inPort, dstEdge, port, now)
+	}
 	r.flowlets[key] = &hulaFlowlet{port: port, lastPkt: now}
 	r.sw.Send(port, pkt)
+}
+
+// recordDecision feeds one fresh HULA flowlet decision to the tracer.
+// The rank vector is HULA's scalar: the best-known path utilization
+// toward the destination ToR; the runner-up is the least-utilized
+// other fresh port, mirroring bestFresh's fallback scan.
+func (r *Hula) recordDecision(pkt *sim.Packet, inPort int, dst topo.NodeID, port int, now int64) {
+	kind := "transit"
+	if r.sw.IsHostPort(inPort) {
+		kind = "source"
+	}
+	chosen := r.sw.TxUtil(port)
+	if p, ok := r.bestPort[dst]; ok && p == port {
+		if u, ok := r.bestUtil[dst]; ok {
+			chosen = u
+		}
+	}
+	rPort := -1
+	var rRank []float64
+	var rBuf [1]float64
+	rBest := 2.0
+	for p := 0; p < r.sw.PortCount(); p++ {
+		if p == port || !r.sw.IsSwitchPort(p) {
+			continue
+		}
+		if last, ok := r.updatedVia[hulaVia{dst: dst, port: p}]; ok && now-last <= r.ageNs {
+			if u := r.sw.TxUtil(p); rPort < 0 || u < rBest {
+				rPort, rBest = p, u
+			}
+		}
+	}
+	if rPort >= 0 {
+		rBuf[0] = rBest
+		rRank = rBuf[:]
+	}
+	var cBuf [1]float64
+	cBuf[0] = chosen
+	r.tr.Decision(now, pkt.FlowID, r.sw.Name(), kind, port, cBuf[:], rPort, rRank, 0, 0)
 }
 
 // stale reports whether routing toward dst via port relies on

@@ -66,6 +66,14 @@ type Spec struct {
 	ProbePacking bool    `json:"probe_packing,omitempty"`
 	SuppressEps  float64 `json:"suppress_eps,omitempty"`
 	RefreshEvery int     `json:"refresh_every,omitempty"`
+
+	// Observability knobs, shared by every cell (see the scenario
+	// fields of the same names). "off" for TraceLevel is normalized to
+	// absent so the expansion — and every scenario Key — is identical
+	// to a spec that never mentioned tracing.
+	TraceLevel    string `json:"trace_level,omitempty"`
+	ClassStats    bool   `json:"class_stats,omitempty"`
+	ElephantBytes int64  `json:"elephant_bytes,omitempty"`
 }
 
 // Parse decodes a campaign spec, rejecting unknown fields.
@@ -211,6 +219,11 @@ func (s *Spec) Expand() ([]scenario.Scenario, error) {
 							RefreshEvery:         s.RefreshEvery,
 							BinNs:                s.BinNs,
 							TrackLoops:           s.TrackLoops,
+							ClassStats:           s.ClassStats,
+							ElephantBytes:        s.ElephantBytes,
+						}
+						if s.TraceLevel != "" && s.TraceLevel != "off" {
+							sc.TraceLevel = s.TraceLevel
 						}
 						if err := sc.Validate(); err != nil {
 							return nil, err
@@ -386,7 +399,28 @@ var csvHeader = []string{
 	"probe_frac", "queue_drops", "linkdown_drops", "looped_frac",
 	"baseline_gbps", "min_gbps", "recovery_ms",
 	"nodedown_drops", "probe_loss_frac", "swap_conv_ms",
-	"probe_tx_saved", "probe_suppressed", "error",
+	"probe_tx_saved", "probe_suppressed",
+	"mice_p99_ms", "eleph_p99_ms", "jain", "error",
+}
+
+// classCells renders the per-class attribution columns (mice p99,
+// elephant p99, Jain fairness): blank when class_stats was off, so
+// existing campaigns keep their exact cell values and a true zero
+// stays distinguishable from "not measured". A class with no
+// completed flows is blank too.
+func classCells(res *scenario.Result) (mice, eleph, jain string) {
+	c := res.Classes
+	if c == nil {
+		return "", "", ""
+	}
+	if c.Mice.Flows > 0 {
+		mice = fmt.Sprintf("%.3f", c.Mice.P99Ms)
+	}
+	if c.Elephants.Flows > 0 {
+		eleph = fmt.Sprintf("%.3f", c.Elephants.P99Ms)
+	}
+	jain = fmt.Sprintf("%.4f", c.Jain)
+	return mice, eleph, jain
 }
 
 // swapConvCell renders the policy-swap convergence column: blank when
@@ -446,8 +480,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			probeLossCell(res),
 			swapConvCell(res),
 			trimFloat(res.ProbeTxSaved), trimFloat(res.ProbeSuppressed),
-			o.Err,
 		}
+		mice, eleph, jain := classCells(res)
+		row = append(row, mice, eleph, jain, o.Err)
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -465,7 +500,7 @@ func msec(ns float64) string { return fmt.Sprintf("%.3f", ns/1e6) }
 func (r *Report) ComparisonTable(schemes []scenario.Scheme) (header []string, rows [][]string) {
 	header = []string{"topo", "load", "script", "seed"}
 	for _, s := range schemes {
-		header = append(header, string(s)+" p95ms", string(s)+" p99ms", string(s)+" drops")
+		header = append(header, string(s)+" p95ms", string(s)+" p99ms", string(s)+" drops", string(s)+" jain")
 	}
 	type key struct {
 		topo, script string
@@ -502,12 +537,17 @@ func (r *Report) ComparisonTable(schemes []scenario.Scheme) (header []string, ro
 		row := []string{k.topo, trimFloat(k.load), k.script, strconv.FormatInt(k.seed, 10)}
 		for _, s := range schemes {
 			if res, ok := groups[k][s]; ok {
+				jain := "" // blank: ran without class_stats
+				if res.Classes != nil {
+					jain = fmt.Sprintf("%.4f", res.Classes.Jain)
+				}
 				row = append(row,
 					fmt.Sprintf("%.3f", res.P95FCT*1e3),
 					fmt.Sprintf("%.3f", res.P99FCT*1e3),
-					trimFloat(res.QueueDrops+res.LinkDownDrops))
+					trimFloat(res.QueueDrops+res.LinkDownDrops),
+					jain)
 			} else {
-				row = append(row, "-", "-", "-")
+				row = append(row, "-", "-", "-", "-")
 			}
 		}
 		rows = append(rows, row)

@@ -164,8 +164,8 @@ func TestComparisonTableGroupsSchemes(t *testing.T) {
 		t.Fatal(err)
 	}
 	header, rows := report.ComparisonTable(spec.Schemes)
-	// 4 key columns + 3 per scheme (p95, p99, drops).
-	if len(header) != 4+3*len(spec.Schemes) {
+	// 4 key columns + 4 per scheme (p95, p99, drops, jain).
+	if len(header) != 4+4*len(spec.Schemes) {
 		t.Fatalf("header = %v", header)
 	}
 	// One row per (topo, load, script, seed) group: 1*2*1*1.

@@ -7,6 +7,7 @@ import (
 	"contra/internal/policy"
 	"contra/internal/sim"
 	"contra/internal/topo"
+	"contra/internal/trace"
 )
 
 // BenchmarkProbeProcessing measures the switch runtime's probe hot
@@ -56,6 +57,51 @@ func BenchmarkDataForwarding(b *testing.B) {
 	e := sim.NewEngine(1)
 	n := sim.NewNetwork(e, g, sim.Config{})
 	routers := Deploy(n, comp)
+	n.Start()
+	e.Run(12 * comp.Opts.ProbePeriodNs)
+
+	l0 := g.MustNode("l0")
+	r := routers[l0]
+	srcHost := g.MustNode("h0_0")
+	dstHost := g.MustNode("h1_0")
+	hostPort := g.PortTo(l0, srcHost)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.NewPacket()
+		p.Kind = sim.Data
+		p.Size = 1500
+		p.Src, p.Dst = srcHost, dstHost
+		p.FlowID = 42
+		p.Seq = int64(i)
+		p.TTL = sim.InitialTTL
+		p.Tag = -1
+		r.Handle(p, hostPort)
+		e.Run(e.Now() + 1)
+	}
+}
+
+// BenchmarkDataForwardingTraced is BenchmarkDataForwarding with
+// decision-level tracing attached (bounded by a decision ring, as a
+// long campaign would run it): the measured delta against the plain
+// benchmark is the observability tax on SWIFORWARDPKT, and the plain
+// benchmark's own envelope — compared by scripts/bench.sh across
+// commits — is what keeps the trace-off path at zero cost.
+func BenchmarkDataForwardingTraced(b *testing.B) {
+	g := topo.PaperDataCenter()
+	pol := policy.MustParse("minimize((path.len, path.util))")
+	comp, err := core.Compile(g, pol, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	routers := Deploy(n, comp)
+	rec := trace.NewRecorder(trace.Decisions)
+	rec.SetDecisionCap(4096)
+	n.Trace = rec
+	for _, r := range routers {
+		r.SetTracer(rec)
+	}
 	n.Start()
 	e.Run(12 * comp.Opts.ProbePeriodNs)
 

@@ -13,6 +13,7 @@ import (
 	"contra/internal/policy"
 	"contra/internal/sim"
 	"contra/internal/topo"
+	"contra/internal/trace"
 )
 
 // fwdKey keys FwdT: destination switch, local virtual node, probe id.
@@ -44,6 +45,24 @@ type fwdEntry struct {
 	advNtag   pg.NodeID
 	lastAdvAt int64
 	lastAdvMV [4]float64
+
+	// alt is the runner-up shadow (decision tracing / counterfactual
+	// replay): nil in normal runs and allocated lazily only when altOn,
+	// so the probe hot path's cache footprint grows by one pointer, not
+	// a whole shadow record.
+	alt *altShadow
+}
+
+// altShadow retains the best live offer seen on a port other than the
+// incumbent route's. Probe merging keeps one winner per key, so under
+// a single-(vnode, pid) policy the losing offers — the alternatives a
+// decision actually had — would otherwise be unobservable.
+// shadow.nhop != entry.nhop is invariant.
+type altShadow struct {
+	nhop    int
+	ntag    pg.NodeID
+	updated int64
+	rank    policy.Rank
 }
 
 // setRank stores a (possibly scratch-aliased) rank into the entry's
@@ -147,6 +166,17 @@ type Contra struct {
 	// LoopBreaks counts §5.5 flowlet flushes (exported for tests and
 	// the evaluation harness).
 	LoopBreaks int64
+
+	// tr, when non-nil, receives every fresh forwarding decision
+	// (chosen and runner-up port + rank) at the decisions trace level;
+	// ovr, when non-nil, pins matching flows to an alternative choice
+	// during counterfactual replay. Both stay nil in normal runs so
+	// the data path pays one pointer check each.
+	tr  *trace.Recorder
+	ovr *trace.Overrides
+	// altOn enables runner-up shadow maintenance in probe merging; set
+	// iff decision tracing or overrides will read the shadows.
+	altOn bool
 }
 
 // New builds the router for one switch.
@@ -344,12 +374,17 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 		accept = c.evCand.EvalRank(int(pkt.Pid), mv).Better(c.evCur.EvalRank(int(pkt.Pid), e.mv))
 	}
 	if !accept {
+		if c.altOn && e != nil && inPort != e.nhop {
+			c.noteAlt(e, v, inPort, pg.NodeID(pkt.Tag), mv, now)
+		}
 		c.sw.Net.Free(pkt)
 		return
 	}
 	if e == nil {
 		e = &fwdEntry{}
 		c.fwd[key] = e
+	} else if c.altOn && inPort != e.nhop {
+		demoteToAlt(e)
 	}
 	e.mv = mv
 	e.ntag = pg.NodeID(pkt.Tag)
@@ -486,11 +521,16 @@ func (c *Contra) handlePacked(pkt *sim.Packet, inPort int) {
 			accept = c.evCand.BetterRank(int(en.Pid), mv, e.mv)
 		}
 		if !accept {
+			if c.altOn && e != nil && inPort != e.nhop {
+				c.noteAlt(e, v, inPort, pg.NodeID(en.Tag), mv, now)
+			}
 			continue
 		}
 		if e == nil {
 			e = &fwdEntry{}
 			c.fwd[key] = e
+		} else if c.altOn && inPort != e.nhop {
+			demoteToAlt(e)
 		}
 		e.mv = mv
 		e.ntag = pg.NodeID(en.Tag)
@@ -708,15 +748,24 @@ func (c *Contra) forwardFromSource(pkt *sim.Packet, dstEdge topo.NodeID, fid uin
 		}
 		e = c.fwd[key]
 	}
+	nhop, ntag, pid, rank := e.nhop, e.ntag, key.pid, e.rank
+	if c.ovr != nil && c.ovr.Match(pkt.FlowID) {
+		if a, ok2 := c.override(dstEdge, pkt.FlowID, e); ok2 {
+			nhop, ntag, pid, rank = a.nhop, a.ntag, a.pid, a.rank
+		}
+	}
+	if c.tr != nil && pkt.Kind == sim.Data && c.tr.DecisionsOn() {
+		c.recordDecision(pkt.FlowID, "source", dstEdge, 0, false, pid, nhop, rank)
+	}
 	if pin == nil {
 		pin = &srcPin{}
 		c.srcPins[sk] = pin
 	}
-	pin.nhop = e.nhop
-	pin.ntag = e.ntag
-	pin.pid = key.pid
+	pin.nhop = nhop
+	pin.ntag = ntag
+	pin.pid = pid
 	pin.lastPkt = now
-	c.emit(pkt, e.nhop, e.ntag, key.pid)
+	c.emit(pkt, nhop, ntag, pid)
 }
 
 // emit tags and transmits a packet (the source-side half of
@@ -762,10 +811,19 @@ func (c *Contra) forwardTransit(pkt *sim.Packet, dstEdge topo.NodeID, fid uint32
 		c.sw.Drop(pkt, sim.DropNoRoute)
 		return
 	}
-	c.flowlets[fk] = &flowletEntry{nhop: e.nhop, ntag: e.ntag, lastPkt: now}
+	// Counterfactual overrides apply at the source only: the source
+	// switch picks the path through the product graph (tag, pid) and
+	// transit switches follow the tag, so re-pinning every transit hop
+	// to its local runner-up would compose second choices into paths no
+	// switch ever advertised (and, in practice, into loops).
+	nhop, ntag, rank := e.nhop, e.ntag, e.rank
+	if c.tr != nil && pkt.Kind == sim.Data && c.tr.DecisionsOn() {
+		c.recordDecision(pkt.FlowID, "transit", dstEdge, v, true, usedPid, nhop, rank)
+	}
+	c.flowlets[fk] = &flowletEntry{nhop: nhop, ntag: ntag, lastPkt: now}
 	pkt.Pid = usedPid
-	pkt.Tag = int32(e.ntag)
-	c.sw.Send(e.nhop, pkt)
+	pkt.Tag = int32(ntag)
+	c.sw.Send(nhop, pkt)
 }
 
 // lookupAlive resolves the live FwdT entry for (dst, vnode), trying
@@ -785,6 +843,166 @@ func (c *Contra) lookupAlive(dst topo.NodeID, v pg.NodeID, pid uint8) (*fwdEntry
 		}
 	}
 	return nil, pid
+}
+
+// SetTracer attaches a decision-trace recorder. The recorder's level
+// gates what the router feeds it; a nil recorder restores the
+// zero-cost path.
+func (c *Contra) SetTracer(r *trace.Recorder) { c.tr = r; c.setAltOn() }
+
+// SetOverrides pins flows to an alternative forwarding choice for
+// counterfactual replay (nil clears).
+func (c *Contra) SetOverrides(o *trace.Overrides) { c.ovr = o; c.setAltOn() }
+
+// setAltOn enables runner-up shadow maintenance exactly when someone
+// will read the shadows: decision-level tracing or an override set.
+func (c *Contra) setAltOn() {
+	c.altOn = (c.tr != nil && c.tr.DecisionsOn()) || c.ovr != nil
+}
+
+// noteAlt records a losing probe offer (rejected by the merge, arriving
+// on a port other than the incumbent route's) as the entry's runner-up
+// shadow: refreshed in place when it is the shadow's own port, adopted
+// when it beats the stored shadow or the shadow has gone stale.
+func (c *Contra) noteAlt(e *fwdEntry, v pg.NodeID, inPort int, tag pg.NodeID, mv [4]float64, now int64) {
+	r := c.policyRank(v, mv) // aliases evaluator scratch; copied below
+	if r.IsInf() {
+		return
+	}
+	a := e.alt
+	if a != nil && a.nhop != inPort &&
+		now-a.updated <= c.expireNs && !r.Better(a.rank) {
+		return
+	}
+	if a == nil {
+		a = &altShadow{}
+		e.alt = a
+	}
+	a.nhop = inPort
+	a.ntag = tag
+	a.updated = now
+	a.rank.Inf = r.Inf
+	a.rank.V = append(a.rank.V[:0], r.V...)
+}
+
+// demoteToAlt moves the incumbent route into the runner-up shadow,
+// called just before a different-port offer overwrites it: the path it
+// names is still live, it merely stopped being preferred.
+func demoteToAlt(e *fwdEntry) {
+	a := e.alt
+	if a == nil {
+		a = &altShadow{}
+		e.alt = a
+	}
+	a.nhop = e.nhop
+	a.ntag = e.ntag
+	a.updated = e.updated
+	a.rank.Inf = e.rank.Inf
+	a.rank.V = append(a.rank.V[:0], e.rank.V...)
+}
+
+// altChoice is one resolved forwarding alternative: a FwdT incumbent
+// or a runner-up shadow, flattened to what SWIFORWARDPKT needs.
+type altChoice struct {
+	pid  uint8
+	nhop int
+	ntag pg.NodeID
+	rank policy.Rank
+}
+
+// eachChoice visits every live forwarding choice for dst — FwdT
+// incumbents and runner-up shadows — in deterministic table order,
+// stopping when fn returns false. When restrict is set only choices at
+// virtual node v are considered.
+func (c *Contra) eachChoice(dst topo.NodeID, v pg.NodeID, restrict bool, now int64, fn func(altChoice) bool) {
+	for _, vn := range c.prog.VNodes {
+		if restrict && vn != v {
+			continue
+		}
+		for pid := 0; pid < c.res.NumPids(); pid++ {
+			key := fwdKey{origin: dst, vnode: vn, pid: uint8(pid)}
+			e := c.fwd[key]
+			if e == nil {
+				continue
+			}
+			if c.alive(key, e) {
+				if !fn(altChoice{pid: uint8(pid), nhop: e.nhop, ntag: e.ntag, rank: e.rank}) {
+					return
+				}
+			}
+			if a := e.alt; a != nil && now-a.updated <= c.expireNs && !c.portDead(a.nhop) {
+				if !fn(altChoice{pid: uint8(pid), nhop: a.nhop, ntag: a.ntag, rank: a.rank}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// scanAlt finds the best-ranked live choice for dst whose egress port
+// differs from avoidPort — the runner-up a fresh decision had. When
+// restrict is set only choices at virtual node v are considered, the
+// policy-compliance constraint on transit alternatives.
+func (c *Contra) scanAlt(dst topo.NodeID, v pg.NodeID, restrict bool, avoidPort int) (altChoice, bool) {
+	bestRank := policy.Infinite()
+	var out altChoice
+	found := false
+	c.eachChoice(dst, v, restrict, c.sw.Now(), func(a altChoice) bool {
+		if a.nhop == avoidPort || a.rank.IsInf() {
+			return true
+		}
+		if !found || a.rank.Better(bestRank) {
+			bestRank, out, found = a.rank, a, true
+		}
+		return true
+	})
+	return out, found
+}
+
+// ecmpPick hash-spreads a flow over every live entry for dst, blind to
+// rank — the ECMP counterfactual choice. The scan is two-pass (count,
+// then index) so picking stays allocation-free.
+func (c *Contra) ecmpPick(dst topo.NodeID, v pg.NodeID, restrict bool, flow uint64) (altChoice, bool) {
+	now := c.sw.Now()
+	count := uint32(0)
+	c.eachChoice(dst, v, restrict, now, func(altChoice) bool { count++; return true })
+	if count == 0 {
+		return altChoice{}, false
+	}
+	pick := flowletHash(flow, dst) % count
+	var out altChoice
+	found := false
+	c.eachChoice(dst, v, restrict, now, func(a altChoice) bool {
+		if pick == 0 {
+			out, found = a, true
+			return false
+		}
+		pick--
+		return true
+	})
+	return out, found
+}
+
+// override resolves the counterfactual replacement for a fresh source
+// decision that chose cur. It returns false — leaving the policy's
+// choice in place — when no live alternative exists.
+func (c *Contra) override(dst topo.NodeID, flow uint64, cur *fwdEntry) (altChoice, bool) {
+	if c.ovr.Mode() == trace.ModeECMP {
+		return c.ecmpPick(dst, 0, false, flow)
+	}
+	return c.scanAlt(dst, 0, false, cur.nhop)
+}
+
+// recordDecision feeds one fresh forwarding decision to the tracer,
+// with the runner-up computed against the same liveness view the
+// decision itself used.
+func (c *Contra) recordDecision(flow uint64, kind string, dst topo.NodeID, v pg.NodeID, restrict bool, pid uint8, port int, rank policy.Rank) {
+	rPort := -1
+	var rRank []float64
+	if a, ok := c.scanAlt(dst, v, restrict, port); ok {
+		rPort, rRank = a.nhop, a.rank.V
+	}
+	c.tr.Decision(c.sw.Now(), flow, c.sw.Name(), kind, port, rank.V, rPort, rRank, c.era, pid)
 }
 
 // loopDetect updates the TTL-range register for this packet and

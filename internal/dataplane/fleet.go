@@ -4,6 +4,7 @@ import (
 	"contra/internal/core"
 	"contra/internal/sim"
 	"contra/internal/topo"
+	"contra/internal/trace"
 )
 
 // The Contra router participates in both runtime-update seams: policy
@@ -58,6 +59,22 @@ func (f *Fleet) Compiled() *core.Compiled { return f.comp }
 
 // Era returns the current policy generation (0 until the first swap).
 func (f *Fleet) Era() uint8 { return f.era }
+
+// SetTracer attaches a decision-trace recorder to every router in the
+// fleet (nil detaches).
+func (f *Fleet) SetTracer(r *trace.Recorder) {
+	for _, c := range f.routers {
+		c.SetTracer(r)
+	}
+}
+
+// SetOverrides pins flows to an alternative forwarding choice on every
+// router — the counterfactual replay hook (nil clears).
+func (f *Fleet) SetOverrides(o *trace.Overrides) {
+	for _, c := range f.routers {
+		c.SetOverrides(o)
+	}
+}
 
 // Install hot-swaps a freshly compiled policy into every router in one
 // event-loop step: the fleet era is bumped, and each switch (in

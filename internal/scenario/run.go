@@ -14,6 +14,7 @@ import (
 	"contra/internal/sim"
 	"contra/internal/stats"
 	"contra/internal/topo"
+	"contra/internal/trace"
 	"contra/internal/workload"
 )
 
@@ -68,6 +69,19 @@ type Result struct {
 	ProbeTxSaved    float64 `json:"probe_tx_saved,omitempty"`
 	ProbeSuppressed float64 `json:"probe_suppressed,omitempty"`
 
+	// Decision tracing (trace_level): the summary counts ride the
+	// deterministic encoding — absent when tracing is off, so
+	// historical campaign output stays byte-identical. The recorder
+	// itself is an artifact (Trace below, excluded from JSON).
+	TraceLevel     string `json:"trace_level,omitempty"`
+	TraceFlows     int64  `json:"trace_flows,omitempty"`
+	TraceDecisions int64  `json:"trace_decisions,omitempty"`
+	TraceDivergent int64  `json:"trace_divergent,omitempty"`
+
+	// Per-class FCT attribution (class_stats): elephant vs. mice
+	// quantiles, per-cohort stats, Jain fairness. Nil when off.
+	Classes *ClassStats `json:"classes,omitempty"`
+
 	// Failover analysis (BinNs > 0 and a runtime link_down/degrade
 	// event): throughput before the first event, the deepest dip after
 	// it, and how long delivered throughput stayed depressed. For
@@ -95,9 +109,10 @@ type Result struct {
 	SimulatedNs int64 `json:"simulated_ns"`
 
 	// Artifacts excluded from the deterministic encoding.
-	WallTime time.Duration `json:"-"`
-	Series   []stats.Point `json:"-"` // bin start ns -> delivered bits/sec
-	QueueMSS *stats.Sample `json:"-"`
+	WallTime time.Duration   `json:"-"`
+	Series   []stats.Point   `json:"-"` // bin start ns -> delivered bits/sec
+	QueueMSS *stats.Sample   `json:"-"`
+	Trace    *trace.Recorder `json:"-"` // set when TraceLevel is active
 }
 
 // ProbeFrac returns probe bytes as a fraction of all fabric bytes.
@@ -130,9 +145,9 @@ func (r *Result) SwapConvergenceNs() (int64, bool) {
 
 // String renders one result row.
 func (r *Result) String() string {
-	return fmt.Sprintf("%-7s load=%.0f%% %-9s flows=%d done=%d meanFCT=%.3fms p99=%.3fms probes=%.2f%% drops=%.0f",
+	return fmt.Sprintf("%-7s load=%.0f%% %-9s flows=%d done=%d meanFCT=%.3fms p95=%.3fms p99=%.3fms probes=%.2f%% drops=%.0f",
 		r.Scheme, r.Load*100, r.Dist, r.Flows, r.Completed,
-		r.MeanFCT*1e3, r.P99FCT*1e3, 100*r.ProbeFrac(), r.QueueDrops)
+		r.MeanFCT*1e3, r.P95FCT*1e3, r.P99FCT*1e3, 100*r.ProbeFrac(), r.QueueDrops)
 }
 
 // FabricCapacity sums edge-uplink bandwidth (edge/leaf to the rest of
@@ -233,8 +248,11 @@ func fabricLinksOf(g *topo.Graph, id topo.NodeID) []topo.LinkID {
 
 // Deploy installs a scheme's routers on a network, returning the
 // Contra fleet handle when applicable (diagnostics and runtime policy
-// swaps; fleet.Routers() exposes the per-switch routers).
-func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options) (*dataplane.Fleet, *core.Compiled, error) {
+// swaps; fleet.Routers() exposes the per-switch routers). A non-nil
+// rec attaches decision tracing to the routers that capture decisions
+// (contra and hula); a non-nil ovr pins flows for counterfactual
+// replay (contra only — Validate enforces that).
+func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options, rec *trace.Recorder, ovr *trace.Overrides) (*dataplane.Fleet, *core.Compiled, error) {
 	switch scheme {
 	case SchemeContra:
 		pol, err := policy.Parse(policySrc, policy.ParseOptions{Symbols: g.SortedNames()})
@@ -246,19 +264,30 @@ func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts
 			return nil, nil, err
 		}
 		fleet := dataplane.DeployFleet(n, comp)
+		if rec != nil {
+			fleet.SetTracer(rec)
+		}
+		if ovr != nil {
+			fleet.SetOverrides(ovr)
+		}
 		return fleet, comp, nil
 	case SchemeECMP:
 		baseline.DeployECMP(n)
 	case SchemeSP:
 		baseline.DeploySP(n)
 	case SchemeHula:
-		baseline.DeployHula(n, baseline.HulaConfig{
+		routers := baseline.DeployHula(n, baseline.HulaConfig{
 			ProbePeriodNs:    opts.ProbePeriodNs,
 			FlowletTimeoutNs: opts.FlowletTimeoutNs,
 			ProbePacking:     opts.ProbePacking,
 			SuppressEps:      opts.SuppressEps,
 			RefreshEvery:     opts.RefreshEvery,
 		})
+		if rec != nil {
+			for _, r := range routers {
+				r.SetTracer(rec)
+			}
+		}
 	case SchemeSpain:
 		baseline.DeploySpain(n, baseline.SpainConfig{})
 	default:
@@ -406,6 +435,14 @@ func Run(s Scenario) (*Result, error) {
 	}
 	e := sim.NewEngine(engSeed)
 	n := sim.NewNetwork(e, g, sim.Config{TrackVisited: s.TrackLoops})
+	// TraceLevel was validated above; a non-off level attaches the
+	// recorder to both the network (flow summaries) and, via Deploy,
+	// the decision-capturing routers.
+	var rec *trace.Recorder
+	if lvl, _ := trace.ParseLevel(s.TraceLevel); lvl != trace.Off {
+		rec = trace.NewRecorder(lvl)
+		n.Trace = rec
+	}
 	fleet, _, err := Deploy(n, s.Scheme, g, s.Policy, core.Options{
 		ProbePeriodNs:        s.ProbePeriodNs,
 		FlowletTimeoutNs:     s.FlowletTimeoutNs,
@@ -413,7 +450,7 @@ func Run(s Scenario) (*Result, error) {
 		ProbePacking:         s.ProbePacking,
 		SuppressEps:          s.SuppressEps,
 		RefreshEvery:         s.RefreshEvery,
-	})
+	}, rec, s.Overrides)
 	if err != nil {
 		return nil, err
 	}
@@ -477,6 +514,11 @@ func Run(s Scenario) (*Result, error) {
 		res.ProbeLossSeen = rep.ProbeLossSeen
 		res.ProbeLossDropped = rep.ProbeLossDropped
 		res.ProbeLossFrac = rep.ProbeLossFrac()
+	}
+	if rec != nil {
+		res.TraceLevel = rec.Level().String()
+		res.TraceFlows, res.TraceDecisions, res.TraceDivergent = rec.Totals()
+		res.Trace = rec
 	}
 	if n.DataPkts > 0 {
 		res.LoopedFrac = float64(n.LoopedPkts) / float64(n.DataPkts)
@@ -556,6 +598,11 @@ func runFCT(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup in
 			deadline = end
 		}
 	}
+	var classes *classCollector
+	if s.ClassStats {
+		classes = newClassCollector(s.ElephantBytes)
+		n.FlowDone = classes.add
+	}
 	n.StartFlows(flows)
 
 	if s.SampleQueues {
@@ -578,6 +625,9 @@ func runFCT(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup in
 	res.P50FCT = n.FCT.Quantile(0.5)
 	res.P95FCT = n.FCTQuant.Quantile(0.95)
 	res.P99FCT = n.FCT.Quantile(0.99)
+	if classes != nil {
+		res.Classes = classes.stats()
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"contra/internal/topo"
+	"contra/internal/trace"
 	"contra/internal/workload"
 )
 
@@ -218,6 +219,26 @@ type Scenario struct {
 	SampleQueues bool `json:"sample_queues,omitempty"`
 	TrackLoops   bool `json:"track_loops,omitempty"`
 
+	// TraceLevel attaches the decision-trace recorder: "flows" keeps
+	// per-flow summaries (path, hops, queueing, FCT), "decisions"
+	// additionally records every fresh forwarding decision with its
+	// chosen and runner-up rank. Empty and "off" (normalized away by
+	// fill) record nothing and leave the simulation byte-identical.
+	TraceLevel string `json:"trace_level,omitempty"`
+
+	// ClassStats enables per-class FCT attribution on fct workloads:
+	// elephant vs. mice quantiles split at ElephantBytes (default
+	// 1MB), per-cohort (surge) stats, and Jain fairness indices over
+	// per-flow throughput.
+	ClassStats    bool  `json:"class_stats,omitempty"`
+	ElephantBytes int64 `json:"elephant_bytes,omitempty"`
+
+	// Overrides pins flows to an alternative forwarding choice — the
+	// counterfactual replay hook, honored by the Contra data plane.
+	// Go-only: replay artifacts never enter the canonical encoding or
+	// the scenario Key.
+	Overrides *trace.Overrides `json:"-"`
+
 	// Pairs resolved from Workload.Pairs, or set directly in Go.
 	PairIDs [][2]topo.NodeID `json:"-"`
 }
@@ -233,6 +254,15 @@ func (s *Scenario) fill() {
 	}
 	if s.ProbePeriodNs == 0 {
 		s.ProbePeriodNs = 256_000 // §6.3
+	}
+	if s.TraceLevel == "off" {
+		// "off" and absent are the same level; normalizing here keeps
+		// an explicit -trace-level off run byte-identical to one that
+		// never mentioned tracing.
+		s.TraceLevel = ""
+	}
+	if s.ClassStats && s.ElephantBytes == 0 {
+		s.ElephantBytes = 1_000_000
 	}
 	w := &s.Workload
 	if w.Kind == "" {
@@ -288,6 +318,15 @@ func (s *Scenario) Validate() error {
 	if !workload.ValidPattern(s.Workload.Pattern) {
 		return fmt.Errorf("scenario %q: unknown traffic pattern %q (want one of %v)",
 			s.Name, s.Workload.Pattern, workload.Patterns())
+	}
+	if _, err := trace.ParseLevel(s.TraceLevel); err != nil {
+		return fmt.Errorf("scenario %q: %v", s.Name, err)
+	}
+	if s.ElephantBytes < 0 {
+		return fmt.Errorf("scenario %q: elephant_bytes %d is negative", s.Name, s.ElephantBytes)
+	}
+	if s.Overrides != nil && s.Scheme != SchemeContra && s.Scheme != "" {
+		return fmt.Errorf("scenario %q: counterfactual overrides require the contra scheme", s.Name)
 	}
 	if s.SuppressEps < 0 {
 		return fmt.Errorf("scenario %q: suppress_eps %g is negative", s.Name, s.SuppressEps)
@@ -414,6 +453,9 @@ func (s *Scenario) expandRamps() {
 func (s *Scenario) Key() string {
 	c := *s
 	c.Name = "" // the name is a label; parameters are the identity
+	if c.TraceLevel == "off" {
+		c.TraceLevel = "" // same level as absent; see fill()
+	}
 	b, err := json.Marshal(&c)
 	if err != nil {
 		// Scenario has no unmarshalable fields; keep the signature clean.

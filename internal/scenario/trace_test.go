@@ -1,0 +1,260 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"contra/internal/trace"
+)
+
+// TestTraceOffLeavesResultIdentical is the zero-cost contract: an
+// explicit trace_level "off" (and the absent default) must produce a
+// byte-identical Result to a run that never heard of tracing.
+func TestTraceOffLeavesResultIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := fastFCT(SchemeContra)
+	off := base
+	off.TraceLevel = "off"
+
+	br, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, _ := json.Marshal(br)
+	ob, _ := json.Marshal(or)
+	if !bytes.Equal(bb, ob) {
+		t.Fatalf("trace_level off perturbed the result:\n%s\n%s", bb, ob)
+	}
+	if br.Trace != nil || or.Trace != nil {
+		t.Fatal("untraced runs must not carry a recorder")
+	}
+	// Key stability: "off" normalizes away, so checkpoints match.
+	if base.Key() != off.Key() {
+		t.Fatalf("explicit off changed the scenario key: %q vs %q", base.Key(), off.Key())
+	}
+}
+
+// TestTraceDeterministicJSONL runs the same traced scenario twice and
+// requires byte-identical JSONL, and requires that tracing does not
+// perturb the simulation outcome.
+func TestTraceDeterministicJSONL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	plain, err := Run(fastFCT(SchemeContra))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := fastFCT(SchemeContra)
+	s.TraceLevel = "decisions"
+	var prev []byte
+	for i := 0; i < 2; i++ {
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace == nil {
+			t.Fatal("decisions run recorded no trace")
+		}
+		if res.MeanFCT != plain.MeanFCT || res.Completed != plain.Completed ||
+			res.QueueDrops != plain.QueueDrops {
+			t.Fatalf("tracing perturbed the run: traced mean=%v done=%d drops=%v, plain mean=%v done=%d drops=%v",
+				res.MeanFCT, res.Completed, res.QueueDrops,
+				plain.MeanFCT, plain.Completed, plain.QueueDrops)
+		}
+		var buf bytes.Buffer
+		if err := res.Trace.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("empty trace JSONL")
+		}
+		if prev != nil && !bytes.Equal(prev, buf.Bytes()) {
+			t.Fatal("same seed, different trace JSONL")
+		}
+		prev = buf.Bytes()
+		if res.TraceFlows == 0 || res.TraceDecisions == 0 {
+			t.Fatalf("trace totals empty: flows=%d decisions=%d", res.TraceFlows, res.TraceDecisions)
+		}
+	}
+}
+
+// TestFlowsLevelRecordsSummariesOnly checks the cheaper level: flow
+// summaries with paths and FCTs, but no decision stream.
+func TestFlowsLevelRecordsSummariesOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := fastFCT(SchemeContra)
+	s.TraceLevel = "flows"
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.TraceFlows == 0 {
+		t.Fatalf("flows level recorded nothing: %+v", res)
+	}
+	if res.TraceDecisions != 0 {
+		t.Fatalf("flows level must not record decisions, got %d", res.TraceDecisions)
+	}
+	done := 0
+	for _, ft := range res.Trace.Flows() {
+		if ft.FctNs > 0 {
+			done++
+			if len(ft.Path) == 0 || ft.Hops == 0 {
+				t.Fatalf("completed flow %d has no path: %+v", ft.ID, ft)
+			}
+		}
+	}
+	if int64(done) != res.Completed {
+		t.Fatalf("trace saw %d completions, result says %d", done, res.Completed)
+	}
+}
+
+// TestClassStatsAttribution checks the per-class FCT block: every
+// completion lands in exactly one class, and the fairness index is a
+// valid Jain value.
+func TestClassStatsAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := fastFCT(SchemeContra)
+	s.ClassStats = true
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Classes
+	if c == nil {
+		t.Fatal("class_stats on but Classes nil")
+	}
+	if c.ElephantBytes != 1_000_000 {
+		t.Fatalf("default elephant threshold = %d, want 1MB", c.ElephantBytes)
+	}
+	if c.Mice.Flows+c.Elephants.Flows != res.Completed {
+		t.Fatalf("classes cover %d flows, result completed %d",
+			c.Mice.Flows+c.Elephants.Flows, res.Completed)
+	}
+	if c.Jain <= 0 || c.Jain > 1 {
+		t.Fatalf("jain = %v out of (0, 1]", c.Jain)
+	}
+	if len(c.Cohorts) != 1 || c.Cohorts[0].Cohort != 0 {
+		t.Fatalf("base workload should be a single cohort 0: %+v", c.Cohorts)
+	}
+	// Without class_stats the block stays absent.
+	plain, err := Run(fastFCT(SchemeContra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Classes != nil {
+		t.Fatal("Classes set without class_stats")
+	}
+}
+
+// TestCounterfactualTopKDeterministic runs the replay twice on a
+// scenario busy enough to have >= 10 divergent completed flows and
+// requires identical reports.
+func TestCounterfactualTopKDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := fastFCT(SchemeContra)
+	s.Workload.Load = 0.5
+	var prev *CounterfactualReport
+	for i := 0; i < 2; i++ {
+		rep, baseRes, err := Counterfactual(s, CounterfactualConfig{TopK: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseRes == nil || baseRes.Trace == nil {
+			t.Fatal("counterfactual dropped the base result/trace")
+		}
+		if rep.Mode != trace.ModeRunnerUp {
+			t.Fatalf("mode = %q", rep.Mode)
+		}
+		if len(rep.Flows) < 10 {
+			t.Fatalf("pinned %d flows, want >= 10 (candidates %d, divergent %d)",
+				len(rep.Flows), rep.Candidates, rep.BaseDivergent)
+		}
+		for _, f := range rep.Flows {
+			if f.BaseFctNs <= 0 || f.Divergent == 0 {
+				t.Fatalf("bad candidate: %+v", f)
+			}
+		}
+		if prev != nil && !reflect.DeepEqual(prev, rep) {
+			t.Fatalf("same seed, different counterfactual report:\n%+v\n%+v", prev, rep)
+		}
+		prev = rep
+	}
+}
+
+// TestCounterfactualHulaMode replays the same workload under HULA and
+// lines flow IDs up across schemes.
+func TestCounterfactualHulaMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := fastFCT(SchemeContra)
+	rep, _, err := Counterfactual(s, CounterfactualConfig{TopK: 5, Mode: "hula"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Flows) == 0 {
+		t.Fatal("hula replay pinned no flows")
+	}
+	completedAlt := 0
+	for _, f := range rep.Flows {
+		if f.AltFctNs > 0 {
+			completedAlt++
+		}
+	}
+	if completedAlt == 0 {
+		t.Fatal("no pinned flow completed under hula; flow IDs are misaligned across schemes")
+	}
+}
+
+// TestCounterfactualRejectsInvalid covers the guard rails.
+func TestCounterfactualRejectsInvalid(t *testing.T) {
+	s := fastFCT(SchemeHula)
+	if _, _, err := Counterfactual(s, CounterfactualConfig{}); err == nil {
+		t.Fatal("accepted a non-contra base scheme")
+	}
+	s = fastFCT(SchemeContra)
+	s.Workload = Workload{Kind: WorkloadCBR}
+	if _, _, err := Counterfactual(s, CounterfactualConfig{}); err == nil {
+		t.Fatal("accepted a CBR workload")
+	}
+	s = fastFCT(SchemeContra)
+	if _, _, err := Counterfactual(s, CounterfactualConfig{Mode: "bogus"}); err == nil {
+		t.Fatal("accepted a bogus mode")
+	}
+}
+
+// TestOverridesRequireContra: pinning is a Contra-only mechanism.
+func TestOverridesRequireContra(t *testing.T) {
+	s := fastFCT(SchemeHula)
+	s.Overrides = trace.NewOverrides(trace.ModeRunnerUp, []uint64{1})
+	if err := s.Validate(); err == nil {
+		t.Fatal("overrides accepted on a non-contra scheme")
+	}
+}
+
+// TestResultStringIncludesP95 pins the satellite fix: the human
+// rendering reports the p95 tail alongside mean and p99.
+func TestResultStringIncludesP95(t *testing.T) {
+	r := &Result{Scheme: SchemeContra, Dist: "cache", MeanFCT: 0.001, P95FCT: 0.004, P99FCT: 0.009}
+	out := r.String()
+	if !strings.Contains(out, "p95=4.000ms") {
+		t.Fatalf("Result.String misses p95: %q", out)
+	}
+}

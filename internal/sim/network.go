@@ -6,6 +6,7 @@ import (
 
 	"contra/internal/stats"
 	"contra/internal/topo"
+	"contra/internal/trace"
 )
 
 // Config tunes the network model.
@@ -177,6 +178,13 @@ type Network struct {
 	LoopedPkts int64
 	DataPkts   int64
 
+	// Trace, when set, receives per-flow path/queueing/FCT summaries
+	// for every data packet (routers additionally feed it forwarding
+	// decisions at the decisions level). Nil means tracing is off, and
+	// every hook site gates on that nil so the hot path pays one
+	// pointer check and stays byte-identical.
+	Trace *trace.Recorder
+
 	// FlowDone, when set, fires on each flow completion.
 	FlowDone func(f FlowSpec, fctNs int64)
 
@@ -331,6 +339,9 @@ func (n *Network) transmit(from topo.NodeID, port int, pkt *Packet) {
 	if txStart < now {
 		txStart = now
 	}
+	if n.Trace != nil && pkt.Kind == Data {
+		pkt.QueueNs += txStart - now
+	}
 	txDur := int64(float64(pkt.Size) / ch.bytesPerNs)
 	if txDur < 1 {
 		txDur = 1
@@ -447,6 +458,9 @@ func (n *Network) deliverChan(chIdx int32, pkt *Packet) {
 		}
 	}
 	if sw := ch.toSwitch; sw != nil {
+		if n.Trace != nil && pkt.Kind == Data {
+			n.Trace.Hop(pkt.FlowID, pkt.Seq, n.Topo.Node(ch.to).Name)
+		}
 		if n.Cfg.TrackVisited && pkt.Kind == Data {
 			to := ch.to
 			bit := uint64(1) << (uint(to) & 63)

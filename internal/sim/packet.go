@@ -84,6 +84,10 @@ type Packet struct {
 	// Diagnostics.
 	Hops    uint8
 	Visited uint64 // bitmask of visited switches (loop accounting, <=64 switches)
+	// QueueNs accumulates the queueing delay this packet waited across
+	// its path. Only maintained while a trace recorder is attached;
+	// pool recycling zeroes it like every other field.
+	QueueNs int64
 
 	next *Packet // freelist
 }

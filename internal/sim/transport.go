@@ -79,6 +79,9 @@ func (n *Network) StartFlows(flows []FlowSpec) {
 		if n.Topo.Node(f.Src).Kind != topo.Host || n.Topo.Node(f.Dst).Kind != topo.Host {
 			panic("sim: flows connect hosts")
 		}
+		if n.Trace != nil {
+			n.Trace.FlowMeta(f.ID, n.Topo.Node(f.Src).Name, n.Topo.Node(f.Dst).Name, f.Size, f.Start)
+		}
 		if f.RateBps > 0 {
 			n.startCBR(f)
 			continue
@@ -159,6 +162,9 @@ func (h *HostDev) emit(st *flowState, seq int64) {
 	pkt.TTL = InitialTTL
 	pkt.Tag = -1
 	h.net.DataPkts++
+	if h.net.Trace != nil {
+		h.net.Trace.Sent(st.spec.ID, seq)
+	}
 	h.send(pkt)
 }
 
@@ -196,6 +202,9 @@ func (h *HostDev) onRTO(st *flowState) {
 
 // receive dispatches an arriving packet on a host.
 func (h *HostDev) receive(pkt *Packet) {
+	if h.net.Trace != nil && pkt.Kind == Data {
+		h.net.Trace.Delivered(pkt.FlowID, pkt.Seq, int(InitialTTL-pkt.TTL), pkt.QueueNs)
+	}
 	st := h.net.flows[pkt.FlowID]
 	if st == nil {
 		// CBR traffic or unknown: count throughput and discard.
@@ -322,6 +331,9 @@ func (n *Network) recordFCT(f FlowSpec, fctNs int64) {
 		n.FCTLarge.Add(sec)
 	}
 	n.flowsDone++
+	if n.Trace != nil {
+		n.Trace.Done(f.ID, fctNs)
+	}
 	if n.FlowDone != nil {
 		n.FlowDone(f, fctNs)
 	}

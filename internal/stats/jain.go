@@ -1,0 +1,24 @@
+package stats
+
+// Jain returns the Jain fairness index of the values:
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// J is 1 when every value is equal and approaches 1/n when a single
+// value dominates, so it summarizes how evenly a resource (here:
+// per-flow throughput) is shared. Empty input — and the degenerate
+// all-zero case, where the index is undefined — return 0.
+func Jain(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}

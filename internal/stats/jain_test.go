@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJain(t *testing.T) {
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+	if got := Jain(nil); got != 0 {
+		t.Errorf("Jain(empty) = %v, want 0", got)
+	}
+	if got := Jain([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("Jain(all zero) = %v, want 0", got)
+	}
+	if got := Jain([]float64{42}); !approx(got, 1) {
+		t.Errorf("Jain(single) = %v, want 1", got)
+	}
+	if got := Jain([]float64{3, 3, 3, 3}); !approx(got, 1) {
+		t.Errorf("Jain(all equal) = %v, want 1", got)
+	}
+	// One value dominating n=4 drives the index toward 1/4.
+	got := Jain([]float64{1e9, 1e-6, 1e-6, 1e-6})
+	if !approx(got, 0.25) {
+		t.Errorf("Jain(one dominant of 4) = %v, want ~0.25", got)
+	}
+	// Known hand-computed case: (1+2+3)² / (3 · (1+4+9)) = 36/42.
+	if got := Jain([]float64{1, 2, 3}); !approx(got, 36.0/42.0) {
+		t.Errorf("Jain(1,2,3) = %v, want %v", got, 36.0/42.0)
+	}
+	// Scale invariance.
+	if a, b := Jain([]float64{1, 2, 3}), Jain([]float64{10, 20, 30}); !approx(a, b) {
+		t.Errorf("Jain not scale invariant: %v vs %v", a, b)
+	}
+}

@@ -17,6 +17,11 @@
 //   - ns_op: fails when the current time exceeds baseline * (1+tol).
 //     This assumes comparable hardware; refresh the baseline with
 //     scripts/bench.sh on quiet hardware after intentional changes.
+//   - zero-alloc constraints (-zeroalloc A,B,...): the named benchmarks
+//     must report exactly 0 allocs/op in the current run. Unlike the
+//     baseline-relative allocs check this also covers benchmarks the
+//     baseline has never recorded, so a new-in-this-PR benchmark can be
+//     held to the invariant from its first run.
 //
 // Usage:
 //
@@ -73,6 +78,7 @@ func main() {
 	cur := flag.String("cur", "", "freshly measured bench JSON")
 	tol := flag.Float64("tol", 0.20, "allowed fractional regression (0.20 = 20%)")
 	ratios := flag.String("maxratio", "", "comma-separated A/B=r constraints on current ns_op ratios")
+	zeroalloc := flag.String("zeroalloc", "", "comma-separated benchmarks that must report 0 allocs/op in the current run")
 	flag.Parse()
 	if *cur == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: -cur is required")
@@ -148,6 +154,24 @@ func main() {
 				fail("%s/%s = %.3f exceeds %.3f", a, bn, ca.NsOp/cb.NsOp, r)
 			default:
 				fmt.Printf("ratio %s/%s = %.3f (limit %.3f)\n", a, bn, ca.NsOp/cb.NsOp, r)
+			}
+		}
+	}
+
+	if *zeroalloc != "" {
+		for _, name := range strings.Split(*zeroalloc, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			cc, ok := c[name]
+			switch {
+			case !ok:
+				fail("zeroalloc %s: benchmark missing from current run", name)
+			case cc.AllocsOp != 0:
+				fail("%s allocates: %.2f allocs/op (must be 0)", name, cc.AllocsOp)
+			default:
+				fmt.Printf("zeroalloc %s: 0 allocs/op\n", name)
 			}
 		}
 	}

@@ -43,6 +43,15 @@ for name in "${SPECS[@]}"; do
   cmp "$WORK/$name.json" "$WORK/$name.merged.json"
   cmp "$WORK/$name.csv" "$WORK/$name.merged.csv"
 
+  # Tracing off must be a true no-op: forcing -trace-level off on the
+  # command line has to reproduce the reference bytes exactly, so the
+  # trace hooks compiled into the hot path cannot perturb results when
+  # disabled.
+  "$WORK/contracamp" -spec "$SPEC" -q -notable -trace-level off \
+    -out "$WORK/$name.off.json" -csv "$WORK/$name.off.csv"
+  cmp "$WORK/$name.json" "$WORK/$name.off.json"
+  cmp "$WORK/$name.csv" "$WORK/$name.off.csv"
+
   if [ "${1:-}" = "--update" ]; then
     mkdir -p "$(dirname "$GOLDEN")"
     (cd "$WORK" && sha256sum "$name.json" "$name.csv") > "$GOLDEN"

@@ -1,0 +1,174 @@
+//go:build ignore
+
+// Command tracecheck validates decision-trace JSONL files (the format
+// internal/trace.Recorder.WriteJSONL emits): every line must be a JSON
+// object with a known "type" discriminator and the required fields for
+// that type, with values in range. CI's trace-smoke job runs it over
+// the JSONL a traced campaign produced, so a schema drift in the
+// recorder fails the build instead of silently breaking downstream
+// consumers.
+//
+// Usage:
+//
+//	go run scripts/tracecheck.go trace1.jsonl [trace2.jsonl ...]
+//
+// Exits 0 and prints per-file line counts on success; prints the first
+// offending line and exits 1 on any violation. A file with no decision
+// lines is fine (flows-level traces); a file with no lines at all is
+// an error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type decisionLine struct {
+	Type       string    `json:"type"`
+	AtNs       *int64    `json:"at_ns"`
+	Flow       *uint64   `json:"flow"`
+	Switch     string    `json:"switch"`
+	Kind       string    `json:"kind"`
+	Port       *int      `json:"port"`
+	Rank       []float64 `json:"rank"`
+	RunnerPort *int      `json:"runner_port"`
+	RunnerRank []float64 `json:"runner_rank"`
+	Era        *int      `json:"era"`
+	Pid        *int      `json:"pid"`
+}
+
+type flowLine struct {
+	Type      string   `json:"type"`
+	Flow      *uint64  `json:"flow"`
+	Src       string   `json:"src"`
+	Dst       string   `json:"dst"`
+	SizeBytes int64    `json:"size_bytes"`
+	StartNs   *int64   `json:"start_ns"`
+	FctNs     int64    `json:"fct_ns"`
+	Hops      int      `json:"hops"`
+	Path      []string `json:"path"`
+	QueueNs   int64    `json:"queue_ns"`
+	Pkts      int64    `json:"pkts"`
+	Decisions int64    `json:"decisions"`
+	Divergent int64    `json:"divergent"`
+}
+
+func checkDecision(data []byte) error {
+	var d decisionLine
+	if err := json.Unmarshal(data, &d); err != nil {
+		return err
+	}
+	switch {
+	case d.AtNs == nil || *d.AtNs < 0:
+		return fmt.Errorf("decision needs at_ns >= 0")
+	case d.Flow == nil:
+		return fmt.Errorf("decision needs flow")
+	case d.Switch == "":
+		return fmt.Errorf("decision needs switch")
+	case d.Kind != "source" && d.Kind != "transit":
+		return fmt.Errorf("decision kind %q not in {source, transit}", d.Kind)
+	case d.Port == nil || *d.Port < 0:
+		return fmt.Errorf("decision needs port >= 0")
+	case len(d.Rank) == 0:
+		return fmt.Errorf("decision needs a rank vector")
+	case d.RunnerPort == nil || *d.RunnerPort < -1:
+		return fmt.Errorf("decision needs runner_port >= -1")
+	case *d.RunnerPort == -1 && len(d.RunnerRank) != 0:
+		return fmt.Errorf("runner_rank present without a runner_port")
+	case *d.RunnerPort >= 0 && len(d.RunnerRank) == 0:
+		return fmt.Errorf("runner_port %d without runner_rank", *d.RunnerPort)
+	case d.Era == nil || *d.Era < 0 || *d.Era > 255:
+		return fmt.Errorf("decision era out of uint8 range")
+	case d.Pid == nil || *d.Pid < 0 || *d.Pid > 255:
+		return fmt.Errorf("decision pid out of uint8 range")
+	}
+	return nil
+}
+
+func checkFlow(data []byte) error {
+	var f flowLine
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	switch {
+	case f.Flow == nil:
+		return fmt.Errorf("flow line needs flow")
+	case f.StartNs == nil || *f.StartNs < 0:
+		return fmt.Errorf("flow line needs start_ns >= 0")
+	case f.FctNs < 0:
+		return fmt.Errorf("flow fct_ns negative")
+	case f.Hops < 0 || f.Pkts < 0 || f.QueueNs < 0:
+		return fmt.Errorf("flow counters negative")
+	case f.Divergent > f.Decisions:
+		return fmt.Errorf("divergent %d exceeds decisions %d", f.Divergent, f.Decisions)
+	case f.FctNs > 0 && len(f.Path) == 0:
+		return fmt.Errorf("completed flow carries no path")
+	case f.Hops > 0 && len(f.Path) > f.Hops+1:
+		return fmt.Errorf("path longer than hop count allows")
+	}
+	return nil
+}
+
+func checkFile(path string) (decisions, flows int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return 0, 0, fmt.Errorf("line %d: not a JSON object: %v", lineno, err)
+		}
+		switch probe.Type {
+		case "decision":
+			if err := checkDecision(line); err != nil {
+				return 0, 0, fmt.Errorf("line %d: %v", lineno, err)
+			}
+			decisions++
+		case "flow":
+			if err := checkFlow(line); err != nil {
+				return 0, 0, fmt.Errorf("line %d: %v", lineno, err)
+			}
+			flows++
+		default:
+			return 0, 0, fmt.Errorf("line %d: unknown type %q", lineno, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	if decisions+flows == 0 {
+		return 0, 0, fmt.Errorf("no trace lines")
+	}
+	return decisions, flows, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.jsonl> [...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		d, f, err := checkFile(path)
+		if err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("ok   %s: %d decision line(s), %d flow line(s)\n", path, d, f)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
