@@ -31,24 +31,30 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"contra/internal/agg"
 	"contra/internal/campaign"
 	"contra/internal/cliutil"
 	"contra/internal/dist"
+	"contra/internal/figures"
 	"contra/internal/scenario"
 	"contra/internal/trace"
 )
 
 type options struct {
-	spec       string
-	workers    int
-	out        string
-	csvOut     string
-	quiet      bool
-	noTable    bool
-	traceLevel string
-	traceDir   string
+	spec            string
+	workers         int
+	out             string
+	csvOut          string
+	quiet           bool
+	noTable         bool
+	traceLevel      string
+	traceDir        string
+	metricsInterval int64
+	metricsDir      string
+	figuresDir      string
+	progressEvery   time.Duration
 
 	shard      string
 	stream     string
@@ -75,6 +81,10 @@ func main() {
 	flag.BoolVar(&o.noTable, "notable", false, "skip the scheme-comparison table")
 	flag.StringVar(&o.traceLevel, "trace-level", "", "override the spec's trace_level (off|flows|decisions; off clears it)")
 	flag.StringVar(&o.traceDir, "trace-dir", "", "write per-scenario trace JSONL files into `dir` (in-memory runs only)")
+	flag.Int64Var(&o.metricsInterval, "metrics-interval", -1, "override the spec's metrics_interval_ns: sample telemetry every `ns` (0 forces off, -1 leaves the spec)")
+	flag.StringVar(&o.metricsDir, "metrics-dir", "", "write per-scenario telemetry JSONL files into `dir` (in-memory runs only)")
+	flag.StringVar(&o.figuresDir, "figures", "", "emit paper-figure gnuplot data into `dir` (in-memory runs only; enables telemetry sampling if the spec left it off)")
+	flag.DurationVar(&o.progressEvery, "progress-every", 2*time.Second, "minimum interval between live progress/ETA lines")
 	flag.StringVar(&o.shard, "shard", "", "run only shard `i/N` of the expansion (requires -stream)")
 	flag.StringVar(&o.stream, "stream", "", "stream outcomes to a JSONL `file` instead of holding them in memory")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "record completed scenario keys in `file` (requires -stream)")
@@ -137,6 +147,12 @@ func run(o options) error {
 	if o.traceDir != "" && o.stream != "" {
 		return fmt.Errorf("-trace-dir needs the in-memory report (traces are not streamed); drop -stream")
 	}
+	if o.metricsDir != "" && o.stream != "" {
+		return fmt.Errorf("-metrics-dir needs the in-memory report (telemetry is not streamed); drop -stream")
+	}
+	if o.figuresDir != "" && o.stream != "" {
+		return fmt.Errorf("-figures needs the in-memory report; drop -stream (merge shards first, then aggregate)")
+	}
 	if o.stream != "" {
 		return runStreaming(o)
 	}
@@ -160,6 +176,40 @@ func progress(o options) func(done, total int, out *campaign.Outcome) {
 	}
 }
 
+// progressHooks combines the per-scenario printer with the live
+// elapsed/ETA/straggler Meter. Both print to stderr; quiet silences
+// both.
+func progressHooks(o options, total int) (started func(*campaign.Job), completed func(int, int, *campaign.Outcome)) {
+	per := progress(o)
+	if o.quiet {
+		return nil, per
+	}
+	meter := campaign.NewMeter(os.Stderr, total)
+	if o.progressEvery > 0 {
+		meter.Every = o.progressEvery
+	}
+	return meter.Started, func(done, total int, out *campaign.Outcome) {
+		if per != nil {
+			per(done, total, out)
+		}
+		meter.Completed(done, total, out)
+	}
+}
+
+// applyMetricsInterval lets -metrics-interval override the spec's
+// metrics_interval_ns (0 forces sampling off, -1 leaves the spec), and
+// -figures turn sampling on at a default interval when both the spec
+// and the flag left it off — the utilization-timeline figure needs
+// samples to exist.
+func applyMetricsInterval(spec *campaign.Spec, o options) {
+	if o.metricsInterval >= 0 {
+		spec.MetricsIntervalNs = o.metricsInterval
+	}
+	if o.figuresDir != "" && spec.MetricsIntervalNs == 0 {
+		spec.MetricsIntervalNs = 500_000
+	}
+}
+
 // runInMemory is the classic single-process path: run everything, hold
 // the report, render JSON/CSV/table.
 func runInMemory(o options) error {
@@ -168,17 +218,36 @@ func runInMemory(o options) error {
 		return err
 	}
 	applyTraceLevel(spec, o)
+	applyMetricsInterval(spec, o)
 	if !o.quiet {
 		fmt.Fprintf(os.Stderr, "campaign %q: %d scenarios on %d workers\n",
 			spec.Name, spec.Size(), o.workers)
 	}
-	report, err := campaign.Run(spec, campaign.Options{Workers: o.workers, Progress: progress(o)})
+	started, completed := progressHooks(o, spec.Size())
+	report, err := campaign.Run(spec, campaign.Options{
+		Workers: o.workers, Progress: completed, Started: started,
+	})
 	if err != nil {
 		return err
 	}
 	if o.traceDir != "" {
 		if err := writeTraces(report, o.traceDir, o.quiet); err != nil {
 			return err
+		}
+	}
+	if o.metricsDir != "" {
+		if err := writeMetricsFiles(report, o.metricsDir, o.quiet); err != nil {
+			return err
+		}
+	}
+	if o.figuresDir != "" {
+		written, err := figures.Emit(o.figuresDir, report)
+		if err != nil {
+			return err
+		}
+		if !o.quiet {
+			fmt.Fprintf(os.Stderr, "wrote %d figure file(s) to %s: %s\n",
+				len(written), o.figuresDir, strings.Join(written, ", "))
 		}
 	}
 	if err := render(report, spec.Schemes, o); err != nil {
@@ -201,6 +270,7 @@ func runStreaming(o options) error {
 		return err
 	}
 	applyTraceLevel(spec, o)
+	applyMetricsInterval(spec, o)
 	shard, err := dist.ParseShard(o.shard)
 	if err != nil {
 		return err
@@ -236,11 +306,13 @@ func runStreaming(o options) error {
 	if err != nil {
 		return err
 	}
+	started, completed := progressHooks(o, spec.Size())
 	st, runErr := dist.Run(spec, dist.Options{
 		Workers:    o.workers,
 		Shard:      shard,
 		Checkpoint: ck,
-		Progress:   progress(o),
+		Progress:   completed,
+		Started:    started,
 	}, sink)
 	if cerr := sink.Close(); runErr == nil {
 		runErr = cerr
@@ -370,6 +442,33 @@ func writeTraces(report *campaign.Report, dir string, quiet bool) error {
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "wrote %d trace file(s) to %s\n", n, dir)
+	}
+	return nil
+}
+
+// writeMetricsFiles writes one telemetry JSONL file per sampled
+// scenario into dir, named by the sanitized scenario name.
+func writeMetricsFiles(report *campaign.Report, dir string, quiet bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	for i := range report.Outcomes {
+		out := &report.Outcomes[i]
+		if out.Result == nil || out.Result.Metrics == nil {
+			continue
+		}
+		path := filepath.Join(dir, sanitizeName(out.Scenario.Name)+".jsonl")
+		if err := writeTo(path, out.Result.Metrics.WriteJSONL); err != nil {
+			return err
+		}
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("-metrics-dir: no scenario recorded telemetry; set -metrics-interval (or metrics_interval_ns in the spec)")
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "wrote %d telemetry file(s) to %s\n", n, dir)
 	}
 	return nil
 }

@@ -28,12 +28,14 @@ import (
 // obsOpts bundles the observability flags: decision tracing, per-class
 // FCT attribution, and counterfactual what-if replay.
 type obsOpts struct {
-	traceLevel    string
-	traceOut      string
-	classStats    bool
-	elephantBytes int64
-	counterK      int
-	counterMode   string
+	traceLevel      string
+	traceOut        string
+	classStats      bool
+	elephantBytes   int64
+	counterK        int
+	counterMode     string
+	metricsInterval int64
+	metricsOut      string
 }
 
 func main() {
@@ -61,6 +63,8 @@ func main() {
 	flag.Int64Var(&obs.elephantBytes, "elephant-bytes", 0, "elephant/mice size threshold in bytes (default 1MB)")
 	flag.IntVar(&obs.counterK, "counterfactual", 0, "replay with the top-`K` divergent flows pinned to the counterfactual choice and report per-flow ΔFCT")
 	flag.StringVar(&obs.counterMode, "counterfactual-mode", "runnerup", "counterfactual choice: runnerup|ecmp|hula")
+	flag.Int64Var(&obs.metricsInterval, "metrics-interval", 0, "sample network telemetry every `ns` of simulated time (0 = off)")
+	flag.StringVar(&obs.metricsOut, "metrics-out", "", "write the telemetry samples as JSONL to `file` (- for stdout)")
 	flag.Parse()
 
 	stop, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
@@ -93,20 +97,24 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 	if obs.traceOut != "" && (obs.traceLevel == "" || obs.traceLevel == "off") {
 		return fmt.Errorf("-trace-out needs -trace-level flows or decisions")
 	}
+	if obs.metricsOut != "" && obs.metricsInterval <= 0 {
+		return fmt.Errorf("-metrics-out needs -metrics-interval > 0")
+	}
 	s := scenario.Scenario{
-		Name:          topoSpec + "/" + scheme,
-		TopoSpec:      topoSpec,
-		Scheme:        scenario.Scheme(scheme),
-		Policy:        src,
-		Seed:          seed,
-		SampleQueues:  queues,
-		TrackLoops:    loops,
-		ProbePacking:  packing,
-		SuppressEps:   suppressEps,
-		RefreshEvery:  refreshEvery,
-		TraceLevel:    obs.traceLevel,
-		ClassStats:    obs.classStats,
-		ElephantBytes: obs.elephantBytes,
+		Name:              topoSpec + "/" + scheme,
+		TopoSpec:          topoSpec,
+		Scheme:            scenario.Scheme(scheme),
+		Policy:            src,
+		Seed:              seed,
+		SampleQueues:      queues,
+		TrackLoops:        loops,
+		ProbePacking:      packing,
+		SuppressEps:       suppressEps,
+		RefreshEvery:      refreshEvery,
+		TraceLevel:        obs.traceLevel,
+		ClassStats:        obs.classStats,
+		ElephantBytes:     obs.elephantBytes,
+		MetricsIntervalNs: obs.metricsInterval,
 	}
 	if failLink != "" {
 		// A pre-failed link is a link_down event at t=0: the scenario
@@ -132,7 +140,11 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 			fmt.Printf("t=%6.2fms  %6.2f Gbps%s\n", float64(p.T)/1e6, p.V/1e9, mark)
 		}
 		printTraceSummary(res)
-		return writeTrace(res, obs.traceOut)
+		printMetricsSummary(res)
+		if err := writeTrace(res, obs.traceOut); err != nil {
+			return err
+		}
+		return writeMetrics(res, obs.metricsOut)
 	}
 
 	s.Workload = scenario.Workload{
@@ -153,7 +165,10 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 		fmt.Println(baseRes)
 		printClasses(baseRes)
 		printCounterfactual(rep)
-		return writeTrace(baseRes, obs.traceOut)
+		if err := writeTrace(baseRes, obs.traceOut); err != nil {
+			return err
+		}
+		return writeMetrics(baseRes, obs.metricsOut)
 	}
 
 	res, err := scenario.Run(s)
@@ -163,7 +178,11 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 	fmt.Println(res)
 	printClasses(res)
 	printTraceSummary(res)
+	printMetricsSummary(res)
 	if err := writeTrace(res, obs.traceOut); err != nil {
+		return err
+	}
+	if err := writeMetrics(res, obs.metricsOut); err != nil {
 		return err
 	}
 	fmt.Printf("fabric bytes: data=%.0f ack=%.0f probe=%.0f tag=%.0f (probe share %.3f%%)\n",
@@ -233,6 +252,39 @@ func printCounterfactual(rep *scenario.CounterfactualReport) {
 			f.Flow, f.Src, f.Dst, f.SizeBytes, f.Divergent,
 			float64(f.BaseFctNs)/1e6, alt, delta)
 	}
+}
+
+// printMetricsSummary reports the telemetry volume when sampling was
+// on.
+func printMetricsSummary(res *scenario.Result) {
+	if res.Metrics == nil {
+		return
+	}
+	fmt.Printf("metrics: interval=%dns samples=%d links=%d routers=%d dropped=%d\n",
+		res.Metrics.IntervalNs(), res.Metrics.Samples(),
+		len(res.Metrics.Links()), len(res.Metrics.Routers()), res.Metrics.Dropped())
+}
+
+// writeMetrics emits the recorded telemetry samples as JSONL.
+func writeMetrics(res *scenario.Result, out string) error {
+	if out == "" {
+		return nil
+	}
+	if res.Metrics == nil {
+		return fmt.Errorf("-metrics-out: no telemetry was recorded")
+	}
+	if out == "-" {
+		return res.Metrics.WriteJSONL(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := res.Metrics.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace emits the recorded trace as JSONL.

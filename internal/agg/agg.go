@@ -115,6 +115,16 @@ var metrics = []struct {
 		}
 		return []float64{r.ProbeSuppressed}
 	}},
+	// metrics_samples observes the telemetry sampler's retained tick
+	// count only where sampling was on (MetricsOn), so metrics-off
+	// cells stay blank — its cross-seed spread being zero is itself a
+	// determinism signal.
+	{"metrics_samples", func(r *scenario.Result) []float64 {
+		if !r.MetricsOn {
+			return nil
+		}
+		return []float64{float64(r.MetricsSamples)}
+	}},
 	// Per-class attribution metrics apply only when class_stats was on
 	// (Classes non-nil), so existing campaigns aggregate identically.
 	// The class quantiles additionally require a completion in that

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"contra/internal/metrics"
 	"contra/internal/sim"
 	"contra/internal/topo"
 	"contra/internal/trace"
@@ -50,10 +51,18 @@ type Hula struct {
 	// decisions trace level: HULA's rank is its scalar path
 	// utilization, emitted as a one-element vector.
 	tr *trace.Recorder
+
+	// mx, when non-nil, accumulates probe-table churn and route flaps
+	// for the metrics sampler (mirroring the Contra data plane so
+	// scheme comparisons stay apples to apples).
+	mx *metrics.Churn
 }
 
 // SetTracer attaches a decision-trace recorder (nil detaches).
 func (r *Hula) SetTracer(t *trace.Recorder) { r.tr = t }
+
+// SetChurn attaches this router's churn accumulator (nil detaches).
+func (r *Hula) SetChurn(ch *metrics.Churn) { r.mx = ch }
 
 // hulaPend is one origin's queued re-advertisement: the latest
 // propagated utilization and the probe-path state it arrived with.
@@ -310,6 +319,7 @@ func (r *Hula) bestFresh(dst topo.NodeID, now int64) (int, bool) {
 	port, ok := r.bestPort[dst]
 	if !ok || now-r.updated[dst] > r.ageNs || r.stale(dst, port, now) {
 		// The recorded best went stale; fall back to any fresh port.
+		oldPort, hadOld := port, ok
 		bestUtil := 2.0
 		found := false
 		for p := 0; p < r.sw.PortCount(); p++ {
@@ -327,6 +337,9 @@ func (r *Hula) bestFresh(dst topo.NodeID, now int64) (int, bool) {
 		}
 		if !found {
 			return 0, false
+		}
+		if r.mx != nil && hadOld && oldPort != port {
+			r.mx.Flaps++
 		}
 		r.bestPort[dst] = port
 		r.updated[dst] = now
@@ -395,6 +408,20 @@ func (r *Hula) acceptProbe(origin topo.NodeID, util float64, up bool, inPort int
 	fresh := now-r.updated[origin] <= r.ageNs
 	if have && fresh && util >= cur && r.bestPort[origin] != inPort {
 		return false, false
+	}
+	if r.mx != nil {
+		switch {
+		case !have:
+			r.mx.Added++
+		case !fresh:
+			r.mx.Expired++
+			if r.bestPort[origin] != inPort {
+				r.mx.Flaps++
+			}
+		case r.bestPort[origin] != inPort:
+			r.mx.Replaced++
+			r.mx.Flaps++
+		}
 	}
 	r.bestUtil[origin] = util
 	r.bestPort[origin] = inPort

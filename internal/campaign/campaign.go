@@ -74,6 +74,12 @@ type Spec struct {
 	TraceLevel    string `json:"trace_level,omitempty"`
 	ClassStats    bool   `json:"class_stats,omitempty"`
 	ElephantBytes int64  `json:"elephant_bytes,omitempty"`
+
+	// MetricsIntervalNs enables time-series telemetry sampling in every
+	// cell (0 = off, the default). Off leaves every scenario Key — and
+	// so every golden digest — identical to a spec that never mentioned
+	// metrics.
+	MetricsIntervalNs int64 `json:"metrics_interval_ns,omitempty"`
 }
 
 // Parse decodes a campaign spec, rejecting unknown fields.
@@ -221,6 +227,7 @@ func (s *Spec) Expand() ([]scenario.Scenario, error) {
 							TrackLoops:           s.TrackLoops,
 							ClassStats:           s.ClassStats,
 							ElephantBytes:        s.ElephantBytes,
+							MetricsIntervalNs:    s.MetricsIntervalNs,
 						}
 						if s.TraceLevel != "" && s.TraceLevel != "off" {
 							sc.TraceLevel = s.TraceLevel
@@ -293,6 +300,12 @@ type Options struct {
 	// Progress, when set, fires after each scenario completes (from
 	// the completing worker's goroutine).
 	Progress func(done, total int, o *Outcome)
+
+	// Started, when set, fires when a worker picks a job up, before
+	// its scenario runs. Calls are serialized with Progress and emit
+	// under the same lock, so a sink tracking in-flight cells (the
+	// progress Meter) needs no locking of its own.
+	Started func(j *Job)
 }
 
 // Stream is the campaign execution core: it fans jobs out across a
@@ -331,6 +344,11 @@ func Stream(jobs []Job, opts Options, emit func(*Job, *Outcome) error) error {
 		go func() {
 			defer wg.Done()
 			for j := range jobc {
+				if opts.Started != nil {
+					mu.Lock()
+					opts.Started(j)
+					mu.Unlock()
+				}
 				o := Outcome{Scenario: j.Scenario}
 				res, err := scenario.Run(j.Scenario)
 				if err != nil {
@@ -399,7 +417,7 @@ var csvHeader = []string{
 	"probe_frac", "queue_drops", "linkdown_drops", "looped_frac",
 	"baseline_gbps", "min_gbps", "recovery_ms",
 	"nodedown_drops", "probe_loss_frac", "swap_conv_ms",
-	"probe_tx_saved", "probe_suppressed",
+	"probe_tx_saved", "probe_suppressed", "metrics_samples",
 	"mice_p99_ms", "eleph_p99_ms", "jain", "error",
 }
 
@@ -436,6 +454,26 @@ func swapConvCell(res *scenario.Result) string {
 	default:
 		return msec(float64(ns))
 	}
+}
+
+// probeAggCells renders the probe-aggregation savings columns: blank
+// when neither packing nor suppression was configured, so a cell that
+// genuinely saved zero probes stays distinguishable from one where the
+// feature was off — the same blank-not-zero convention as classCells.
+func probeAggCells(res *scenario.Result) (saved, suppressed string) {
+	if !res.ProbeAggOn {
+		return "", ""
+	}
+	return trimFloat(res.ProbeTxSaved), trimFloat(res.ProbeSuppressed)
+}
+
+// metricsCell renders the telemetry sample-count column: blank when
+// metrics sampling was off.
+func metricsCell(res *scenario.Result) string {
+	if !res.MetricsOn {
+		return ""
+	}
+	return strconv.Itoa(res.MetricsSamples)
 }
 
 // probeLossCell renders the realized probe-loss column: blank when no
@@ -479,8 +517,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			trimFloat(res.NodeDownDrops),
 			probeLossCell(res),
 			swapConvCell(res),
-			trimFloat(res.ProbeTxSaved), trimFloat(res.ProbeSuppressed),
 		}
+		saved, suppressed := probeAggCells(res)
+		row = append(row, saved, suppressed, metricsCell(res))
 		mice, eleph, jain := classCells(res)
 		row = append(row, mice, eleph, jain, o.Err)
 		if err := cw.Write(row); err != nil {

@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"contra/internal/scenario"
+)
+
+// TestCSVBlankOptionalColumns pins the blank-not-zero convention for
+// every feature-gated column: when a feature was off for a cell, its
+// columns are empty strings — not zeros — so a true measured zero stays
+// distinguishable from "not measured".
+func TestCSVBlankOptionalColumns(t *testing.T) {
+	off := &scenario.Result{Name: "off-cell", Topo: "dc", Scheme: scenario.SchemeContra}
+	on := &scenario.Result{
+		Name: "on-cell", Topo: "dc", Scheme: scenario.SchemeContra,
+		ProbeAggOn: true, ProbeTxSaved: 0, ProbeSuppressed: 12,
+		MetricsOn: true, MetricsSamples: 7,
+	}
+	r := &Report{Outcomes: []Outcome{{Result: off}, {Result: on}}}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d CSV rows, want header + 2", len(rows))
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	gated := []string{
+		"probe_tx_saved", "probe_suppressed", "metrics_samples",
+		"mice_p99_ms", "eleph_p99_ms", "jain",
+	}
+	for _, name := range gated {
+		idx, ok := col[name]
+		if !ok {
+			t.Fatalf("header missing column %q", name)
+		}
+		if got := rows[1][idx]; got != "" {
+			t.Errorf("feature-off row %s = %q, want blank", name, got)
+		}
+	}
+	if got := rows[2][col["probe_tx_saved"]]; got != "0" {
+		t.Errorf("feature-on probe_tx_saved = %q, want explicit 0", got)
+	}
+	if got := rows[2][col["probe_suppressed"]]; got != "12" {
+		t.Errorf("feature-on probe_suppressed = %q, want 12", got)
+	}
+	if got := rows[2][col["metrics_samples"]]; got != "7" {
+		t.Errorf("feature-on metrics_samples = %q, want 7", got)
+	}
+}
+
+// TestStreamStartedHook verifies Started fires once per job before its
+// outcome completes, and that the Meter's in-flight accounting drains.
+func TestStreamStartedHook(t *testing.T) {
+	spec := &Spec{
+		Topos:   []string{"no-such-topo"}, // fails fast in scenario.Run
+		Schemes: []scenario.Scheme{scenario.SchemeECMP},
+		Loads:   []float64{0.1, 0.2, 0.3},
+		Workload: scenario.Workload{
+			Dist: "cache", DurationNs: 1_000_000, MaxFlows: 5,
+		},
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := 0
+	err = Stream(jobs, Options{
+		Workers: 2,
+		Started: func(j *Job) { started++ },
+	}, func(j *Job, o *Outcome) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != len(jobs) {
+		t.Fatalf("Started fired %d times, want %d", started, len(jobs))
+	}
+}
+
+// TestMeterLine drives the Meter with a fake clock and checks the
+// rendered line: counts, elapsed, moving-average ETA, stragglers.
+func TestMeterLine(t *testing.T) {
+	var out bytes.Buffer
+	m := NewMeter(&out, 4)
+	cur := time.Unix(1000, 0)
+	m.now = func() time.Time { return cur }
+
+	job := func(name string) *Job {
+		return &Job{Scenario: scenario.Scenario{Name: name}}
+	}
+	m.Started(job("cell-a"))
+	m.Started(job("cell-b"))
+	cur = cur.Add(2 * time.Second)
+	m.Completed(1, 4, &Outcome{Scenario: scenario.Scenario{Name: "cell-a"}})
+	m.Started(job("cell-c"))
+	cur = cur.Add(4 * time.Second)
+	m.Completed(2, 4, &Outcome{Scenario: scenario.Scenario{Name: "cell-b"}, Err: "boom"})
+
+	line := m.line(cur)
+	for _, want := range []string{
+		"2/4 cells", "(1 failed)", "elapsed 6s", "eta ~", "running: cell-c (4s)",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	// cell-a took 2s, cell-b 6s: EMA = 2 + 0.25*(6-2) = 3s; 2 cells
+	// remain over 1 in-flight worker -> eta ~6s.
+	if !strings.Contains(line, "eta ~6s") {
+		t.Errorf("line %q: want eta ~6s from the moving average", line)
+	}
+	if out.Len() == 0 {
+		t.Error("Completed never printed a progress line")
+	}
+}
+
+// TestMeterStragglerCap pins the oldest-first ordering and the +N more
+// overflow suffix.
+func TestMeterStragglerCap(t *testing.T) {
+	var out bytes.Buffer
+	m := NewMeter(&out, 10)
+	cur := time.Unix(2000, 0)
+	m.now = func() time.Time { return cur }
+	for _, name := range []string{"w", "x", "y", "z", "q"} {
+		m.Started(&Job{Scenario: scenario.Scenario{Name: name}})
+		cur = cur.Add(time.Second)
+	}
+	s := m.stragglers(cur)
+	if !strings.HasPrefix(s, "w (5s), x (4s), y (3s)") {
+		t.Errorf("stragglers = %q, want oldest-first w, x, y", s)
+	}
+	if !strings.Contains(s, "+2 more") {
+		t.Errorf("stragglers = %q, want +2 more suffix", s)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"contra/internal/core"
+	"contra/internal/metrics"
 	"contra/internal/policy"
 	"contra/internal/sim"
 	"contra/internal/topo"
@@ -103,6 +104,54 @@ func BenchmarkDataForwardingTraced(b *testing.B) {
 		r.SetTracer(rec)
 	}
 	n.Start()
+	e.Run(12 * comp.Opts.ProbePeriodNs)
+
+	l0 := g.MustNode("l0")
+	r := routers[l0]
+	srcHost := g.MustNode("h0_0")
+	dstHost := g.MustNode("h1_0")
+	hostPort := g.PortTo(l0, srcHost)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := n.NewPacket()
+		p.Kind = sim.Data
+		p.Size = 1500
+		p.Src, p.Dst = srcHost, dstHost
+		p.FlowID = 42
+		p.Seq = int64(i)
+		p.TTL = sim.InitialTTL
+		p.Tag = -1
+		r.Handle(p, hostPort)
+		e.Run(e.Now() + 1)
+	}
+}
+
+// BenchmarkDataForwardingMetrics is BenchmarkDataForwarding with the
+// telemetry sampler attached (churn hooks live on every router, the
+// periodic sampling timer armed, ring storage bounded as a campaign
+// would run it): the delta against the plain benchmark is the
+// telemetry tax on SWIFORWARDPKT. scripts/bench.sh holds it under the
+// same 3x envelope as tracing and requires steady-state zero
+// allocations (ring reuse after freeze).
+func BenchmarkDataForwardingMetrics(b *testing.B) {
+	g := topo.PaperDataCenter()
+	pol := policy.MustParse("minimize((path.len, path.util))")
+	comp, err := core.Compile(g, pol, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sim.NewEngine(1)
+	n := sim.NewNetwork(e, g, sim.Config{})
+	routers := Deploy(n, comp)
+	const intervalNs = 100_000
+	m := metrics.NewRecorder(intervalNs)
+	m.SetSampleCap(1024)
+	n.AttachMetrics(m)
+	for _, id := range g.Switches() {
+		routers[id].SetChurn(m.RegisterRouter(g.Node(id).Name))
+	}
+	n.Start()
+	e.Every(0, intervalNs, n.SampleMetrics)
 	e.Run(12 * comp.Opts.ProbePeriodNs)
 
 	l0 := g.MustNode("l0")

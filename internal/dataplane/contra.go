@@ -9,6 +9,7 @@ package dataplane
 import (
 	"contra/internal/analysis"
 	"contra/internal/core"
+	"contra/internal/metrics"
 	"contra/internal/pg"
 	"contra/internal/policy"
 	"contra/internal/sim"
@@ -177,6 +178,12 @@ type Contra struct {
 	// altOn enables runner-up shadow maintenance in probe merging; set
 	// iff decision tracing or overrides will read the shadows.
 	altOn bool
+
+	// mx, when non-nil, accumulates probe-table churn (entries
+	// added/replaced/expired) and route flaps (best next-hop changes
+	// per destination) for the metrics sampler. Nil when telemetry is
+	// off, so the probe path pays one pointer check.
+	mx *metrics.Churn
 }
 
 // New builds the router for one switch.
@@ -356,6 +363,9 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 	switch {
 	case e == nil:
 		accept = true
+		if c.mx != nil {
+			c.mx.Added++
+		}
 	case pkt.Version < e.version:
 		// Outdated probe: discard (§5.1).
 	case inPort == e.nhop && pg.NodeID(pkt.Tag) == e.ntag:
@@ -368,10 +378,16 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 		// silent for k probe periods, any fresh alternative replaces
 		// it — this is how switches route around failures.
 		accept = true
+		if c.mx != nil {
+			c.mx.Expired++
+		}
 	default:
 		// Live entries are displaced only by strict improvement, which
 		// keeps route churn (and hence transient loops) bounded.
 		accept = c.evCand.EvalRank(int(pkt.Pid), mv).Better(c.evCur.EvalRank(int(pkt.Pid), e.mv))
+		if accept && c.mx != nil {
+			c.mx.Replaced++
+		}
 	}
 	if !accept {
 		if c.altOn && e != nil && inPort != e.nhop {
@@ -379,6 +395,12 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 		}
 		c.sw.Net.Free(pkt)
 		return
+	}
+	// Flap detection reads the resolved best next hop before the entry
+	// mutates (the accept may rewrite the incumbent best's own port).
+	oldHop := -1
+	if c.mx != nil {
+		oldHop = c.bestHop(pkt.Origin)
 	}
 	if e == nil {
 		e = &fwdEntry{}
@@ -394,6 +416,9 @@ func (c *Contra) handleProbe(pkt *sim.Packet, inPort int) {
 	e.setRank(c.policyRank(v, mv))
 
 	c.updateBest(pkt.Origin, key, e)
+	if c.mx != nil && oldHop >= 0 && c.bestHop(pkt.Origin) != oldHop {
+		c.mx.Flaps++
+	}
 
 	// Retag and multicast along product graph out-edges.
 	outPorts := c.prog.ProbeOut[v]
@@ -511,20 +536,33 @@ func (c *Contra) handlePacked(pkt *sim.Packet, inPort int) {
 		switch {
 		case e == nil:
 			accept = true
+			if c.mx != nil {
+				c.mx.Added++
+			}
 		case en.Version < e.version:
 			// Outdated entry (§5.1).
 		case inPort == e.nhop && pg.NodeID(en.Tag) == e.ntag:
 			accept = true // DSDV/Babel upstream-refresh rule
 		case c.expired(e):
 			accept = true // §5.4 metric expiration
+			if c.mx != nil {
+				c.mx.Expired++
+			}
 		default:
 			accept = c.evCand.BetterRank(int(en.Pid), mv, e.mv)
+			if accept && c.mx != nil {
+				c.mx.Replaced++
+			}
 		}
 		if !accept {
 			if c.altOn && e != nil && inPort != e.nhop {
 				c.noteAlt(e, v, inPort, pg.NodeID(en.Tag), mv, now)
 			}
 			continue
+		}
+		oldHop := -1
+		if c.mx != nil {
+			oldHop = c.bestHop(en.Origin)
 		}
 		if e == nil {
 			e = &fwdEntry{}
@@ -539,6 +577,9 @@ func (c *Contra) handlePacked(pkt *sim.Packet, inPort int) {
 		e.updated = now
 		e.setRank(c.policyRank(v, mv))
 		c.updateBest(en.Origin, key, e)
+		if c.mx != nil && oldHop >= 0 && c.bestHop(en.Origin) != oldHop {
+			c.mx.Flaps++
+		}
 
 		outPorts := c.prog.ProbeOut[v]
 		if len(outPorts) == 0 {
@@ -669,6 +710,19 @@ func (c *Contra) rescanBest(origin topo.NodeID) {
 	}
 }
 
+// bestHop resolves the current best next-hop port toward an origin, or
+// -1 when no live best entry is cached. It backs route-flap detection
+// for the metrics layer: a flap is a change in this value for a
+// destination that already had one.
+func (c *Contra) bestHop(origin topo.NodeID) int {
+	if key, ok := c.best[origin]; ok {
+		if e := c.fwd[key]; e != nil {
+			return e.nhop
+		}
+	}
+	return -1
+}
+
 // expired reports §5.4 metric expiration: the entry has not been
 // refreshed for k probe periods (plus one period of slack for probe
 // jitter, plus the forced-refresh bound when suppression legitimately
@@ -740,7 +794,16 @@ func (c *Contra) forwardFromSource(pkt *sim.Packet, dstEdge topo.NodeID, fid uin
 	key, ok := c.best[dstEdge]
 	e := c.fwd[key]
 	if !ok || e == nil || !c.alive(key, e) {
+		// The dead incumbent's port is still the route traffic was
+		// using: a rescan that lands elsewhere is a flap.
+		oldHop := -1
+		if c.mx != nil {
+			oldHop = c.bestHop(dstEdge)
+		}
 		c.rescanBest(dstEdge)
+		if c.mx != nil && oldHop >= 0 && c.bestHop(dstEdge) != oldHop {
+			c.mx.Flaps++
+		}
 		key, ok = c.best[dstEdge]
 		if !ok {
 			c.sw.Drop(pkt, sim.DropNoRoute)
@@ -849,6 +912,10 @@ func (c *Contra) lookupAlive(dst topo.NodeID, v pg.NodeID, pid uint8) (*fwdEntry
 // gates what the router feeds it; a nil recorder restores the
 // zero-cost path.
 func (c *Contra) SetTracer(r *trace.Recorder) { c.tr = r; c.setAltOn() }
+
+// SetChurn attaches this router's probe-table churn accumulator (nil
+// detaches); Fleet.SetMetrics registers one per switch.
+func (c *Contra) SetChurn(ch *metrics.Churn) { c.mx = ch }
 
 // SetOverrides pins flows to an alternative forwarding choice for
 // counterfactual replay (nil clears).

@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"contra/internal/core"
+	"contra/internal/metrics"
 	"contra/internal/sim"
 	"contra/internal/topo"
 	"contra/internal/trace"
@@ -65,6 +66,21 @@ func (f *Fleet) Era() uint8 { return f.era }
 func (f *Fleet) SetTracer(r *trace.Recorder) {
 	for _, c := range f.routers {
 		c.SetTracer(r)
+	}
+}
+
+// SetMetrics registers every router in the fleet with a telemetry
+// recorder, attaching one churn accumulator per switch under its
+// topology name (nil detaches). Iteration is in topology order; the
+// recorder sorts by name regardless, so the exported series order does
+// not depend on the caller.
+func (f *Fleet) SetMetrics(m *metrics.Recorder) {
+	for _, swID := range f.net.Topo.Switches() {
+		if m == nil {
+			f.routers[swID].SetChurn(nil)
+			continue
+		}
+		f.routers[swID].SetChurn(m.RegisterRouter(f.net.Topo.Node(swID).Name))
 	}
 }
 

@@ -21,6 +21,10 @@ type Options struct {
 
 	// Progress, when set, fires after each emitted outcome.
 	Progress func(done, total int, o *campaign.Outcome)
+
+	// Started, when set, fires when a worker picks a scenario up
+	// (campaign.Options.Started).
+	Started func(j *campaign.Job)
 }
 
 // Stats summarizes one shard run.
@@ -60,7 +64,7 @@ func Run(spec *campaign.Spec, opts Options, sink Sink) (Stats, error) {
 		}
 		mine = append(mine, j)
 	}
-	err = campaign.Stream(mine, campaign.Options{Workers: opts.Workers, Progress: opts.Progress},
+	err = campaign.Stream(mine, campaign.Options{Workers: opts.Workers, Progress: opts.Progress, Started: opts.Started},
 		func(j *campaign.Job, o *campaign.Outcome) error {
 			key := j.Scenario.Key()
 			rec := &Record{

@@ -110,7 +110,7 @@ func maxf(a, b float64) float64 {
 // Deploy installs a scheme's routers on a network, returning the
 // Contra routers when applicable (for diagnostics).
 func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options) (map[topo.NodeID]*dataplane.Contra, *core.Compiled, error) {
-	fleet, comp, err := scenario.Deploy(n, scheme, g, policySrc, opts, nil, nil)
+	fleet, comp, err := scenario.Deploy(n, scheme, g, policySrc, opts, nil, nil, nil)
 	if fleet == nil {
 		return nil, comp, err
 	}

@@ -10,6 +10,7 @@ import (
 	"contra/internal/cliutil"
 	"contra/internal/core"
 	"contra/internal/dataplane"
+	"contra/internal/metrics"
 	"contra/internal/policy"
 	"contra/internal/sim"
 	"contra/internal/stats"
@@ -69,6 +70,15 @@ type Result struct {
 	ProbeTxSaved    float64 `json:"probe_tx_saved,omitempty"`
 	ProbeSuppressed float64 `json:"probe_suppressed,omitempty"`
 
+	// Time-series telemetry (metrics_interval_ns): MetricsOn records
+	// that the sampler ran (so downstream views can tell "no samples"
+	// from "metrics off"), MetricsSamples counts retained ticks. Both
+	// are absent from the JSON when metrics are off, keeping historical
+	// campaign output byte-identical; the recorder itself is an
+	// artifact (Metrics below, excluded from JSON).
+	MetricsOn      bool `json:"metrics_on,omitempty"`
+	MetricsSamples int  `json:"metrics_samples,omitempty"`
+
 	// Decision tracing (trace_level): the summary counts ride the
 	// deterministic encoding — absent when tracing is off, so
 	// historical campaign output stays byte-identical. The recorder
@@ -109,10 +119,11 @@ type Result struct {
 	SimulatedNs int64 `json:"simulated_ns"`
 
 	// Artifacts excluded from the deterministic encoding.
-	WallTime time.Duration   `json:"-"`
-	Series   []stats.Point   `json:"-"` // bin start ns -> delivered bits/sec
-	QueueMSS *stats.Sample   `json:"-"`
-	Trace    *trace.Recorder `json:"-"` // set when TraceLevel is active
+	WallTime time.Duration     `json:"-"`
+	Series   []stats.Point     `json:"-"` // bin start ns -> delivered bits/sec
+	QueueMSS *stats.Sample     `json:"-"`
+	Trace    *trace.Recorder   `json:"-"` // set when TraceLevel is active
+	Metrics  *metrics.Recorder `json:"-"` // set when MetricsIntervalNs > 0
 }
 
 // ProbeFrac returns probe bytes as a fraction of all fabric bytes.
@@ -251,8 +262,11 @@ func fabricLinksOf(g *topo.Graph, id topo.NodeID) []topo.LinkID {
 // swaps; fleet.Routers() exposes the per-switch routers). A non-nil
 // rec attaches decision tracing to the routers that capture decisions
 // (contra and hula); a non-nil ovr pins flows for counterfactual
-// replay (contra only — Validate enforces that).
-func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options, rec *trace.Recorder, ovr *trace.Overrides) (*dataplane.Fleet, *core.Compiled, error) {
+// replay (contra only — Validate enforces that); a non-nil mrec
+// registers per-router churn accumulators with the telemetry recorder
+// (contra and hula — static-table schemes have no probe tables to
+// churn).
+func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts core.Options, rec *trace.Recorder, ovr *trace.Overrides, mrec *metrics.Recorder) (*dataplane.Fleet, *core.Compiled, error) {
 	switch scheme {
 	case SchemeContra:
 		pol, err := policy.Parse(policySrc, policy.ParseOptions{Symbols: g.SortedNames()})
@@ -270,6 +284,9 @@ func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts
 		if ovr != nil {
 			fleet.SetOverrides(ovr)
 		}
+		if mrec != nil {
+			fleet.SetMetrics(mrec)
+		}
 		return fleet, comp, nil
 	case SchemeECMP:
 		baseline.DeployECMP(n)
@@ -286,6 +303,12 @@ func Deploy(n *sim.Network, scheme Scheme, g *topo.Graph, policySrc string, opts
 		if rec != nil {
 			for _, r := range routers {
 				r.SetTracer(rec)
+			}
+		}
+		if mrec != nil {
+			// Topology order for clarity; the recorder sorts by name.
+			for _, id := range g.Switches() {
+				routers[id].SetChurn(mrec.RegisterRouter(g.Node(id).Name))
 			}
 		}
 	case SchemeSpain:
@@ -443,6 +466,15 @@ func Run(s Scenario) (*Result, error) {
 		rec = trace.NewRecorder(lvl)
 		n.Trace = rec
 	}
+	// A positive metrics interval attaches the telemetry recorder (link
+	// and drop registration here, per-router churn via Deploy) and
+	// schedules the sampler timer. Off (0) schedules nothing and leaves
+	// every hook nil, so the run is byte-identical to the seed.
+	var mrec *metrics.Recorder
+	if s.MetricsIntervalNs > 0 {
+		mrec = metrics.NewRecorder(s.MetricsIntervalNs)
+		n.AttachMetrics(mrec)
+	}
 	fleet, _, err := Deploy(n, s.Scheme, g, s.Policy, core.Options{
 		ProbePeriodNs:        s.ProbePeriodNs,
 		FlowletTimeoutNs:     s.FlowletTimeoutNs,
@@ -450,9 +482,12 @@ func Run(s Scenario) (*Result, error) {
 		ProbePacking:         s.ProbePacking,
 		SuppressEps:          s.SuppressEps,
 		RefreshEvery:         s.RefreshEvery,
-	}, rec, s.Overrides)
+	}, rec, s.Overrides, mrec)
 	if err != nil {
 		return nil, err
+	}
+	if mrec != nil {
+		e.Every(0, s.MetricsIntervalNs, n.SampleMetrics)
 	}
 	if s.BinNs > 0 {
 		n.RxSeries = stats.NewTimeseries(s.BinNs)
@@ -519,6 +554,11 @@ func Run(s Scenario) (*Result, error) {
 		res.TraceLevel = rec.Level().String()
 		res.TraceFlows, res.TraceDecisions, res.TraceDivergent = rec.Totals()
 		res.Trace = rec
+	}
+	if mrec != nil {
+		res.MetricsOn = true
+		res.MetricsSamples = mrec.Samples()
+		res.Metrics = mrec
 	}
 	if n.DataPkts > 0 {
 		res.LoopedFrac = float64(n.LoopedPkts) / float64(n.DataPkts)

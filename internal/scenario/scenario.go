@@ -226,6 +226,14 @@ type Scenario struct {
 	// fill) record nothing and leave the simulation byte-identical.
 	TraceLevel string `json:"trace_level,omitempty"`
 
+	// MetricsIntervalNs enables the time-series telemetry sampler: every
+	// interval the network snapshots per-fabric-link utilization and
+	// backlog, cumulative drops by reason, and per-router probe-table
+	// churn/route flaps into internal/metrics ring buffers. 0 (the
+	// default) is off and leaves the simulation byte-identical — the
+	// sampler timer is never scheduled and every hook stays nil.
+	MetricsIntervalNs int64 `json:"metrics_interval_ns,omitempty"`
+
 	// ClassStats enables per-class FCT attribution on fct workloads:
 	// elephant vs. mice quantiles split at ElephantBytes (default
 	// 1MB), per-cohort (surge) stats, and Jain fairness indices over
@@ -324,6 +332,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.ElephantBytes < 0 {
 		return fmt.Errorf("scenario %q: elephant_bytes %d is negative", s.Name, s.ElephantBytes)
+	}
+	if s.MetricsIntervalNs < 0 {
+		return fmt.Errorf("scenario %q: metrics_interval_ns %d is negative", s.Name, s.MetricsIntervalNs)
 	}
 	if s.Overrides != nil && s.Scheme != SchemeContra && s.Scheme != "" {
 		return fmt.Errorf("scenario %q: counterfactual overrides require the contra scheme", s.Name)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"contra/internal/metrics"
 	"contra/internal/stats"
 	"contra/internal/topo"
 	"contra/internal/trace"
@@ -184,6 +185,12 @@ type Network struct {
 	// every hook site gates on that nil so the hot path pays one
 	// pointer check and stays byte-identical.
 	Trace *trace.Recorder
+
+	// Metrics, when set, receives periodic network-state samples (link
+	// utilization/backlog/drops plus drop-reason totals) from
+	// SampleMetrics. Nil means telemetry is off; the sampler is never
+	// scheduled and no hook costs more than a pointer check.
+	Metrics *metrics.Recorder
 
 	// FlowDone, when set, fires on each flow completion.
 	FlowDone func(f FlowSpec, fctNs int64)
@@ -492,6 +499,45 @@ func (n *Network) SampleQueues() {
 		}
 		n.QueueMSS.Add(ch.queuedBytes(now) / 1500)
 	}
+}
+
+// AttachMetrics installs a telemetry recorder and registers every
+// fabric channel (directed, "from->to") as a link series, plus the
+// typed drop-reason labels. Routers register their churn accumulators
+// separately via their SetMetrics hooks.
+func (n *Network) AttachMetrics(m *metrics.Recorder) {
+	for i := range n.chans {
+		ch := &n.chans[i]
+		if !ch.fabric {
+			continue
+		}
+		m.RegisterLink(n.Topo.Node(ch.from).Name + "->" + n.Topo.Node(ch.to).Name)
+	}
+	m.RegisterDropReasons(dropLabels[:])
+	n.Metrics = m
+}
+
+// SampleMetrics records one telemetry tick: per-fabric-channel
+// utilization (via the non-mutating DRE peek — sampling must not
+// perturb what probes measure), instantaneous backlog, and cumulative
+// drops, plus the network-wide per-reason drop totals. It is the
+// timer callback scenario.Run schedules at metrics_interval_ns.
+func (n *Network) SampleMetrics() {
+	m := n.Metrics
+	if m == nil {
+		return
+	}
+	now := n.Eng.Now()
+	m.BeginSample(now)
+	for i := range n.chans {
+		ch := &n.chans[i]
+		if !ch.fabric {
+			continue
+		}
+		m.Link(ch.dre.UtilizationPeek(now, ch.bytesPerNs*8e9), ch.queuedBytes(now), ch.drops)
+	}
+	m.Drops(n.dropCounts[:])
+	m.EndSample()
 }
 
 // FabricBytes returns total bytes transmitted on switch-switch links,

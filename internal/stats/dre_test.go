@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// An idle port's estimate must decay toward zero: after many time
+// constants with no traffic, utilization reads as (effectively) zero
+// rather than holding the last busy reading.
+func TestDREIdleDecayTowardZero(t *testing.T) {
+	d := NewDRE(200_000)
+	capBps := 10e9
+	d.Add(0, 150_000) // a burst at t=0
+	if u := d.Utilization(0, capBps); u == 0 {
+		t.Fatal("burst did not register")
+	}
+	prev := math.Inf(1)
+	for _, now := range []int64{200_000, 400_000, 1_000_000, 4_000_000} {
+		u := d.Utilization(now, capBps)
+		if u >= prev {
+			t.Fatalf("utilization not monotonically decaying: %g at t=%d (prev %g)", u, now, prev)
+		}
+		prev = u
+	}
+	if u := d.Utilization(10_000_000, capBps); u > 1e-9 {
+		t.Fatalf("after 50 tau idle, utilization = %g, want ~0", u)
+	}
+}
+
+// Sustained line-rate traffic must saturate the estimate at (clamped)
+// 1.0: a 10 Gb/s link fed 10 Gb/s worth of bytes every tau/10 settles
+// at full utilization.
+func TestDRESustainedSaturation(t *testing.T) {
+	tau := 200_000.0
+	d := NewDRE(tau)
+	capBps := 10e9
+	bytesPerNs := capBps / 8 / 1e9
+	step := int64(tau / 10)
+	perStep := int(bytesPerNs * float64(step))
+	var now int64
+	for i := 0; i < 200; i++ {
+		now = int64(i) * step
+		d.Add(now, perStep)
+	}
+	u := d.Utilization(now, capBps)
+	if u < 0.99 {
+		t.Fatalf("sustained line rate reads %g, want >= 0.99", u)
+	}
+	if u > 1 {
+		t.Fatalf("utilization exceeds clamp: %g", u)
+	}
+}
+
+// A very long event gap (dt >> tau, far past float underflow of
+// exp(-dt/tau)) must read as exactly zero rate, not NaN/Inf, and the
+// next Add must start cleanly from zero.
+func TestDREDecayAcrossVeryLongGap(t *testing.T) {
+	d := NewDRE(200_000)
+	d.Add(0, 1_000_000)
+	// ~5e12 tau later: exp underflows to exactly 0.
+	far := int64(1) << 62
+	r := d.Rate(far)
+	if r != 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		t.Fatalf("rate after huge gap = %g, want exactly 0", r)
+	}
+	d.Add(far, 1500)
+	got := d.Rate(far)
+	want := 1500.0 / d.Tau * 1e9
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("rate after restart = %g, want %g", got, want)
+	}
+}
+
+// Peek reads must match what a mutating read at the same instant would
+// return, bitwise, while leaving the estimator state untouched.
+func TestDREPeekMatchesAndDoesNotMutate(t *testing.T) {
+	capBps := 10e9
+	mk := func() *DRE {
+		d := NewDRE(200_000)
+		d.Add(0, 9_000)
+		d.Add(50_000, 3_000)
+		return d
+	}
+	a, b := mk(), mk()
+	// Peek twice on a, including between Adds; b never peeks.
+	if got, want := a.UtilizationPeek(120_000, capBps), b.Utilization(120_000, capBps); got != want {
+		t.Fatalf("peek %v != mutating read %v", got, want)
+	}
+	a.UtilizationPeek(170_000, capBps)
+	a.Add(200_000, 4_500)
+	b.Add(200_000, 4_500)
+	// A mutating read folded decay at t=120k into b; a's state must be
+	// what a peek-free history with the same reads would give. The
+	// non-associativity of float exp means b may now legitimately
+	// differ from a — the contract is that PEEKS leave no trace, i.e. a
+	// equals a fresh peek-free replay.
+	c := mk()
+	c.Utilization(120_000, capBps)
+	c.Add(200_000, 4_500)
+	if a.RatePeek(300_000) == 0 {
+		t.Fatal("estimator lost state")
+	}
+	if got, want := a.counter, func() float64 {
+		d := mk()
+		d.Add(200_000, 4_500)
+		return d.counter
+	}(); got != want {
+		t.Fatalf("peek mutated estimator state: counter %v, want %v", got, want)
+	}
+	if b.counter != c.counter {
+		t.Fatalf("control mismatch: %v vs %v", b.counter, c.counter)
+	}
+}

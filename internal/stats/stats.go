@@ -280,6 +280,38 @@ func (d *DRE) Utilization(now int64, capacityBps float64) float64 {
 	return u
 }
 
+// RatePeek returns the smoothed rate at time now (bytes/second)
+// WITHOUT folding the decay into the estimator's state. Exponential
+// decay in floating point is not associative — exp(-a)*exp(-b) is not
+// bitwise exp(-(a+b)) — so a mutating read between two Adds perturbs
+// every later reading. Observers (the metrics sampler) must use the
+// peek variants so sampling cannot change what the routing protocol
+// measures.
+func (d *DRE) RatePeek(now int64) float64 {
+	c := d.counter
+	if now > d.last {
+		c *= math.Exp(-float64(now-d.last) / d.Tau)
+	}
+	return c / d.Tau * 1e9
+}
+
+// UtilizationPeek is Utilization without mutating the estimator; see
+// RatePeek. At equal times it returns bitwise the same value a
+// mutating Utilization call would.
+func (d *DRE) UtilizationPeek(now int64, capacityBps float64) float64 {
+	if capacityBps <= 0 {
+		return 0
+	}
+	u := d.RatePeek(now) * 8 / capacityBps
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
 // Reset clears the estimator.
 func (d *DRE) Reset() { d.counter, d.last = 0, 0 }
 

@@ -113,16 +113,17 @@ END {
 }' "$OUT/bench.txt" > "$OUT/BENCH_PR5.json"
 
 if [ "$CHECK" = 1 ]; then
-  # The zero-alloc list pins the trace-off data path: DataForwarding
-  # must stay allocation-free with the trace hooks compiled in, and the
-  # traced variant must stay allocation-free in steady state (ring
-  # reuse). The maxratio bound keeps decision tracing an observability
-  # tax, not a rewrite of the hot path's cost model.
+  # The zero-alloc list pins the observability-off data path:
+  # DataForwarding must stay allocation-free with the trace and
+  # telemetry hooks compiled in, and the traced/sampled variants must
+  # stay allocation-free in steady state (ring reuse). The maxratio
+  # bounds keep decision tracing and telemetry sampling an
+  # observability tax, not a rewrite of the hot path's cost model.
   go run scripts/benchcmp.go \
     -base BENCH_PR5.json -cur "$OUT/BENCH_PR5.json" \
     -tol "${BENCH_TOL:-0.20}" \
-    -maxratio 'BenchmarkProbeFanoutFattree8Packed/BenchmarkProbeFanoutFattree8=0.5,BenchmarkDataForwardingTraced/BenchmarkDataForwarding=3.0' \
-    -zeroalloc 'BenchmarkDataForwarding,BenchmarkDataForwardingTraced'
+    -maxratio 'BenchmarkProbeFanoutFattree8Packed/BenchmarkProbeFanoutFattree8=0.5,BenchmarkDataForwardingTraced/BenchmarkDataForwarding=3.0,BenchmarkDataForwardingMetrics/BenchmarkDataForwarding=3.0' \
+    -zeroalloc 'BenchmarkDataForwarding,BenchmarkDataForwardingTraced,BenchmarkDataForwardingMetrics'
   echo "bench gate passed against committed BENCH_PR5.json"
   exit 0
 fi

@@ -52,6 +52,14 @@ for name in "${SPECS[@]}"; do
   cmp "$WORK/$name.json" "$WORK/$name.off.json"
   cmp "$WORK/$name.csv" "$WORK/$name.off.csv"
 
+  # Telemetry off must be a true no-op too: -metrics-interval 0 forces
+  # the sampler off, so its hooks (DRE peeks, churn counters, the
+  # sampling timer) cannot perturb results when disabled.
+  "$WORK/contracamp" -spec "$SPEC" -q -notable -metrics-interval 0 \
+    -out "$WORK/$name.moff.json" -csv "$WORK/$name.moff.csv"
+  cmp "$WORK/$name.json" "$WORK/$name.moff.json"
+  cmp "$WORK/$name.csv" "$WORK/$name.moff.csv"
+
   if [ "${1:-}" = "--update" ]; then
     mkdir -p "$(dirname "$GOLDEN")"
     (cd "$WORK" && sha256sum "$name.json" "$name.csv") > "$GOLDEN"

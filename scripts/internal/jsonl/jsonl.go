@@ -1,0 +1,72 @@
+// Package jsonl is the shared plumbing of the repo's JSONL schema
+// checkers (scripts/tracecheck.go, scripts/metricscheck.go): walking a
+// file line by line, decoding the "type" discriminator every observer
+// format carries, wrapping violations with the offending line number,
+// and the multi-file ok/FAIL command-line loop.
+package jsonl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Walk reads path as JSONL, decodes each line's "type" discriminator,
+// and hands (type, raw line) to check. Any error — unparsable line or
+// a check failure — comes back wrapped with the 1-based line number.
+// A file with no lines at all is an error: every recorder format
+// starts with at least one line, so an empty file means a broken
+// producer, not an idle one.
+func Walk(path string, check func(typ string, raw []byte) error) (lines int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		raw := sc.Bytes()
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return lines, fmt.Errorf("line %d: not a JSON object: %v", lines, err)
+		}
+		if err := check(probe.Type, raw); err != nil {
+			return lines, fmt.Errorf("line %d: %v", lines, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lines, err
+	}
+	if lines == 0 {
+		return 0, fmt.Errorf("no lines")
+	}
+	return lines, nil
+}
+
+// Main runs the shared checker CLI: every argument file goes through
+// check, which returns a one-line success summary or an error. Exits 1
+// if any file failed, 2 on missing arguments.
+func Main(tool, usage string, check func(path string) (string, error)) {
+	if len(os.Args) < 2 {
+		fmt.Fprintf(os.Stderr, "usage: %s %s\n", tool, usage)
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		summary, err := check(path)
+		if err != nil {
+			fmt.Printf("FAIL %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("ok   %s: %s\n", path, summary)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,179 @@
+//go:build ignore
+
+// Command metricscheck validates telemetry JSONL files (the format
+// internal/metrics.Recorder.WriteJSONL emits): a versioned meta line
+// first, then per sample tick one link line per registered link, one
+// drops line, and one router line per registered router, all with
+// in-range values and exactly the cardinalities the meta line
+// declares. CI's metrics-smoke job runs it over the JSONL a sampled
+// campaign produced, so schema drift in the recorder fails the build
+// instead of silently breaking figure pipelines.
+//
+// Usage:
+//
+//	go run scripts/metricscheck.go metrics1.jsonl [metrics2.jsonl ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"contra/scripts/internal/jsonl"
+)
+
+type metaLine struct {
+	V           *int     `json:"v"`
+	IntervalNs  int64    `json:"interval_ns"`
+	Samples     *int     `json:"samples"`
+	Dropped     int64    `json:"dropped"`
+	Links       []string `json:"links"`
+	DropReasons []string `json:"drop_reasons"`
+	Routers     []string `json:"routers"`
+}
+
+type linkLine struct {
+	T     *int64   `json:"t"`
+	Link  *int     `json:"link"`
+	Util  *float64 `json:"util"`
+	Queue *float64 `json:"queue"`
+	Drops *int64   `json:"drops"`
+}
+
+type dropsLine struct {
+	T      *int64  `json:"t"`
+	Counts []int64 `json:"counts"`
+}
+
+type routerLine struct {
+	T        *int64 `json:"t"`
+	Router   *int   `json:"router"`
+	Added    *int64 `json:"added"`
+	Replaced *int64 `json:"replaced"`
+	Expired  *int64 `json:"expired"`
+	Flaps    *int64 `json:"flaps"`
+}
+
+// checker accumulates cross-line state: the meta tables and the
+// per-type line counts the trailer check compares against them.
+type checker struct {
+	meta    *metaLine
+	links   int
+	drops   int
+	routers int
+	lastT   int64
+}
+
+func (c *checker) check(typ string, raw []byte) error {
+	if c.meta == nil {
+		if typ != "meta" {
+			return fmt.Errorf("first line must be meta, got %q", typ)
+		}
+		var m metaLine
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return err
+		}
+		switch {
+		case m.V == nil || *m.V != 1:
+			return fmt.Errorf("meta v must be 1")
+		case m.IntervalNs <= 0:
+			return fmt.Errorf("meta needs interval_ns > 0")
+		case m.Samples == nil || *m.Samples < 0:
+			return fmt.Errorf("meta needs samples >= 0")
+		case m.Dropped < 0:
+			return fmt.Errorf("meta dropped negative")
+		}
+		c.meta = &m
+		c.lastT = -1
+		return nil
+	}
+	switch typ {
+	case "meta":
+		return fmt.Errorf("second meta line")
+	case "link":
+		var l linkLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return err
+		}
+		switch {
+		case l.T == nil || *l.T < 0 || *l.T < c.lastT:
+			return fmt.Errorf("link t missing, negative, or out of order")
+		case l.Link == nil || *l.Link < 0 || *l.Link >= len(c.meta.Links):
+			return fmt.Errorf("link index outside the meta link table")
+		case l.Util == nil || *l.Util < 0 || *l.Util > 1:
+			return fmt.Errorf("link util outside [0, 1]")
+		case l.Queue == nil || *l.Queue < 0:
+			return fmt.Errorf("link queue negative")
+		case l.Drops == nil || *l.Drops < 0:
+			return fmt.Errorf("link drops negative")
+		}
+		c.lastT = *l.T
+		c.links++
+	case "drops":
+		var d dropsLine
+		if err := json.Unmarshal(raw, &d); err != nil {
+			return err
+		}
+		if d.T == nil || *d.T < 0 || *d.T < c.lastT {
+			return fmt.Errorf("drops t missing, negative, or out of order")
+		}
+		if len(d.Counts) != len(c.meta.DropReasons) {
+			return fmt.Errorf("drops counts has %d entries, meta declares %d reasons",
+				len(d.Counts), len(c.meta.DropReasons))
+		}
+		for _, n := range d.Counts {
+			if n < 0 {
+				return fmt.Errorf("drops count negative")
+			}
+		}
+		c.lastT = *d.T
+		c.drops++
+	case "router":
+		var r routerLine
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return err
+		}
+		switch {
+		case r.T == nil || *r.T < 0 || *r.T < c.lastT:
+			return fmt.Errorf("router t missing, negative, or out of order")
+		case r.Router == nil || *r.Router < 0 || *r.Router >= len(c.meta.Routers):
+			return fmt.Errorf("router index outside the meta router table")
+		case r.Added == nil || r.Replaced == nil || r.Expired == nil || r.Flaps == nil:
+			return fmt.Errorf("router line missing a churn counter")
+		case *r.Added < 0 || *r.Replaced < 0 || *r.Expired < 0 || *r.Flaps < 0:
+			return fmt.Errorf("router churn counter negative")
+		}
+		c.lastT = *r.T
+		c.routers++
+	default:
+		return fmt.Errorf("unknown type %q", typ)
+	}
+	return nil
+}
+
+func checkFile(path string) (string, error) {
+	var c checker
+	if _, err := jsonl.Walk(path, c.check); err != nil {
+		return "", err
+	}
+	if c.meta == nil {
+		return "", fmt.Errorf("no meta line")
+	}
+	n := *c.meta.Samples
+	if c.links != n*len(c.meta.Links) {
+		return "", fmt.Errorf("%d link lines, meta declares %d samples x %d links",
+			c.links, n, len(c.meta.Links))
+	}
+	if c.drops != n {
+		return "", fmt.Errorf("%d drops lines for %d samples", c.drops, n)
+	}
+	if c.routers != n*len(c.meta.Routers) {
+		return "", fmt.Errorf("%d router lines, meta declares %d samples x %d routers",
+			c.routers, n, len(c.meta.Routers))
+	}
+	return fmt.Sprintf("%d sample(s), %d link(s), %d router(s)",
+		n, len(c.meta.Links), len(c.meta.Routers)), nil
+}
+
+func main() {
+	jsonl.Main("metricscheck", "<metrics.jsonl> [...]", checkFile)
+}

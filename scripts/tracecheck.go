@@ -19,10 +19,10 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
+
+	"contra/scripts/internal/jsonl"
 )
 
 type decisionLine struct {
@@ -111,64 +111,29 @@ func checkFlow(data []byte) error {
 	return nil
 }
 
-func checkFile(path string) (decisions, flows int, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := sc.Bytes()
-		var probe struct {
-			Type string `json:"type"`
-		}
-		if err := json.Unmarshal(line, &probe); err != nil {
-			return 0, 0, fmt.Errorf("line %d: not a JSON object: %v", lineno, err)
-		}
-		switch probe.Type {
+func checkFile(path string) (string, error) {
+	decisions, flows := 0, 0
+	_, err := jsonl.Walk(path, func(typ string, raw []byte) error {
+		switch typ {
 		case "decision":
-			if err := checkDecision(line); err != nil {
-				return 0, 0, fmt.Errorf("line %d: %v", lineno, err)
-			}
 			decisions++
+			return checkDecision(raw)
 		case "flow":
-			if err := checkFlow(line); err != nil {
-				return 0, 0, fmt.Errorf("line %d: %v", lineno, err)
-			}
 			flows++
+			return checkFlow(raw)
 		default:
-			return 0, 0, fmt.Errorf("line %d: unknown type %q", lineno, probe.Type)
+			return fmt.Errorf("unknown type %q", typ)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return 0, 0, err
+	})
+	if err != nil {
+		return "", err
 	}
 	if decisions+flows == 0 {
-		return 0, 0, fmt.Errorf("no trace lines")
+		return "", fmt.Errorf("no trace lines")
 	}
-	return decisions, flows, nil
+	return fmt.Sprintf("%d decision line(s), %d flow line(s)", decisions, flows), nil
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.jsonl> [...]")
-		os.Exit(2)
-	}
-	bad := false
-	for _, path := range os.Args[1:] {
-		d, f, err := checkFile(path)
-		if err != nil {
-			fmt.Printf("FAIL %s: %v\n", path, err)
-			bad = true
-			continue
-		}
-		fmt.Printf("ok   %s: %d decision line(s), %d flow line(s)\n", path, d, f)
-	}
-	if bad {
-		os.Exit(1)
-	}
+	jsonl.Main("tracecheck", "<trace.jsonl> [...]", checkFile)
 }
