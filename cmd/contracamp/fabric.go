@@ -1,0 +1,285 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"contra/internal/campaign"
+	"contra/internal/cliutil"
+	"contra/internal/dist"
+	"contra/internal/fabric"
+)
+
+// fabricDefaultTTL is the -lease-ttl default (see fabric.DefaultLeaseTTL).
+const fabricDefaultTTL = fabric.DefaultLeaseTTL
+
+// runServe is the coordinator side of the distributed fabric: expand
+// the spec, serve leases over HTTP, stream deduplicated results to
+// -stream, optionally spawn a local worker fleet, and when the last
+// cell lands, merge the stream into the usual report outputs.
+func runServe(o options) error {
+	if o.stream == "" {
+		return fmt.Errorf("-serve streams results; add -stream (the coordinator's output file)")
+	}
+	if o.shard != "" {
+		return fmt.Errorf("-serve owns the full expansion; -shard applies to standalone streamed runs")
+	}
+	if o.checkpoint != "" {
+		return fmt.Errorf("-serve resumes from the stream itself; drop -checkpoint (workers keep their own in -worker-dir)")
+	}
+	if o.traceDir != "" || o.metricsDir != "" || o.figuresDir != "" {
+		return fmt.Errorf("-trace-dir/-metrics-dir/-figures need the in-memory report; merge the fabric stream first")
+	}
+	spec, err := campaign.LoadFile(o.spec)
+	if err != nil {
+		return err
+	}
+	applyTraceLevel(spec, o)
+	applyMetricsInterval(spec, o)
+	applyCellTimeout(spec, o)
+
+	// Coordinator restart: every key already durable in the stream is
+	// a done cell; workers re-delivering them get "duplicate".
+	var alreadyDone map[string]bool
+	if o.resume {
+		if alreadyDone, err = dist.StreamKeys(o.stream); err != nil {
+			return err
+		}
+	}
+	sink, err := dist.CreateJSONL(o.stream, o.resume)
+	if err != nil {
+		return err
+	}
+	started, completed := progressHooks(o, spec.Size())
+	coord, err := fabric.New(spec, sink, alreadyDone, fabric.Options{
+		LeaseTTL:   o.leaseTTL,
+		StealAfter: o.stealAfter,
+		Started:    started,
+		Progress:   completed,
+	})
+	if err != nil {
+		sink.Close()
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.serve)
+	if err != nil {
+		sink.Close()
+		return err
+	}
+	url := "http://" + ln.Addr().String()
+	if o.urlFile != "" {
+		if err := os.WriteFile(o.urlFile, []byte(url+"\n"), 0o644); err != nil {
+			sink.Close()
+			return err
+		}
+	}
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "campaign %q: %d cells (%d already done); coordinator at %s\n",
+			spec.Name, spec.Size(), len(alreadyDone), url)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fleetErr := make(chan error, 1)
+	if o.workers > 0 {
+		go func() { fleetErr <- runFleet(ctx, o, url) }()
+	}
+
+	select {
+	case <-coord.Done():
+	case err := <-serveErr:
+		sink.Close()
+		return err
+	case err := <-fleetErr:
+		// The whole local fleet died (respawn budget exhausted) with
+		// cells still outstanding; without external workers the
+		// campaign can never finish.
+		sink.Close()
+		if err == nil {
+			err = fmt.Errorf("local worker fleet exited with the campaign unfinished")
+		}
+		return err
+	}
+	// Campaign complete: let in-flight requests (straggler duplicate
+	// deliveries) drain, then stop serving.
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer sdCancel()
+	srv.Shutdown(sdCtx)
+	cancel()
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	st := coord.Status()
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "campaign %q complete: %d cells, %d failed, %d expired lease(s), %d stolen, %d duplicate result(s)\n",
+			spec.Name, st.Total, st.Failed, st.ExpiredLeases, st.StolenLeases, st.DuplicateResults)
+	}
+	report, err := dist.Merge([]string{o.stream})
+	if err != nil {
+		return err
+	}
+	if err := render(report, spec.Schemes, o); err != nil {
+		return err
+	}
+	return failures(report.Failed(), len(report.Outcomes), o)
+}
+
+// runFleet spawns o.workers local worker subprocesses (this same
+// binary in -worker mode), each with its own durability dir under
+// <stream>.fleet/, and respawns any that die until the context ends.
+// It returns when every slot has exited cleanly (campaign done) or the
+// shared respawn budget is exhausted.
+func runFleet(ctx context.Context, o options, url string) error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	baseDir := o.stream + ".fleet"
+	// A crashed worker is respawned into the same dir and re-sends its
+	// checkpointed results; the budget only bounds pathological crash
+	// loops (a worker binary that cannot start at all).
+	budget := 3 * o.workers
+	var budgetMu sync.Mutex
+	takeRespawn := func() bool {
+		budgetMu.Lock()
+		defer budgetMu.Unlock()
+		if budget == 0 {
+			return false
+		}
+		budget--
+		return true
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, o.workers)
+	for i := 0; i < o.workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dir := filepath.Join(baseDir, "worker"+strconv.Itoa(i))
+			id := "local" + strconv.Itoa(i)
+			for {
+				cmd := exec.CommandContext(ctx, self,
+					"-worker", url, "-worker-dir", dir, "-worker-id", id, "-q")
+				cmd.Stderr = os.Stderr
+				err := cmd.Run()
+				if err == nil || ctx.Err() != nil {
+					return // campaign done, or coordinator shut us down
+				}
+				if !takeRespawn() {
+					errs <- fmt.Errorf("worker %s: %v (respawn budget exhausted)", id, err)
+					return
+				}
+				if !o.quiet {
+					fmt.Fprintf(os.Stderr, "worker %s died (%v); respawning into %s\n", id, err, dir)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runWorkerMode is the worker side: poll the coordinator at o.worker
+// for leases until the campaign completes. -worker-dir holds the local
+// results.jsonl + done.ck pair that makes a kill -9'd worker resume by
+// re-sending instead of re-running.
+func runWorkerMode(o options) error {
+	if o.workerDir == "" {
+		return fmt.Errorf("-worker needs -worker-dir (the local crash-recovery directory)")
+	}
+	id := o.workerID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = host + "-" + strconv.Itoa(os.Getpid())
+	}
+	var logw *os.File
+	if !o.quiet {
+		logw = os.Stderr
+	}
+	client := &fabric.Client{
+		Base:   o.worker,
+		Worker: id,
+		Retry:  cliutil.Retry{}, // defaults: 8 attempts, 100ms base, 5s cap, ±20% jitter
+	}
+	st, err := fabric.RunWorker(context.Background(), client, fabric.WorkerOptions{
+		Dir:         o.workerDir,
+		CellTimeout: workerCellTimeout(o.cellTimeout),
+		Log:         logw,
+	})
+	if err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "worker %s: %d ran (%d failed), %d re-sent, %d duplicate(s)\n",
+			id, st.Ran, st.Failed, st.Resent, st.Duplicates)
+	}
+	// Failed cells are the coordinator's to report (-strict there);
+	// a worker that delivered everything it leased exits clean.
+	return nil
+}
+
+// applyCellTimeout lets -cell-timeout override the spec's
+// cell_timeout_ns: 0 forces the bound off, -1 (the default) leaves the
+// spec alone. Like the spec knob it is execution-only — scenario keys,
+// checkpoints, and golden digests are unaffected.
+func applyCellTimeout(spec *campaign.Spec, o options) {
+	if o.cellTimeout >= 0 {
+		spec.CellTimeoutNs = int64(o.cellTimeout)
+	}
+}
+
+// workerCellTimeout maps the CLI flag convention (-1 defer to the
+// grant, 0 force off, >0 override) onto fabric.WorkerOptions's (0
+// defer, <0 force off, >0 override).
+func workerCellTimeout(d time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return -1
+	case d < 0:
+		return 0
+	default:
+		return d
+	}
+}
+
+// failures turns scenario failures into an exit status: by default a
+// campaign degrades gracefully (failed cells carry their reason in the
+// JSON/CSV error column, everything else is intact) and the exit is
+// clean; -strict makes any failure fatal.
+func failures(failed, total int, o options) error {
+	if failed == 0 {
+		return nil
+	}
+	if o.strict {
+		return fmt.Errorf("%d of %d scenarios failed", failed, total)
+	}
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "warning: %d of %d scenarios failed (rows carry the error; -strict makes this fatal)\n",
+			failed, total)
+	}
+	return nil
+}

@@ -18,6 +18,16 @@
 //	contracamp -merge s0.jsonl,s1.jsonl -out merged.json -csv merged.csv
 //	contracamp -aggregate merged.json -agg-csv agg.csv -fct-csv fct.csv -rec-csv rec.csv
 //
+// The fault-tolerant fabric replaces static sharding when workers may
+// crash: a coordinator leases cells to workers over HTTP, re-leases
+// them if a worker stops heartbeating, steals stragglers' cells near
+// the end, and deduplicates results so the merged output is
+// byte-identical to a single-process run:
+//
+//	contracamp -spec sweep.json -serve :7070 -stream out.jsonl -workers 4   # local fleet
+//	contracamp -worker http://host:7070 -worker-dir /tmp/w0                 # extra workers, any machine
+//	contracamp -spec sweep.json -serve :7070 -stream out.jsonl -resume      # restarted coordinator
+//
 // Campaign output is deterministic: the same spec produces
 // byte-identical JSON/CSV whatever the worker count, shard count,
 // completion order, or number of crash/resume cycles.
@@ -61,6 +71,17 @@ type options struct {
 	checkpoint string
 	resume     bool
 
+	serve      string
+	urlFile    string
+	leaseTTL   time.Duration
+	stealAfter time.Duration
+	worker     string
+	workerDir  string
+	workerID   string
+
+	cellTimeout time.Duration
+	strict      bool
+
 	merge     string
 	aggregate string
 	aggCSV    string
@@ -89,6 +110,15 @@ func main() {
 	flag.StringVar(&o.stream, "stream", "", "stream outcomes to a JSONL `file` instead of holding them in memory")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "record completed scenario keys in `file` (requires -stream)")
 	flag.BoolVar(&o.resume, "resume", false, "skip scenarios already in -checkpoint and append to -stream")
+	flag.StringVar(&o.serve, "serve", "", "run the fabric coordinator on `addr` (e.g. 127.0.0.1:7070, :0 for ephemeral; requires -spec and -stream; -workers N spawns a local fleet, 0 means external workers only)")
+	flag.StringVar(&o.urlFile, "url-file", "", "serve mode: write the coordinator's URL to `file` once listening (for scripting with -serve :0)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", fabricDefaultTTL, "serve mode: lease lifetime without a heartbeat; a dead worker's cells re-lease after this")
+	flag.DurationVar(&o.stealAfter, "steal-after", 0, "serve mode: min age of an in-flight cell before idle workers steal it at end of campaign (0 = lease TTL)")
+	flag.StringVar(&o.worker, "worker", "", "run as a fabric worker against the coordinator at `url`")
+	flag.StringVar(&o.workerDir, "worker-dir", "", "worker mode: local durability `dir` (results + checkpoint; reuse it to resume after a crash)")
+	flag.StringVar(&o.workerID, "worker-id", "", "worker mode: self-chosen worker `id` (default hostname-pid)")
+	flag.DurationVar(&o.cellTimeout, "cell-timeout", -1, "per-cell wall-clock budget; exceeded cells are recorded as failed (0 forces off, -1 leaves the spec)")
+	flag.BoolVar(&o.strict, "strict", false, "exit nonzero if any scenario failed (default: failed cells carry their error in the output and the exit is clean)")
 	flag.StringVar(&o.merge, "merge", "", "merge comma-separated JSONL shard `files` into one report (with -out/-csv/table)")
 	flag.StringVar(&o.aggregate, "aggregate", "", "aggregate comma-separated report JSON / JSONL `files` across seeds")
 	flag.StringVar(&o.aggCSV, "agg-csv", "", "aggregate mode: write the full mean/stddev/min/max CSV to `file`")
@@ -115,20 +145,25 @@ func main() {
 
 func run(o options) error {
 	modes := 0
-	for _, on := range []bool{o.spec != "", o.merge != "", o.aggregate != ""} {
+	for _, on := range []bool{o.spec != "", o.merge != "", o.aggregate != "", o.worker != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
 		flag.Usage()
-		return fmt.Errorf("exactly one of -spec, -merge, -aggregate is required")
+		return fmt.Errorf("exactly one of -spec, -merge, -aggregate, -worker is required")
 	}
 	switch {
 	case o.merge != "":
 		return runMerge(o)
 	case o.aggregate != "":
 		return runAggregate(o)
+	case o.worker != "":
+		return runWorkerMode(o)
+	}
+	if o.serve != "" {
+		return runServe(o)
 	}
 	if o.shard != "" && o.stream == "" {
 		return fmt.Errorf("-shard partitions a streamed run; add -stream (results merge later with -merge)")
@@ -219,6 +254,7 @@ func runInMemory(o options) error {
 	}
 	applyTraceLevel(spec, o)
 	applyMetricsInterval(spec, o)
+	applyCellTimeout(spec, o)
 	if !o.quiet {
 		fmt.Fprintf(os.Stderr, "campaign %q: %d scenarios on %d workers\n",
 			spec.Name, spec.Size(), o.workers)
@@ -226,6 +262,7 @@ func runInMemory(o options) error {
 	started, completed := progressHooks(o, spec.Size())
 	report, err := campaign.Run(spec, campaign.Options{
 		Workers: o.workers, Progress: completed, Started: started,
+		CellTimeout: spec.CellTimeout(),
 	})
 	if err != nil {
 		return err
@@ -253,10 +290,7 @@ func runInMemory(o options) error {
 	if err := render(report, spec.Schemes, o); err != nil {
 		return err
 	}
-	if n := report.Failed(); n > 0 {
-		return fmt.Errorf("%d of %d scenarios failed", n, len(report.Outcomes))
-	}
-	return nil
+	return failures(report.Failed(), len(report.Outcomes), o)
 }
 
 // runStreaming is the sharded path: outcomes go straight to the JSONL
@@ -271,6 +305,7 @@ func runStreaming(o options) error {
 	}
 	applyTraceLevel(spec, o)
 	applyMetricsInterval(spec, o)
+	applyCellTimeout(spec, o)
 	shard, err := dist.ParseShard(o.shard)
 	if err != nil {
 		return err
@@ -308,11 +343,12 @@ func runStreaming(o options) error {
 	}
 	started, completed := progressHooks(o, spec.Size())
 	st, runErr := dist.Run(spec, dist.Options{
-		Workers:    o.workers,
-		Shard:      shard,
-		Checkpoint: ck,
-		Progress:   completed,
-		Started:    started,
+		Workers:     o.workers,
+		Shard:       shard,
+		Checkpoint:  ck,
+		Progress:    completed,
+		Started:     started,
+		CellTimeout: spec.CellTimeout(),
 	}, sink)
 	if cerr := sink.Close(); runErr == nil {
 		runErr = cerr
@@ -324,10 +360,7 @@ func runStreaming(o options) error {
 	if runErr != nil {
 		return runErr
 	}
-	if st.Failed > 0 {
-		return fmt.Errorf("%d of %d scenarios failed", st.Failed, st.Ran)
-	}
-	return nil
+	return failures(st.Failed, st.Ran, o)
 }
 
 // runMerge folds shard JSONL files into one deterministic report.
@@ -343,10 +376,7 @@ func runMerge(o options) error {
 	if err := render(report, dist.Schemes(report), o); err != nil {
 		return err
 	}
-	if n := report.Failed(); n > 0 {
-		return fmt.Errorf("%d of %d scenarios failed", n, len(report.Outcomes))
-	}
-	return nil
+	return failures(report.Failed(), len(report.Outcomes), o)
 }
 
 // runAggregate collapses the seed axis and writes figure data.

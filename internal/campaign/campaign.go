@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"contra/internal/scenario"
 )
@@ -80,7 +81,18 @@ type Spec struct {
 	// so every golden digest — identical to a spec that never mentioned
 	// metrics.
 	MetricsIntervalNs int64 `json:"metrics_interval_ns,omitempty"`
+
+	// CellTimeoutNs bounds each cell's wall-clock execution (0 = no
+	// bound). A cell that exceeds it is recorded as a failed outcome
+	// instead of hanging its worker. This is an execution knob, not a
+	// scenario parameter: it never enters scenario keys, checkpoints,
+	// or golden digests.
+	CellTimeoutNs int64 `json:"cell_timeout_ns,omitempty"`
 }
+
+// CellTimeout returns the spec's per-cell wall-clock budget as a
+// Duration (0 = none).
+func (s *Spec) CellTimeout() time.Duration { return time.Duration(s.CellTimeoutNs) }
 
 // Parse decodes a campaign spec, rejecting unknown fields.
 func Parse(data []byte) (*Spec, error) {
@@ -114,6 +126,9 @@ func (s *Spec) validate() error {
 	}
 	if len(s.Loads) == 0 && s.Workload.Kind != scenario.WorkloadCBR {
 		return fmt.Errorf("campaign %q: no loads", s.Name)
+	}
+	if s.CellTimeoutNs < 0 {
+		return fmt.Errorf("campaign %q: negative cell_timeout_ns", s.Name)
 	}
 	return s.checkAxisDuplicates()
 }
@@ -306,6 +321,47 @@ type Options struct {
 	// under the same lock, so a sink tracking in-flight cells (the
 	// progress Meter) needs no locking of its own.
 	Started func(j *Job)
+
+	// CellTimeout bounds one scenario's wall-clock execution; <= 0
+	// means no bound. A cell that exceeds it is emitted as a failed
+	// outcome (ErrCellTimeout-prefixed error) instead of hanging its
+	// worker, so one pathological cell degrades the campaign to a
+	// partial result rather than wedging it.
+	CellTimeout time.Duration
+}
+
+// ErrCellTimeout prefixes the Outcome.Err of a cell that exceeded
+// Options.CellTimeout, so reports and CSV rows can be filtered on it.
+const ErrCellTimeout = "cell timeout"
+
+// runCell executes one scenario, bounding its wall-clock time when
+// timeout > 0. On timeout the scenario's goroutine is abandoned, not
+// cancelled — the simulator has no preemption points — so the worker
+// slot frees immediately while the stray run finishes (or spins) in
+// the background and its result is discarded. That trade buys a
+// guaranteed-progress campaign at the cost of transient CPU from
+// abandoned cells.
+func runCell(sc scenario.Scenario, timeout time.Duration) (*scenario.Result, error) {
+	if timeout <= 0 {
+		return scenario.Run(sc)
+	}
+	type outcome struct {
+		res *scenario.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := scenario.Run(sc)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("%s: exceeded the %s wall-clock budget", ErrCellTimeout, timeout)
+	}
 }
 
 // Stream is the campaign execution core: it fans jobs out across a
@@ -350,7 +406,7 @@ func Stream(jobs []Job, opts Options, emit func(*Job, *Outcome) error) error {
 					mu.Unlock()
 				}
 				o := Outcome{Scenario: j.Scenario}
-				res, err := scenario.Run(j.Scenario)
+				res, err := runCell(j.Scenario, opts.CellTimeout)
 				if err != nil {
 					o.Err = err.Error()
 				} else {

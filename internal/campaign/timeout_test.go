@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"contra/internal/scenario"
+)
+
+// slowSpec is a single cell expensive enough (tens of milliseconds of
+// wall clock) that a 1ms budget reliably expires mid-run.
+func slowSpec() *Spec {
+	return &Spec{
+		Name:    "slow",
+		Topos:   []string{"fattree:4:2"},
+		Schemes: []scenario.Scheme{scenario.SchemeContra},
+		Loads:   []float64{0.5},
+		Workload: scenario.Workload{
+			Dist: "websearch", DurationNs: 20_000_000, MaxFlows: 4000,
+		},
+		Policy: "minimize(path.util)",
+	}
+}
+
+func TestCellTimeoutRecordsFailureInsteadOfHanging(t *testing.T) {
+	report, err := Run(slowSpec(), Options{Workers: 1, CellTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Outcomes) != 1 {
+		t.Fatalf("%d outcomes, want 1", len(report.Outcomes))
+	}
+	o := report.Outcomes[0]
+	if o.Err == "" || !strings.HasPrefix(o.Err, ErrCellTimeout) {
+		t.Fatalf("outcome error %q, want %q prefix", o.Err, ErrCellTimeout)
+	}
+	if o.Result != nil {
+		t.Fatal("timed-out cell carries a result")
+	}
+	if report.Failed() != 1 {
+		t.Fatalf("Failed() = %d, want 1", report.Failed())
+	}
+	// The failed cell still renders as a partial CSV row whose error
+	// column names the timeout — graceful degradation, not a lost row.
+	var csv strings.Builder
+	if err := report.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	if !strings.Contains(lines[1], ErrCellTimeout) {
+		t.Fatalf("CSV row %q lacks the timeout reason", lines[1])
+	}
+}
+
+func TestCellTimeoutGenerousBudgetIsInvisible(t *testing.T) {
+	spec := &Spec{
+		Name:    "quick",
+		Topos:   []string{"dc"},
+		Schemes: []scenario.Scheme{scenario.SchemeECMP},
+		Loads:   []float64{0.2},
+		Workload: scenario.Workload{
+			Dist: "cache", DurationNs: 1_000_000, MaxFlows: 50,
+		},
+	}
+	ref, err := Run(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := Run(spec, Options{Workers: 1, CellTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := ref.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := timed.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("a generous cell timeout perturbed campaign output")
+	}
+}
+
+func TestSpecCellTimeoutValidation(t *testing.T) {
+	if _, err := Parse([]byte(`{"name":"x","topos":["dc"],"schemes":["ecmp"],"loads":[0.2],"cell_timeout_ns":-5}`)); err == nil {
+		t.Fatal("negative cell_timeout_ns accepted")
+	}
+	spec, err := Parse([]byte(`{"name":"x","topos":["dc"],"schemes":["ecmp"],"loads":[0.2],"cell_timeout_ns":2000000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.CellTimeout() != 2*time.Second {
+		t.Fatalf("CellTimeout() = %v, want 2s", spec.CellTimeout())
+	}
+	// The knob is an execution knob: it must not shift scenario keys
+	// (checkpoints and golden digests key on them).
+	withTO, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.CellTimeoutNs = 0
+	without, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTO[0].Key() != without[0].Key() {
+		t.Fatal("cell_timeout_ns leaked into scenario keys")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -19,11 +20,15 @@ import (
 // A crash between the two leaves the record without its mark; the
 // scenario re-runs on resume and Merge deduplicates the identical
 // records by key. A torn trailing key line (crash mid-Mark) is
-// truncated away on open.
+// truncated away on open, and a torn line *inside* the file — a crash
+// during a concurrent append, with valid records written after it —
+// is skipped rather than fatal: the garbled line's key(s) simply
+// re-run, which at-least-once execution already tolerates.
 type Checkpoint struct {
-	mu   sync.Mutex
-	f    *os.File
-	done map[string]bool
+	mu      sync.Mutex
+	f       *os.File
+	done    map[string]bool
+	garbled int
 }
 
 // OpenCheckpoint opens (or creates) a checkpoint file and loads the
@@ -42,22 +47,62 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		return nil, err
 	}
 	done := make(map[string]bool)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		if key := strings.TrimSpace(sc.Text()); key != "" {
-			done[key] = true
+	garbled := 0
+	br := bufio.NewReaderSize(f, 64<<10)
+	for {
+		line, err := br.ReadString('\n')
+		if key := strings.TrimSpace(line); key != "" {
+			if validKeyLine(key) {
+				done[key] = true
+			} else {
+				// A torn line from a crashed concurrent append — possibly
+				// fused with the valid line written after it. The fused
+				// key(s) cannot be separated reliably, so drop the line;
+				// its scenarios re-run and Merge dedups the records.
+				garbled++
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("dist: checkpoint %s: %v", path, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("dist: checkpoint %s: %v", path, err)
-	}
-	if _, err := f.Seek(0, 2); err != nil {
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &Checkpoint{f: f, done: done}, nil
+	return &Checkpoint{f: f, done: done, garbled: garbled}, nil
+}
+
+// validKeyLine reports whether line has the shape of one canonical
+// scenario key: name '#' followed by exactly 16 hex digits at the end
+// (scenario.Key's format). A torn fragment, or a fragment fused with
+// the line appended after it, fails the check — except when the fusion
+// happens to end in a well-formed key, in which case the fused line is
+// kept as an inert entry that matches no real key (Done never returns
+// true for it) and the affected scenarios re-run.
+func validKeyLine(line string) bool {
+	i := strings.LastIndexByte(line, '#')
+	if i < 1 || len(line)-i-1 != 16 {
+		return false
+	}
+	for _, c := range line[i+1:] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Garbled returns how many unparseable (torn or fused) lines the open
+// skipped.
+func (c *Checkpoint) Garbled() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.garbled
 }
 
 // Retain drops (in memory) every checkpointed key the predicate does

@@ -1,0 +1,66 @@
+package dist
+
+import "sync"
+
+// DedupSink wraps a Sink and drops every record whose key has already
+// been emitted through it (or was listed as seen upfront). It is the
+// at-least-once → exactly-once seam of the campaign fabric: workers
+// may deliver the same cell's record twice — crash/resume re-sends,
+// stolen cells finishing on two workers, retried uploads whose first
+// attempt actually landed — and the coordinator writes its result
+// stream through a DedupSink so each cell appears exactly once, the
+// invariant Merge's byte-identity contract builds on. (Merge itself
+// also deduplicates by key, so the two layers back each other up.)
+type DedupSink struct {
+	mu   sync.Mutex
+	sink Sink
+	seen map[string]bool
+	dups int
+}
+
+// NewDedupSink wraps sink, pre-marking the keys of seen (may be nil)
+// as already emitted — the resume path, fed from StreamKeys of the
+// stream being appended to. The map is copied.
+func NewDedupSink(sink Sink, seen map[string]bool) *DedupSink {
+	d := &DedupSink{sink: sink, seen: make(map[string]bool, len(seen))}
+	for k, ok := range seen {
+		if ok {
+			d.seen[k] = true
+		}
+	}
+	return d
+}
+
+// Emit forwards the first record of each key and silently drops the
+// rest. The key is marked seen only after the underlying Emit
+// succeeds, so a failed write may be retried.
+func (d *DedupSink) Emit(rec *Record) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seen[rec.Key] {
+		d.dups++
+		return nil
+	}
+	if err := d.sink.Emit(rec); err != nil {
+		return err
+	}
+	d.seen[rec.Key] = true
+	return nil
+}
+
+// Seen reports whether key has already been emitted (or was pre-marked).
+func (d *DedupSink) Seen(key string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seen[key]
+}
+
+// Duplicates returns how many records were dropped as duplicates.
+func (d *DedupSink) Duplicates() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dups
+}
+
+// Close closes the underlying sink.
+func (d *DedupSink) Close() error { return d.sink.Close() }

@@ -449,12 +449,19 @@ func TestReadRecordsToleratesTornFinalLineOnly(t *testing.T) {
 }
 
 func TestCheckpointRoundTrip(t *testing.T) {
+	// Canonical-shaped keys (name#16hex): the loader only vouches for
+	// lines of that shape, anything else is treated as torn debris.
+	const (
+		a = "a#1111111111111111"
+		b = "b#2222222222222222"
+		c = "c#3333333333333333"
+	)
 	path := filepath.Join(t.TempDir(), "ck")
 	ck, err := OpenCheckpoint(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"a#1", "b#2", "a#1"} {
+	for _, k := range []string{a, b, a} {
 		if err := ck.Mark(k); err != nil {
 			t.Fatal(err)
 		}
@@ -468,7 +475,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ck.Close()
-	if !ck.Done("a#1") || !ck.Done("b#2") || ck.Done("c#3") {
+	if !ck.Done(a) || !ck.Done(b) || ck.Done(c) {
 		t.Fatal("reloaded key set wrong")
 	}
 	if err := ck.Mark("bad\nkey"); err == nil {

@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"contra/internal/scenario"
+)
+
+func TestDedupSinkEmitsEachKeyOnce(t *testing.T) {
+	var buf bytes.Buffer
+	d := NewDedupSink(NewJSONLSink(&buf), map[string]bool{"pre#0000000000000000": true})
+	sc := &scenario.Scenario{Name: "x"}
+	recs := []*Record{
+		{Campaign: "c", Key: "a#1111111111111111", Index: 0, Scenario: sc},
+		{Campaign: "c", Key: "a#1111111111111111", Index: 0, Scenario: sc},   // duplicate delivery
+		{Campaign: "c", Key: "pre#0000000000000000", Index: 1, Scenario: sc}, // pre-seen (resume)
+		{Campaign: "c", Key: "b#2222222222222222", Index: 2, Scenario: sc},
+	}
+	for _, r := range recs {
+		if err := d.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key != "a#1111111111111111" || got[1].Key != "b#2222222222222222" {
+		t.Fatalf("stream holds %d records %+v, want exactly a then b", len(got), got)
+	}
+	if d.Duplicates() != 2 {
+		t.Fatalf("Duplicates() = %d, want 2", d.Duplicates())
+	}
+	if !d.Seen("pre#0000000000000000") || d.Seen("c#3333333333333333") {
+		t.Fatal("Seen misreports")
+	}
+}
+
+// TestDedupSinkDuplicateMergesOnce is the fabric dedup regression at
+// the merge layer: the same scenario.Key delivered twice through a
+// DedupSink-guarded stream merges to exactly one outcome.
+func TestDedupSinkDuplicateMergesOnce(t *testing.T) {
+	spec := sweepSpec()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jobs[0]
+	res, err := scenario.Run(j.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{Campaign: spec.Name, Key: j.Scenario.Key(), Index: j.Index, Scenario: &j.Scenario, Result: res}
+
+	path := filepath.Join(t.TempDir(), "dup.jsonl")
+	sink, err := CreateJSONL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDedupSink(sink, nil)
+	if err := d.Emit(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Emit(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Merge([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Outcomes) != 1 {
+		t.Fatalf("merged %d outcomes, want 1", len(report.Outcomes))
+	}
+	if d.Duplicates() != 1 {
+		t.Fatalf("Duplicates() = %d, want 1", d.Duplicates())
+	}
+}
+
+// TestCheckpointToleratesTornLineMidFile covers the crash-during-
+// concurrent-append shape: a torn fragment with valid key lines
+// appended after it on disk. Opening must succeed, every intact key
+// must load, and the fused line must at worst re-run its scenarios
+// (never satisfy Done for a key it swallowed).
+func TestCheckpointToleratesTornLineMidFile(t *testing.T) {
+	const (
+		alpha = "alpha#00112233445566aa"
+		beta  = "beta#8899aabbccddeeff"
+		gamma = "gamma#0f1e2d3c4b5a6978"
+	)
+	path := filepath.Join(t.TempDir(), "torn.ck")
+	// alpha committed; a crash tore "beta#8899" mid-write; the next
+	// appender's gamma line landed right after the fragment.
+	raw := alpha + "\n" + "beta#8899" + gamma + "\n"
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint on torn-mid-file checkpoint: %v", err)
+	}
+	if !ck.Done(alpha) {
+		t.Error("intact key before the tear was lost")
+	}
+	if ck.Done(beta) || ck.Done(gamma) {
+		t.Error("keys touching the torn line must re-run, not be skipped")
+	}
+	// The file stays appendable and re-marking the lost keys works.
+	if err := ck.Mark(gamma); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	ck, err = OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if !ck.Done(alpha) || !ck.Done(gamma) {
+		t.Error("re-marked key did not survive reopen")
+	}
+}
+
+// TestCheckpointSkipsGarbledLines: junk that does not resemble any
+// canonical key (here a fragment torn before its hash was complete,
+// with nothing fused after it but a later valid line) is skipped and
+// counted, not fatal and not loaded.
+func TestCheckpointSkipsGarbledLines(t *testing.T) {
+	const good = "cell#aaaabbbbccccdddd"
+	path := filepath.Join(t.TempDir(), "garbled.ck")
+	raw := "not a key at all\n" + good + "\n" + "short#ab\n"
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint: %v", err)
+	}
+	defer ck.Close()
+	if !ck.Done(good) {
+		t.Error("valid key between garbled lines was lost")
+	}
+	if ck.Len() != 1 {
+		t.Errorf("Len() = %d, want 1 (garbled lines must not load)", ck.Len())
+	}
+	if ck.Garbled() != 2 {
+		t.Errorf("Garbled() = %d, want 2", ck.Garbled())
+	}
+}
+
+// TestCheckpointToleratesOverlongTornLine: the pre-fix loader used a
+// 1MB-capped scanner, so a huge torn line followed by valid records
+// failed the whole open with "token too long".
+func TestCheckpointToleratesOverlongTornLine(t *testing.T) {
+	const good = "cell#aaaabbbbccccdddd"
+	path := filepath.Join(t.TempDir(), "huge.ck")
+	raw := strings.Repeat("x", 2<<20) + "\n" + good + "\n"
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatalf("OpenCheckpoint with a >1MB torn line: %v", err)
+	}
+	defer ck.Close()
+	if !ck.Done(good) {
+		t.Error("valid key after the overlong torn line was lost")
+	}
+	if ck.Garbled() != 1 {
+		t.Errorf("Garbled() = %d, want 1", ck.Garbled())
+	}
+}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"time"
 
 	"contra/internal/campaign"
 )
@@ -25,6 +26,10 @@ type Options struct {
 	// Started, when set, fires when a worker picks a scenario up
 	// (campaign.Options.Started).
 	Started func(j *campaign.Job)
+
+	// CellTimeout bounds one scenario's wall-clock execution
+	// (campaign.Options.CellTimeout); <= 0 means no bound.
+	CellTimeout time.Duration
 }
 
 // Stats summarizes one shard run.
@@ -64,7 +69,10 @@ func Run(spec *campaign.Spec, opts Options, sink Sink) (Stats, error) {
 		}
 		mine = append(mine, j)
 	}
-	err = campaign.Stream(mine, campaign.Options{Workers: opts.Workers, Progress: opts.Progress, Started: opts.Started},
+	err = campaign.Stream(mine, campaign.Options{
+		Workers: opts.Workers, Progress: opts.Progress, Started: opts.Started,
+		CellTimeout: opts.CellTimeout,
+	},
 		func(j *campaign.Job, o *campaign.Outcome) error {
 			key := j.Scenario.Key()
 			rec := &Record{

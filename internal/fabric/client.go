@@ -1,0 +1,127 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"contra/internal/cliutil"
+	"contra/internal/dist"
+)
+
+// Client is the worker side of the wire protocol. Every call retries
+// transient failures — transport errors (the coordinator is
+// restarting, the network blipped) and 5xx responses — with the
+// configured backoff; 4xx responses are permanent and fail
+// immediately.
+type Client struct {
+	// Base is the coordinator URL, e.g. "http://127.0.0.1:7070".
+	Base string
+
+	// Worker is this worker's self-chosen id, sent with every call.
+	Worker string
+
+	// Retry is the backoff policy for transient failures; the zero
+	// value is the cliutil.Retry default (8 attempts, 100ms base, 5s
+	// cap, ±20% jitter).
+	Retry cliutil.Retry
+
+	// HTTP overrides http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// call POSTs req as JSON to path and decodes the response into resp,
+// classifying failures for the retry policy.
+func (c *Client) call(ctx context.Context, method, path string, req, resp any) error {
+	return c.Retry.Do(ctx, func() error {
+		var body io.Reader
+		if req != nil {
+			b, err := json.Marshal(req)
+			if err != nil {
+				return cliutil.Permanent(err)
+			}
+			body = bytes.NewReader(b)
+		}
+		hreq, err := http.NewRequestWithContext(ctx, method,
+			strings.TrimSuffix(c.Base, "/")+path, body)
+		if err != nil {
+			return cliutil.Permanent(err)
+		}
+		if req != nil {
+			hreq.Header.Set("Content-Type", "application/json")
+		}
+		hresp, err := c.httpClient().Do(hreq)
+		if err != nil {
+			return err // transport error: transient
+		}
+		defer hresp.Body.Close()
+		if hresp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 4<<10))
+			err := fmt.Errorf("%s %s: %s: %s", method, path, hresp.Status, bytes.TrimSpace(msg))
+			if hresp.StatusCode >= 400 && hresp.StatusCode < 500 {
+				return cliutil.Permanent(err)
+			}
+			return err
+		}
+		if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+			return fmt.Errorf("%s %s: decode response: %v", method, path, err)
+		}
+		return nil
+	})
+}
+
+// Lease polls the coordinator for a cell.
+func (c *Client) Lease(ctx context.Context) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/lease", &leaseRequest{Worker: c.Worker}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Status == StatusLease && resp.Grant == nil {
+		return nil, fmt.Errorf("fabric: lease response without a grant")
+	}
+	return &resp, nil
+}
+
+// Heartbeat extends a lease; ok=false means the lease is gone (the
+// cell may have been re-leased or completed elsewhere).
+func (c *Client) Heartbeat(ctx context.Context, leaseID int64) (bool, error) {
+	var resp heartbeatResponse
+	err := c.call(ctx, http.MethodPost, "/v1/heartbeat",
+		&heartbeatRequest{Worker: c.Worker, LeaseID: leaseID}, &resp)
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Result uploads one cell record; leaseID 0 is a lease-less delivery
+// (resume re-sends).
+func (c *Client) Result(ctx context.Context, leaseID int64, rec *dist.Record) (duplicate bool, err error) {
+	var resp resultResponse
+	err = c.call(ctx, http.MethodPost, "/v1/result",
+		&resultRequest{Worker: c.Worker, LeaseID: leaseID, Record: rec}, &resp)
+	if err != nil {
+		return false, err
+	}
+	return resp.Duplicate, nil
+}
+
+// Status fetches the coordinator's progress snapshot.
+func (c *Client) Status(ctx context.Context) (*Status, error) {
+	var st Status
+	if err := c.call(ctx, http.MethodGet, "/v1/status", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

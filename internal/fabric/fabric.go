@@ -1,0 +1,443 @@
+// Package fabric is the fault-tolerant distributed campaign layer: a
+// coordinator that expands a campaign into cells keyed by
+// scenario.Key, leases cells to worker processes over plain HTTP/JSON,
+// and merges their streamed results back into the byte-deterministic
+// output of internal/dist.
+//
+// The design goal is that no single fault serializes or loses a sweep:
+//
+//   - A worker that crashes, hangs, or partitions away simply stops
+//     heartbeating; its leases expire and the cells are re-leased to
+//     whoever asks next.
+//   - Near the end of a campaign, when no unleased cells remain, idle
+//     workers steal in-flight cells from stragglers (a second
+//     concurrent lease), so one 500×-cost chaos cell cannot hold the
+//     tail hostage behind a slow or dying worker.
+//   - Workers checkpoint every completed cell locally before
+//     uploading, so a kill -9'd worker re-sends finished results on
+//     restart instead of re-running them.
+//   - Execution is therefore at-least-once; the coordinator
+//     deduplicates results by scenario.Key (dist.DedupSink) before
+//     they reach the stream that dist.Merge folds into a report, so
+//     the merged bytes are identical to a single-process run whatever
+//     crashed, stole, or retried along the way.
+//
+// Time never advances on its own inside the Coordinator: every state
+// transition (expiry sweep, steal eligibility) happens on a request,
+// against an injectable clock — which is what lets the fault tests run
+// on a fake clock with no wall-clock sleeps.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"contra/internal/campaign"
+	"contra/internal/dist"
+	"contra/internal/scenario"
+)
+
+// DefaultLeaseTTL is the default lease lifetime. Workers heartbeat at
+// half this interval (see HeartbeatInterval), so a dead worker's lease
+// expires after two missed heartbeats.
+const DefaultLeaseTTL = 10 * time.Second
+
+// HeartbeatInterval derives the worker heartbeat period from a lease
+// TTL: half the TTL, so reassignment happens within two missed
+// heartbeat intervals of a worker dying.
+func HeartbeatInterval(ttl time.Duration) time.Duration { return ttl / 2 }
+
+// Options tunes a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a lease lives without a heartbeat; <= 0
+	// means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+
+	// StealAfter is the minimum age of a cell's oldest live lease
+	// before an idle worker may steal the cell (second concurrent
+	// lease) when no unleased cells remain; <= 0 means LeaseTTL.
+	StealAfter time.Duration
+
+	// MaxLeasesPerCell caps concurrent leases on one cell during
+	// end-of-campaign stealing; <= 0 means 2.
+	MaxLeasesPerCell int
+
+	// Clock overrides time.Now (fault tests drive a fake clock).
+	Clock func() time.Time
+
+	// Started, when set, fires under the coordinator lock whenever a
+	// cell is leased (campaign.Options.Started shape — feeds the
+	// progress Meter from coordinator state).
+	Started func(*campaign.Job)
+
+	// Progress, when set, fires under the coordinator lock when a
+	// cell's first result is accepted (campaign.Options.Progress
+	// shape).
+	Progress func(done, total int, o *campaign.Outcome)
+}
+
+func (o Options) leaseTTL() time.Duration {
+	if o.LeaseTTL <= 0 {
+		return DefaultLeaseTTL
+	}
+	return o.LeaseTTL
+}
+
+func (o Options) stealAfter() time.Duration {
+	if o.StealAfter <= 0 {
+		return o.leaseTTL()
+	}
+	return o.StealAfter
+}
+
+func (o Options) maxLeases() int {
+	if o.MaxLeasesPerCell <= 0 {
+		return 2
+	}
+	return o.MaxLeasesPerCell
+}
+
+// lease is one worker's time-bounded claim on a cell.
+type lease struct {
+	id      int64
+	worker  string
+	cell    *cell
+	granted time.Time
+	expires time.Time
+	stolen  bool
+}
+
+// cell is one unit of campaign work: a scenario plus its expansion
+// index. A cell is pending (no leases), in flight (>= 1 lease), or
+// done; expired leases silently return it to pending.
+type cell struct {
+	job     campaign.Job
+	key     string
+	done    bool
+	leases  map[int64]*lease
+	expired int // leases lost to expiry, for Status
+}
+
+// oldestLease returns the earliest-granted live lease, or nil.
+func (c *cell) oldestLease() *lease {
+	var oldest *lease
+	for _, l := range c.leases {
+		if oldest == nil || l.granted.Before(oldest.granted) ||
+			(l.granted.Equal(oldest.granted) && l.id < oldest.id) {
+			oldest = l
+		}
+	}
+	return oldest
+}
+
+// Coordinator owns the authoritative campaign state: the cell table,
+// the lease table, and the deduplicated result stream. All methods are
+// safe for concurrent use; expiry is swept lazily at the head of every
+// call, so tests can drive the full fault machinery through the
+// injected clock alone.
+type Coordinator struct {
+	opts   Options
+	name   string
+	cellNs int64 // spec-level per-cell wall-clock budget, shipped in grants
+
+	mu       sync.Mutex
+	cells    []*cell
+	byKey    map[string]*cell
+	leases   map[int64]*lease
+	sink     *dist.DedupSink
+	nextID   int64
+	done     int
+	failed   int
+	expired  int // total leases lost to expiry
+	stolen   int // total stolen leases granted
+	dups     int // total duplicate deliveries dropped
+	finished chan struct{}
+}
+
+// New expands spec into cells and returns a Coordinator writing
+// accepted results through sink (wrapped in a DedupSink seeded with
+// alreadyDone). Cells whose keys appear in alreadyDone — typically
+// dist.StreamKeys of the stream file a restarted coordinator is
+// appending to — start out done, which is the coordinator-restart
+// resume path.
+func New(spec *campaign.Spec, sink dist.Sink, alreadyDone map[string]bool, opts Options) (*Coordinator, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("fabric: nil sink")
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fabric: campaign %q expands to no cells", spec.Name)
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	c := &Coordinator{
+		opts:     opts,
+		name:     spec.Name,
+		cellNs:   spec.CellTimeoutNs,
+		byKey:    make(map[string]*cell, len(jobs)),
+		leases:   make(map[int64]*lease),
+		sink:     dist.NewDedupSink(sink, alreadyDone),
+		finished: make(chan struct{}),
+	}
+	for _, j := range jobs {
+		cl := &cell{job: j, key: j.Scenario.Key(), leases: make(map[int64]*lease)}
+		if alreadyDone[cl.key] {
+			cl.done = true
+			c.done++
+		}
+		c.cells = append(c.cells, cl)
+		c.byKey[cl.key] = cl
+	}
+	if c.done == len(c.cells) {
+		close(c.finished)
+	}
+	return c, nil
+}
+
+// Grant is a leased cell, the payload a worker runs. The scenario is
+// carried in full (it round-trips through JSON losslessly for
+// spec-driven scenarios), so workers need no copy of the campaign
+// spec; the spec-level cell timeout rides along too.
+type Grant struct {
+	LeaseID  int64              `json:"lease_id"`
+	Index    int                `json:"index"`
+	Key      string             `json:"key"`
+	Campaign string             `json:"campaign,omitempty"`
+	Scenario *scenario.Scenario `json:"scenario"`
+	TTLNs    int64              `json:"ttl_ns"`
+	Stolen   bool               `json:"stolen,omitempty"`
+	CellNs   int64              `json:"cell_timeout_ns,omitempty"`
+}
+
+// sweep drops every expired lease; a cell stripped of its last lease
+// returns to pending. Callers hold mu.
+func (c *Coordinator) sweep(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(c.leases, id)
+		delete(l.cell.leases, id)
+		l.cell.expired++
+		c.expired++
+	}
+}
+
+// grantLocked creates a lease on cl for worker. Callers hold mu.
+func (c *Coordinator) grantLocked(cl *cell, worker string, now time.Time, stolen bool) *lease {
+	c.nextID++
+	l := &lease{
+		id:      c.nextID,
+		worker:  worker,
+		cell:    cl,
+		granted: now,
+		expires: now.Add(c.opts.leaseTTL()),
+		stolen:  stolen,
+	}
+	c.leases[l.id] = l
+	cl.leases[l.id] = l
+	if stolen {
+		c.stolen++
+	}
+	if c.opts.Started != nil {
+		job := cl.job
+		c.opts.Started(&job)
+	}
+	return l
+}
+
+// Lease hands worker a cell to run. The three outcomes mirror the wire
+// protocol: a grant, "wait" (nil grant — everything is leased and
+// nothing is stealable yet), or campaign done (nil grant, done true).
+//
+// Pending cells are granted lowest-index first. With no pending cells
+// left, the longest-in-flight cell whose oldest lease is at least
+// StealAfter old — and which this worker doesn't already hold, and
+// whose lease count is under MaxLeasesPerCell — is stolen.
+func (c *Coordinator) Lease(worker string) (*Grant, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.sweep(now)
+	if c.done == len(c.cells) {
+		return nil, true
+	}
+	// Lowest-index pending cell first: deterministic, and it keeps the
+	// expansion's cheap/expensive interleaving intact.
+	for _, cl := range c.cells {
+		if cl.done || len(cl.leases) > 0 {
+			continue
+		}
+		return c.wireGrant(c.grantLocked(cl, worker, now, false)), false
+	}
+	// Nothing pending: steal from the longest-running straggler.
+	var victim *cell
+	var victimOldest time.Time
+	for _, cl := range c.cells {
+		if cl.done || len(cl.leases) == 0 || len(cl.leases) >= c.opts.maxLeases() {
+			continue
+		}
+		held := false
+		for _, l := range cl.leases {
+			if l.worker == worker {
+				held = true
+				break
+			}
+		}
+		if held {
+			continue
+		}
+		oldest := cl.oldestLease().granted
+		if now.Sub(oldest) < c.opts.stealAfter() {
+			continue
+		}
+		if victim == nil || oldest.Before(victimOldest) {
+			victim, victimOldest = cl, oldest
+		}
+	}
+	if victim != nil {
+		return c.wireGrant(c.grantLocked(victim, worker, now, true)), false
+	}
+	return nil, false
+}
+
+// wireGrant renders a lease as its wire payload. Callers hold mu.
+func (c *Coordinator) wireGrant(l *lease) *Grant {
+	sc := l.cell.job.Scenario
+	return &Grant{
+		LeaseID:  l.id,
+		Index:    l.cell.job.Index,
+		Key:      l.cell.key,
+		Campaign: c.name,
+		Scenario: &sc,
+		TTLNs:    int64(c.opts.leaseTTL()),
+		Stolen:   l.stolen,
+		CellNs:   c.cellNs,
+	}
+}
+
+// Heartbeat extends worker's lease, reporting whether the lease is
+// still live. False tells the worker its cell has been (or will be)
+// re-leased — it may finish anyway; the result dedup makes that
+// harmless.
+func (c *Coordinator) Heartbeat(worker string, leaseID int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.sweep(now)
+	l, ok := c.leases[leaseID]
+	if !ok || l.worker != worker {
+		return false
+	}
+	l.expires = now.Add(c.opts.leaseTTL())
+	return true
+}
+
+// Result accepts one cell result from a worker. Delivery is
+// at-least-once: duplicates (crash/resume re-sends, stolen cells
+// finishing twice, retried uploads) are reported as dup and dropped
+// before the stream. The record's scenario payload is replaced by the
+// coordinator's own expansion of the cell, so the merged output is a
+// pure function of the spec regardless of which worker delivered.
+// leaseID 0 is a lease-less delivery (the resume re-send path).
+func (c *Coordinator) Result(worker string, leaseID int64, rec *dist.Record) (dup bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.sweep(now)
+	cl, ok := c.byKey[rec.Key]
+	if !ok {
+		return false, fmt.Errorf("fabric: result for unknown cell key %q", rec.Key)
+	}
+	if rec.Index != cl.job.Index {
+		return false, fmt.Errorf("fabric: key %q delivered at index %d, campaign expands it at %d",
+			rec.Key, rec.Index, cl.job.Index)
+	}
+	if l, ok := c.leases[leaseID]; ok && l.worker == worker && l.cell == cl {
+		delete(c.leases, leaseID)
+		delete(cl.leases, leaseID)
+	}
+	if cl.done {
+		c.dups++
+		return true, nil
+	}
+	canon := &dist.Record{
+		Campaign: c.name,
+		Key:      cl.key,
+		Index:    cl.job.Index,
+		Scenario: &cl.job.Scenario,
+		Result:   rec.Result,
+		Err:      rec.Err,
+	}
+	if err := c.sink.Emit(canon); err != nil {
+		return false, err
+	}
+	cl.done = true
+	// Any other lease on this cell (a straggler or a thief) is moot.
+	for id := range cl.leases {
+		delete(c.leases, id)
+		delete(cl.leases, id)
+	}
+	c.done++
+	if rec.Err != "" {
+		c.failed++
+	}
+	if c.opts.Progress != nil {
+		c.opts.Progress(c.done, len(c.cells), &campaign.Outcome{
+			Scenario: cl.job.Scenario, Result: rec.Result, Err: rec.Err,
+		})
+	}
+	if c.done == len(c.cells) {
+		close(c.finished)
+	}
+	return false, nil
+}
+
+// Status is a point-in-time snapshot of coordinator state.
+type Status struct {
+	Campaign         string `json:"campaign,omitempty"`
+	Total            int    `json:"total"`
+	Done             int    `json:"done"`
+	Failed           int    `json:"failed"`
+	Pending          int    `json:"pending"`
+	InFlight         int    `json:"in_flight"`
+	ActiveLeases     int    `json:"active_leases"`
+	ExpiredLeases    int    `json:"expired_leases"`
+	StolenLeases     int    `json:"stolen_leases"`
+	DuplicateResults int    `json:"duplicate_results"`
+}
+
+// Status sweeps expiry and snapshots progress.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep(c.opts.Clock())
+	st := Status{
+		Campaign:         c.name,
+		Total:            len(c.cells),
+		Done:             c.done,
+		Failed:           c.failed,
+		ActiveLeases:     len(c.leases),
+		ExpiredLeases:    c.expired,
+		StolenLeases:     c.stolen,
+		DuplicateResults: c.dups + c.sink.Duplicates(),
+	}
+	for _, cl := range c.cells {
+		switch {
+		case cl.done:
+		case len(cl.leases) > 0:
+			st.InFlight++
+		default:
+			st.Pending++
+		}
+	}
+	return st
+}
+
+// Done returns a channel closed when every cell has a result.
+func (c *Coordinator) Done() <-chan struct{} { return c.finished }
