@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,27 +59,42 @@ func runServe(o options) error {
 	if err != nil {
 		return err
 	}
-	started, completed := progressHooks(o, spec.Size())
+	var journal *fabric.Journal
+	if o.journal != "" {
+		if journal, err = fabric.CreateJournal(o.journal); err != nil {
+			sink.Close()
+			return err
+		}
+	}
+	closeAll := func() {
+		sink.Close()
+		if journal != nil {
+			journal.Close()
+		}
+	}
+	started, completed, tick := progressHooks(o, spec.Size())
 	coord, err := fabric.New(spec, sink, alreadyDone, fabric.Options{
 		LeaseTTL:   o.leaseTTL,
 		StealAfter: o.stealAfter,
+		Journal:    journal,
 		Started:    started,
 		Progress:   completed,
+		Beat:       tick,
 	})
 	if err != nil {
-		sink.Close()
+		closeAll()
 		return err
 	}
 
 	ln, err := net.Listen("tcp", o.serve)
 	if err != nil {
-		sink.Close()
+		closeAll()
 		return err
 	}
 	url := "http://" + ln.Addr().String()
 	if o.urlFile != "" {
 		if err := os.WriteFile(o.urlFile, []byte(url+"\n"), 0o644); err != nil {
-			sink.Close()
+			closeAll()
 			return err
 		}
 	}
@@ -104,13 +120,13 @@ func runServe(o options) error {
 	select {
 	case <-coord.Done():
 	case err := <-serveErr:
-		sink.Close()
+		closeAll()
 		return err
 	case err := <-fleetErr:
 		// The whole local fleet died (respawn budget exhausted) with
 		// cells still outstanding; without external workers the
 		// campaign can never finish.
-		sink.Close()
+		closeAll()
 		if err == nil {
 			err = fmt.Errorf("local worker fleet exited with the campaign unfinished")
 		}
@@ -129,6 +145,14 @@ func runServe(o options) error {
 	if !o.quiet {
 		fmt.Fprintf(os.Stderr, "campaign %q complete: %d cells, %d failed, %d expired lease(s), %d stolen, %d duplicate result(s)\n",
 			spec.Name, st.Total, st.Failed, st.ExpiredLeases, st.StolenLeases, st.DuplicateResults)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			// Observability must never fail the campaign it observed.
+			fmt.Fprintf(os.Stderr, "warning: coordinator journal: %v\n", err)
+		} else if err := writePostmortemFiles(o.journal, o.quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: post-mortem: %v\n", err)
+		}
 	}
 	report, err := dist.Merge([]string{o.stream})
 	if err != nil {
@@ -240,6 +264,145 @@ func runWorkerMode(o options) error {
 	// Failed cells are the coordinator's to report (-strict there);
 	// a worker that delivered everything it leased exits clean.
 	return nil
+}
+
+// writePostmortemFiles renders <journal>.pm.md and <journal>.pm.csv
+// from a completed coordinator journal (the auto-run post-mortem at
+// -serve completion; the same rendering as -postmortem).
+func writePostmortemFiles(journalPath string, quiet bool) error {
+	meta, events, err := fabric.ReadJournalFile(journalPath)
+	if err != nil {
+		return err
+	}
+	pm := fabric.BuildPostmortem(meta, events)
+	mdPath, csvPath := journalPath+".pm.md", journalPath+".pm.csv"
+	if err := writeTo(mdPath, pm.WriteMarkdown); err != nil {
+		return err
+	}
+	if err := writeTo(csvPath, pm.WriteCSV); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "post-mortem: %s, %s\n", mdPath, csvPath)
+	}
+	return nil
+}
+
+// runPostmortem renders a campaign post-mortem from a coordinator
+// journal: markdown to -out (stdout by default), per-cell CSV to -csv.
+func runPostmortem(o options) error {
+	meta, events, err := fabric.ReadJournalFile(o.postmortem)
+	if err != nil {
+		return err
+	}
+	pm := fabric.BuildPostmortem(meta, events)
+	out := o.out
+	if out == "" {
+		out = "-"
+	}
+	if err := writeTo(out, pm.WriteMarkdown); err != nil {
+		return err
+	}
+	if o.csvOut != "" {
+		if err := writeTo(o.csvOut, pm.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStatusMode prints a live fleet snapshot from a running
+// coordinator: aggregate progress, per-worker telemetry rows, and the
+// in-flight cells. -watch re-polls until the campaign completes.
+func runStatusMode(o options) error {
+	client := &fabric.Client{
+		Base:   o.statusURL,
+		Worker: "status",
+		Retry:  cliutil.Retry{Attempts: 3},
+	}
+	ctx := context.Background()
+	seen := false
+	for {
+		st, err := client.Status(ctx)
+		if err != nil {
+			// The coordinator exits when its campaign completes, so a
+			// watched fleet going unreachable after a good snapshot is
+			// the expected end of the show, not a failure.
+			if seen {
+				fmt.Fprintf(os.Stderr, "contracamp: coordinator gone (campaign complete or stopped): %v\n", err)
+				return nil
+			}
+			return err
+		}
+		cells, err := client.Cells(ctx)
+		if err != nil {
+			return err
+		}
+		seen = true
+		printFleet(st, cells)
+		if st.Done >= st.Total {
+			return nil
+		}
+		if o.watch <= 0 {
+			return nil
+		}
+		time.Sleep(o.watch)
+		fmt.Println()
+	}
+}
+
+// printFleet renders one status snapshot to stdout.
+func printFleet(st *fabric.Status, cells *fabric.CellsResponse) {
+	name := st.Campaign
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Printf("campaign %q: %d/%d cells done (%d failed), %d pending, %d in flight, %d active lease(s), %d expired, %d stolen, %d duplicate(s)\n",
+		name, st.Done, st.Total, st.Failed, st.Pending, st.InFlight,
+		st.ActiveLeases, st.ExpiredLeases, st.StolenLeases, st.DuplicateResults)
+	if len(st.Workers) > 0 {
+		rows := make([][]string, 0, len(st.Workers))
+		for i := range st.Workers {
+			w := &st.Workers[i]
+			rows = append(rows, []string{
+				w.Worker,
+				strconv.Itoa(w.Leases),
+				strconv.Itoa(w.Delivered),
+				strconv.FormatInt(w.Heartbeats, 10),
+				time.Duration(w.LastSeenNs).Round(time.Millisecond).String(),
+				strconv.Itoa(w.Telemetry.CellsDone),
+				time.Duration(w.Telemetry.ElapsedNs).Round(time.Millisecond).String(),
+				strconv.FormatInt(w.Telemetry.UploadRetries, 10),
+				strconv.Itoa(w.Telemetry.Replayed),
+			})
+		}
+		cliutil.Table([]string{"worker", "leases", "delivered", "beats", "last-seen",
+			"cells-done", "cell-elapsed", "retries", "replayed"}, rows)
+	}
+	var rows [][]string
+	for i := range cells.Cells {
+		c := &cells.Cells[i]
+		if c.State != fabric.CellLeased && c.State != fabric.CellRunning {
+			continue
+		}
+		holders := make([]string, 0, 2)
+		for _, a := range c.Attempts {
+			if a.Outcome == fabric.AttemptRunning {
+				holders = append(holders, a.Worker)
+			}
+		}
+		rows = append(rows, []string{
+			strconv.Itoa(c.Index), c.Name, c.State,
+			strconv.Itoa(len(c.Attempts)), strings.Join(holders, "+"),
+		})
+		if len(rows) == 10 {
+			break
+		}
+	}
+	if len(rows) > 0 {
+		fmt.Println("in flight:")
+		cliutil.Table([]string{"cell", "scenario", "state", "attempts", "worker(s)"}, rows)
+	}
 }
 
 // applyCellTimeout lets -cell-timeout override the spec's

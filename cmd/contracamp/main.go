@@ -75,9 +75,14 @@ type options struct {
 	urlFile    string
 	leaseTTL   time.Duration
 	stealAfter time.Duration
+	journal    string
 	worker     string
 	workerDir  string
 	workerID   string
+
+	postmortem string
+	statusURL  string
+	watch      time.Duration
 
 	cellTimeout time.Duration
 	strict      bool
@@ -114,11 +119,15 @@ func main() {
 	flag.StringVar(&o.urlFile, "url-file", "", "serve mode: write the coordinator's URL to `file` once listening (for scripting with -serve :0)")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", fabricDefaultTTL, "serve mode: lease lifetime without a heartbeat; a dead worker's cells re-lease after this")
 	flag.DurationVar(&o.stealAfter, "steal-after", 0, "serve mode: min age of an in-flight cell before idle workers steal it at end of campaign (0 = lease TTL)")
+	flag.StringVar(&o.journal, "journal", "", "serve mode: append every coordinator event (grants, heartbeats, expiries, steals, results) to a JSONL `file`; a post-mortem report is written next to it at completion")
 	flag.StringVar(&o.worker, "worker", "", "run as a fabric worker against the coordinator at `url`")
 	flag.StringVar(&o.workerDir, "worker-dir", "", "worker mode: local durability `dir` (results + checkpoint; reuse it to resume after a crash)")
 	flag.StringVar(&o.workerID, "worker-id", "", "worker mode: self-chosen worker `id` (default hostname-pid)")
 	flag.DurationVar(&o.cellTimeout, "cell-timeout", -1, "per-cell wall-clock budget; exceeded cells are recorded as failed (0 forces off, -1 leaves the spec)")
 	flag.BoolVar(&o.strict, "strict", false, "exit nonzero if any scenario failed (default: failed cells carry their error in the output and the exit is clean)")
+	flag.StringVar(&o.postmortem, "postmortem", "", "render a campaign post-mortem (markdown, plus -csv) from a coordinator journal `file`")
+	flag.StringVar(&o.statusURL, "status", "", "print a live fleet snapshot from the coordinator at `url` (workers, telemetry, straggler cells)")
+	flag.DurationVar(&o.watch, "watch", 0, "status mode: refresh every `interval` until the campaign completes (0 prints once)")
 	flag.StringVar(&o.merge, "merge", "", "merge comma-separated JSONL shard `files` into one report (with -out/-csv/table)")
 	flag.StringVar(&o.aggregate, "aggregate", "", "aggregate comma-separated report JSON / JSONL `files` across seeds")
 	flag.StringVar(&o.aggCSV, "agg-csv", "", "aggregate mode: write the full mean/stddev/min/max CSV to `file`")
@@ -145,14 +154,15 @@ func main() {
 
 func run(o options) error {
 	modes := 0
-	for _, on := range []bool{o.spec != "", o.merge != "", o.aggregate != "", o.worker != ""} {
+	for _, on := range []bool{o.spec != "", o.merge != "", o.aggregate != "", o.worker != "",
+		o.postmortem != "", o.statusURL != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
 		flag.Usage()
-		return fmt.Errorf("exactly one of -spec, -merge, -aggregate, -worker is required")
+		return fmt.Errorf("exactly one of -spec, -merge, -aggregate, -worker, -postmortem, -status is required")
 	}
 	switch {
 	case o.merge != "":
@@ -161,9 +171,16 @@ func run(o options) error {
 		return runAggregate(o)
 	case o.worker != "":
 		return runWorkerMode(o)
+	case o.postmortem != "":
+		return runPostmortem(o)
+	case o.statusURL != "":
+		return runStatusMode(o)
 	}
 	if o.serve != "" {
 		return runServe(o)
+	}
+	if o.journal != "" {
+		return fmt.Errorf("-journal records coordinator events; it needs -serve")
 	}
 	if o.shard != "" && o.stream == "" {
 		return fmt.Errorf("-shard partitions a streamed run; add -stream (results merge later with -merge)")
@@ -213,11 +230,13 @@ func progress(o options) func(done, total int, out *campaign.Outcome) {
 
 // progressHooks combines the per-scenario printer with the live
 // elapsed/ETA/straggler Meter. Both print to stderr; quiet silences
-// both.
-func progressHooks(o options, total int) (started func(*campaign.Job), completed func(int, int, *campaign.Outcome)) {
+// both. tick re-prints the rate-limited live line without recording an
+// event — serve mode fires it on every worker heartbeat so the line
+// moves between completions.
+func progressHooks(o options, total int) (started func(*campaign.Job), completed func(int, int, *campaign.Outcome), tick func()) {
 	per := progress(o)
 	if o.quiet {
-		return nil, per
+		return nil, per, nil
 	}
 	meter := campaign.NewMeter(os.Stderr, total)
 	if o.progressEvery > 0 {
@@ -228,7 +247,7 @@ func progressHooks(o options, total int) (started func(*campaign.Job), completed
 			per(done, total, out)
 		}
 		meter.Completed(done, total, out)
-	}
+	}, meter.Tick
 }
 
 // applyMetricsInterval lets -metrics-interval override the spec's
@@ -259,7 +278,7 @@ func runInMemory(o options) error {
 		fmt.Fprintf(os.Stderr, "campaign %q: %d scenarios on %d workers\n",
 			spec.Name, spec.Size(), o.workers)
 	}
-	started, completed := progressHooks(o, spec.Size())
+	started, completed, _ := progressHooks(o, spec.Size())
 	report, err := campaign.Run(spec, campaign.Options{
 		Workers: o.workers, Progress: completed, Started: started,
 		CellTimeout: spec.CellTimeout(),
@@ -341,7 +360,7 @@ func runStreaming(o options) error {
 	if err != nil {
 		return err
 	}
-	started, completed := progressHooks(o, spec.Size())
+	started, completed, _ := progressHooks(o, spec.Size())
 	st, runErr := dist.Run(spec, dist.Options{
 		Workers:     o.workers,
 		Shard:       shard,

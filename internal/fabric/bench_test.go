@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"contra/internal/dist"
+)
+
+// benchCoordinator builds a coordinator with one live lease held by
+// "w1", on a fake clock so nothing ever expires mid-benchmark.
+func benchCoordinator(b *testing.B, journal *Journal) (*Coordinator, *Grant) {
+	b.Helper()
+	clk := newFakeClock()
+	c, err := New(coordSpec(), dist.NewJSONLSink(io.Discard), nil, Options{
+		LeaseTTL: time.Hour, Clock: clk.Now, Journal: journal,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, done := c.Lease("w1")
+	if done || g == nil {
+		b.Fatal("no grant")
+	}
+	return c, g
+}
+
+// BenchmarkFabricHeartbeat is the journaling-off steady-state lease
+// path — the bench gate pins it at zero allocations per op (the
+// strictly-additive observability contract).
+func BenchmarkFabricHeartbeat(b *testing.B) {
+	c, g := benchCoordinator(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Heartbeat("w1", g.LeaseID, nil) {
+			b.Fatal("lease lost")
+		}
+	}
+}
+
+// BenchmarkFabricHeartbeatJournaled is the same op with the journal
+// on: the cost of one JSON event line per heartbeat.
+func BenchmarkFabricHeartbeatJournaled(b *testing.B) {
+	c, g := benchCoordinator(b, NewJournal(io.Discard))
+	tel := &Telemetry{CellsDone: 1, ElapsedNs: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Heartbeat("w1", g.LeaseID, tel) {
+			b.Fatal("lease lost")
+		}
+	}
+}
+
+// BenchmarkFabricStatus is the read-only monitoring snapshot a poller
+// hits; it must never touch lease state.
+func BenchmarkFabricStatus(b *testing.B) {
+	c, _ := benchCoordinator(b, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := c.Status()
+		if st.ActiveLeases != 1 {
+			b.Fatal("lease lost")
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"contra/internal/cliutil"
 	"contra/internal/dist"
@@ -32,7 +33,16 @@ type Client struct {
 
 	// HTTP overrides http.DefaultClient.
 	HTTP *http.Client
+
+	// uploadRetries counts result-upload attempts beyond the first,
+	// cumulatively — the telemetry answer to "how flaky is this
+	// worker's path to the coordinator".
+	uploadRetries atomic.Int64
 }
+
+// UploadRetries reports how many result-upload attempts beyond the
+// first this client has made (transient failures survived).
+func (c *Client) UploadRetries() int64 { return c.uploadRetries.Load() }
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
@@ -42,9 +52,11 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // call POSTs req as JSON to path and decodes the response into resp,
-// classifying failures for the retry policy.
-func (c *Client) call(ctx context.Context, method, path string, req, resp any) error {
-	return c.Retry.Do(ctx, func() error {
+// classifying failures for the retry policy. attempts reports how many
+// tries the call consumed (>= 1 unless it never got off the ground).
+func (c *Client) call(ctx context.Context, method, path string, req, resp any) (attempts int, _ error) {
+	err := c.Retry.Do(ctx, func() error {
+		attempts++
 		var body io.Reader
 		if req != nil {
 			b, err := json.Marshal(req)
@@ -79,12 +91,13 @@ func (c *Client) call(ctx context.Context, method, path string, req, resp any) e
 		}
 		return nil
 	})
+	return attempts, err
 }
 
 // Lease polls the coordinator for a cell.
 func (c *Client) Lease(ctx context.Context) (*LeaseResponse, error) {
 	var resp LeaseResponse
-	if err := c.call(ctx, http.MethodPost, "/v1/lease", &leaseRequest{Worker: c.Worker}, &resp); err != nil {
+	if _, err := c.call(ctx, http.MethodPost, "/v1/lease", &leaseRequest{Worker: c.Worker}, &resp); err != nil {
 		return nil, err
 	}
 	if resp.Status == StatusLease && resp.Grant == nil {
@@ -93,12 +106,13 @@ func (c *Client) Lease(ctx context.Context) (*LeaseResponse, error) {
 	return &resp, nil
 }
 
-// Heartbeat extends a lease; ok=false means the lease is gone (the
-// cell may have been re-leased or completed elsewhere).
-func (c *Client) Heartbeat(ctx context.Context, leaseID int64) (bool, error) {
+// Heartbeat extends a lease, shipping the worker's telemetry payload
+// (may be nil); ok=false means the lease is gone (the cell may have
+// been re-leased or completed elsewhere).
+func (c *Client) Heartbeat(ctx context.Context, leaseID int64, tel *Telemetry) (bool, error) {
 	var resp heartbeatResponse
-	err := c.call(ctx, http.MethodPost, "/v1/heartbeat",
-		&heartbeatRequest{Worker: c.Worker, LeaseID: leaseID}, &resp)
+	_, err := c.call(ctx, http.MethodPost, "/v1/heartbeat",
+		&heartbeatRequest{Worker: c.Worker, LeaseID: leaseID, Telemetry: tel}, &resp)
 	if err != nil {
 		return false, err
 	}
@@ -109,8 +123,11 @@ func (c *Client) Heartbeat(ctx context.Context, leaseID int64) (bool, error) {
 // (resume re-sends).
 func (c *Client) Result(ctx context.Context, leaseID int64, rec *dist.Record) (duplicate bool, err error) {
 	var resp resultResponse
-	err = c.call(ctx, http.MethodPost, "/v1/result",
+	attempts, err := c.call(ctx, http.MethodPost, "/v1/result",
 		&resultRequest{Worker: c.Worker, LeaseID: leaseID, Record: rec}, &resp)
+	if attempts > 1 {
+		c.uploadRetries.Add(int64(attempts - 1))
+	}
 	if err != nil {
 		return false, err
 	}
@@ -120,8 +137,17 @@ func (c *Client) Result(ctx context.Context, leaseID int64, rec *dist.Record) (d
 // Status fetches the coordinator's progress snapshot.
 func (c *Client) Status(ctx context.Context) (*Status, error) {
 	var st Status
-	if err := c.call(ctx, http.MethodGet, "/v1/status", nil, &st); err != nil {
+	if _, err := c.call(ctx, http.MethodGet, "/v1/status", nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// Cells fetches every cell's lifecycle snapshot.
+func (c *Client) Cells(ctx context.Context) (*CellsResponse, error) {
+	var resp CellsResponse
+	if _, err := c.call(ctx, http.MethodGet, "/v1/cells", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }

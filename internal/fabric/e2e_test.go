@@ -93,9 +93,13 @@ func runCrashFleet(t *testing.T, spec *campaign.Spec, seed int64) (jsonOut, csvO
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Journal the whole run; its invariants are checked after the dust
+	// settles (crashes, expiries, and steals included).
+	var jbuf bytes.Buffer
 	coord, err := New(spec, sink, nil, Options{
 		LeaseTTL:   200 * time.Millisecond,
 		StealAfter: 50 * time.Millisecond,
+		Journal:    NewJournal(&jbuf),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -172,8 +176,105 @@ func runCrashFleet(t *testing.T, spec *campaign.Spec, seed int64) (jsonOut, csvO
 	if err != nil {
 		t.Fatal(err)
 	}
+	checkJournalInvariants(t, jbuf.Bytes(), st.Total)
 	jsonOut, csvOut = reportBytes(t, report)
 	return jsonOut, csvOut, crashes
+}
+
+// checkJournalInvariants replays a journal and asserts the structural
+// invariants that must hold however the run crashed, expired, and
+// stole: dense sequence numbers, monotone time, exactly one
+// result-accept per cell, result attempt counts equal to the grants
+// the cell actually consumed, concurrent leases within the cap, steal
+// counts within the cap, and expiries/duplicates only where they make
+// sense.
+func checkJournalInvariants(t *testing.T, raw []byte, totalCells int) {
+	t.Helper()
+	meta, events, err := ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if meta.Cells != totalCells || len(meta.Keys) != totalCells || len(meta.Names) != totalCells {
+		t.Fatalf("journal meta %+v, want %d cells with names and keys", meta, totalCells)
+	}
+	grants := make([]int, totalCells) // grants + steals consumed per cell
+	steals := make([]int, totalCells)
+	results := make([]int, totalCells)
+	leaseCell := map[int64]int{} // live lease id → cell
+	liveCount := make([]int, totalCells)
+	var lastSeq, lastT int64
+	for i, ev := range events {
+		if ev.Seq != lastSeq+1 {
+			t.Fatalf("event %d: seq %d not dense (prev %d)", i, ev.Seq, lastSeq)
+		}
+		if ev.TNs < lastT {
+			t.Fatalf("event %d: time went backwards (%d < %d)", i, ev.TNs, lastT)
+		}
+		lastSeq, lastT = ev.Seq, ev.TNs
+		if ev.Type != EventHeartbeat && (ev.Cell < 0 || ev.Cell >= totalCells) {
+			t.Fatalf("event %d (%s): cell %d out of range", i, ev.Type, ev.Cell)
+		}
+		switch ev.Type {
+		case EventGrant, EventSteal:
+			if results[ev.Cell] > 0 {
+				t.Fatalf("event %d: cell %d granted after its result", i, ev.Cell)
+			}
+			leaseCell[ev.Lease] = ev.Cell
+			grants[ev.Cell]++
+			liveCount[ev.Cell]++
+			if liveCount[ev.Cell] > meta.MaxLeases {
+				t.Fatalf("event %d: cell %d has %d concurrent leases, cap %d",
+					i, ev.Cell, liveCount[ev.Cell], meta.MaxLeases)
+			}
+			if ev.Attempt != grants[ev.Cell] {
+				t.Fatalf("event %d: cell %d attempt numbered %d, want %d", i, ev.Cell, ev.Attempt, grants[ev.Cell])
+			}
+			if ev.Type == EventSteal {
+				steals[ev.Cell]++
+				if ev.Holder == "" || ev.Holder == ev.Worker {
+					t.Fatalf("event %d: steal holder %q vs thief %q", i, ev.Holder, ev.Worker)
+				}
+			}
+		case EventExpire:
+			cell, ok := leaseCell[ev.Lease]
+			if !ok || cell != ev.Cell {
+				t.Fatalf("event %d: expire of unknown lease %d on cell %d", i, ev.Lease, ev.Cell)
+			}
+			delete(leaseCell, ev.Lease)
+			liveCount[ev.Cell]--
+		case EventResult:
+			results[ev.Cell]++
+			if results[ev.Cell] > 1 {
+				t.Fatalf("event %d: cell %d accepted a second result", i, ev.Cell)
+			}
+			if ev.Attempts != grants[ev.Cell] {
+				t.Fatalf("event %d: cell %d result reports %d attempts, journal granted %d",
+					i, ev.Cell, ev.Attempts, grants[ev.Cell])
+			}
+			if ev.Key != meta.Keys[ev.Cell] {
+				t.Fatalf("event %d: cell %d result key %q, meta says %q", i, ev.Cell, ev.Key, meta.Keys[ev.Cell])
+			}
+			// Acceptance releases every lease on the cell.
+			for id, cell := range leaseCell {
+				if cell == ev.Cell {
+					delete(leaseCell, id)
+				}
+			}
+			liveCount[ev.Cell] = 0
+		case EventDuplicate:
+			if results[ev.Cell] == 0 {
+				t.Fatalf("event %d: duplicate for cell %d before any result", i, ev.Cell)
+			}
+		}
+	}
+	for cell := 0; cell < totalCells; cell++ {
+		if results[cell] != 1 {
+			t.Errorf("cell %d has %d result-accepted events, want exactly 1", cell, results[cell])
+		}
+		if steals[cell] > meta.MaxLeases {
+			t.Errorf("cell %d stolen %d times, cap %d", cell, steals[cell], meta.MaxLeases)
+		}
+	}
 }
 
 // TestWorkerResendsCheckpointedResultAfterCrash pins the local resume

@@ -22,6 +22,16 @@
 //     the merged bytes are identical to a single-process run whatever
 //     crashed, stole, or retried along the way.
 //
+// The fabric is also observable end to end: every state transition
+// (grant, steal, heartbeat, expiry, result, duplicate, timeout) can be
+// appended to a Journal, per-cell lifecycle state machines (pending →
+// leased → running → done, with full attempt history) are kept in
+// memory and served at GET /v1/cells, heartbeats carry worker
+// telemetry surfaced in GET /v1/status, and a Postmortem renders the
+// journal into a queue-wait/run-time, straggler, and steal-efficacy
+// report. All of it is strictly additive: with no Journal configured
+// the lease path allocates and emits nothing extra.
+//
 // Time never advances on its own inside the Coordinator: every state
 // transition (expiry sweep, steal eligibility) happens on a request,
 // against an injectable clock — which is what lets the fault tests run
@@ -30,6 +40,8 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,6 +59,25 @@ const DefaultLeaseTTL = 10 * time.Second
 // TTL: half the TTL, so reassignment happens within two missed
 // heartbeat intervals of a worker dying.
 func HeartbeatInterval(ttl time.Duration) time.Duration { return ttl / 2 }
+
+// Telemetry is the worker payload riding every heartbeat: where this
+// worker's wall-clock is going, so a stalled fleet can be read from
+// /v1/status instead of ssh'ing into worker boxes.
+type Telemetry struct {
+	// CellsDone is how many cells this worker incarnation has
+	// delivered (run or re-sent).
+	CellsDone int `json:"cells_done"`
+	// ElapsedNs is how long the worker has been running its current
+	// cell; 0 when idle.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// UploadRetries counts result-upload attempts beyond the first
+	// (transient coordinator failures survived so far).
+	UploadRetries int64 `json:"upload_retries"`
+	// Replayed is how many locally-durable results this incarnation
+	// re-sent from its durability dir at startup instead of re-running
+	// (the crash/resume path).
+	Replayed int `json:"replayed"`
+}
 
 // Options tunes a Coordinator.
 type Options struct {
@@ -66,6 +97,11 @@ type Options struct {
 	// Clock overrides time.Now (fault tests drive a fake clock).
 	Clock func() time.Time
 
+	// Journal, when set, receives every coordinator state transition
+	// as one JSONL event. Nil keeps the lease path exactly as cheap as
+	// it was without journaling (no event structs are even built).
+	Journal *Journal
+
 	// Started, when set, fires under the coordinator lock whenever a
 	// cell is leased (campaign.Options.Started shape — feeds the
 	// progress Meter from coordinator state).
@@ -75,6 +111,11 @@ type Options struct {
 	// cell's first result is accepted (campaign.Options.Progress
 	// shape).
 	Progress func(done, total int, o *campaign.Outcome)
+
+	// Beat, when set, fires under the coordinator lock on every
+	// heartbeat — the seam that keeps a live fleet progress line
+	// updating between (possibly minutes-apart) cell completions.
+	Beat func()
 }
 
 func (o Options) leaseTTL() time.Duration {
@@ -106,17 +147,46 @@ type lease struct {
 	granted time.Time
 	expires time.Time
 	stolen  bool
+	attempt int // index into cell.attempts
+}
+
+// Attempt outcomes, the terminal states of one lease's slice of a
+// cell's history.
+const (
+	AttemptRunning    = "running"    // lease live, no result yet
+	AttemptExpired    = "expired"    // lease died of heartbeat silence
+	AttemptDelivered  = "delivered"  // this lease's worker delivered the accepted result
+	AttemptSuperseded = "superseded" // another delivery finished the cell first
+)
+
+// attempt is one grant's entry in a cell's lifecycle history.
+type attempt struct {
+	worker  string
+	leaseID int64
+	granted time.Time
+	stolen  bool
+	beats   int
+	outcome string
 }
 
 // cell is one unit of campaign work: a scenario plus its expansion
 // index. A cell is pending (no leases), in flight (>= 1 lease), or
-// done; expired leases silently return it to pending.
+// done; expired leases silently return it to pending. attempts is the
+// cell's full lifecycle history — one entry per grant, kept forever,
+// which is what /v1/cells and the post-mortem read.
 type cell struct {
 	job     campaign.Job
 	key     string
 	done    bool
 	leases  map[int64]*lease
 	expired int // leases lost to expiry, for Status
+
+	attempts    []attempt
+	firstGrant  time.Time
+	doneAt      time.Time
+	deliveredBy string
+	failed      bool
+	timeout     bool
 }
 
 // oldestLease returns the earliest-granted live lease, or nil.
@@ -131,20 +201,38 @@ func (c *cell) oldestLease() *lease {
 	return oldest
 }
 
+// workerInfo is the coordinator's view of one worker id: lease count,
+// last contact, and the telemetry its heartbeats reported. Allocated
+// once on first contact, updated in place after that, so the
+// steady-state heartbeat path stays allocation-free.
+type workerInfo struct {
+	last      time.Time
+	beats     int64
+	leases    int
+	delivered int
+	tel       Telemetry
+	hasTel    bool
+}
+
 // Coordinator owns the authoritative campaign state: the cell table,
-// the lease table, and the deduplicated result stream. All methods are
-// safe for concurrent use; expiry is swept lazily at the head of every
-// call, so tests can drive the full fault machinery through the
-// injected clock alone.
+// the lease table, the per-worker telemetry table, and the
+// deduplicated result stream. All methods are safe for concurrent
+// use. Expiry is swept lazily at the head of every state-changing
+// call (Lease, Heartbeat, Result) — and only those: Status and Cells
+// are pure reads, so a monitoring poller can never perturb
+// lease-expiry timing.
 type Coordinator struct {
 	opts   Options
 	name   string
 	cellNs int64 // spec-level per-cell wall-clock budget, shipped in grants
 
 	mu       sync.Mutex
+	start    time.Time
 	cells    []*cell
 	byKey    map[string]*cell
 	leases   map[int64]*lease
+	workers  map[string]*workerInfo
+	journal  *Journal
 	sink     *dist.DedupSink
 	nextID   int64
 	done     int
@@ -179,19 +267,42 @@ func New(spec *campaign.Spec, sink dist.Sink, alreadyDone map[string]bool, opts 
 		opts:     opts,
 		name:     spec.Name,
 		cellNs:   spec.CellTimeoutNs,
+		start:    opts.Clock(),
 		byKey:    make(map[string]*cell, len(jobs)),
 		leases:   make(map[int64]*lease),
+		workers:  make(map[string]*workerInfo),
+		journal:  opts.Journal,
 		sink:     dist.NewDedupSink(sink, alreadyDone),
 		finished: make(chan struct{}),
 	}
+	var preDone []int
 	for _, j := range jobs {
 		cl := &cell{job: j, key: j.Scenario.Key(), leases: make(map[int64]*lease)}
 		if alreadyDone[cl.key] {
 			cl.done = true
 			c.done++
+			preDone = append(preDone, j.Index)
 		}
 		c.cells = append(c.cells, cl)
 		c.byKey[cl.key] = cl
+	}
+	if c.journal != nil {
+		names := make([]string, len(c.cells))
+		keys := make([]string, len(c.cells))
+		for i, cl := range c.cells {
+			names[i] = cl.job.Scenario.Name
+			keys[i] = cl.key
+		}
+		c.journal.meta(JournalMeta{
+			Campaign:     c.name,
+			Cells:        len(c.cells),
+			LeaseTTLNs:   int64(opts.leaseTTL()),
+			StealAfterNs: int64(opts.stealAfter()),
+			MaxLeases:    opts.maxLeases(),
+			Names:        names,
+			Keys:         keys,
+			PreDone:      preDone,
+		})
 	}
 	if c.done == len(c.cells) {
 		close(c.finished)
@@ -214,22 +325,53 @@ type Grant struct {
 	CellNs   int64              `json:"cell_timeout_ns,omitempty"`
 }
 
+// workerLocked returns worker's info row, creating it on first
+// contact, and stamps the contact time. Callers hold mu.
+func (c *Coordinator) workerLocked(worker string, now time.Time) *workerInfo {
+	w, ok := c.workers[worker]
+	if !ok {
+		w = &workerInfo{}
+		c.workers[worker] = w
+	}
+	w.last = now
+	return w
+}
+
 // sweep drops every expired lease; a cell stripped of its last lease
-// returns to pending. Callers hold mu.
+// returns to pending. Expiries are journaled in lease-id order so a
+// fake-clock run's journal is byte-deterministic. Callers hold mu.
 func (c *Coordinator) sweep(now time.Time) {
-	for id, l := range c.leases {
-		if now.Before(l.expires) {
-			continue
+	var dead []*lease
+	for _, l := range c.leases {
+		if !now.Before(l.expires) {
+			dead = append(dead, l)
 		}
-		delete(c.leases, id)
-		delete(l.cell.leases, id)
+	}
+	if len(dead) > 1 {
+		sort.Slice(dead, func(i, j int) bool { return dead[i].id < dead[j].id })
+	}
+	for _, l := range dead {
+		delete(c.leases, l.id)
+		delete(l.cell.leases, l.id)
 		l.cell.expired++
+		l.cell.attempts[l.attempt].outcome = AttemptExpired
 		c.expired++
+		if w, ok := c.workers[l.worker]; ok {
+			w.leases--
+		}
+		if c.journal != nil {
+			c.journal.event(JournalEvent{
+				Type: EventExpire, TNs: now.UnixNano(),
+				Cell: l.cell.job.Index, Worker: l.worker, Lease: l.id, Attempt: l.attempt + 1,
+			})
+		}
 	}
 }
 
-// grantLocked creates a lease on cl for worker. Callers hold mu.
-func (c *Coordinator) grantLocked(cl *cell, worker string, now time.Time, stolen bool) *lease {
+// grantLocked creates a lease on cl for worker. For steals, holder
+// names the straggler whose exclusivity is being broken. Callers hold
+// mu.
+func (c *Coordinator) grantLocked(cl *cell, worker string, now time.Time, stolen bool, holder string) *lease {
 	c.nextID++
 	l := &lease{
 		id:      c.nextID,
@@ -238,11 +380,30 @@ func (c *Coordinator) grantLocked(cl *cell, worker string, now time.Time, stolen
 		granted: now,
 		expires: now.Add(c.opts.leaseTTL()),
 		stolen:  stolen,
+		attempt: len(cl.attempts),
+	}
+	cl.attempts = append(cl.attempts, attempt{
+		worker: worker, leaseID: l.id, granted: now, stolen: stolen, outcome: AttemptRunning,
+	})
+	if cl.firstGrant.IsZero() {
+		cl.firstGrant = now
 	}
 	c.leases[l.id] = l
 	cl.leases[l.id] = l
+	c.workerLocked(worker, now).leases++
 	if stolen {
 		c.stolen++
+	}
+	if c.journal != nil {
+		typ := EventGrant
+		if stolen {
+			typ = EventSteal
+		}
+		c.journal.event(JournalEvent{
+			Type: typ, TNs: now.UnixNano(),
+			Cell: cl.job.Index, Worker: worker, Lease: l.id,
+			Attempt: len(cl.attempts), Holder: holder,
+		})
 	}
 	if c.opts.Started != nil {
 		job := cl.job
@@ -264,6 +425,7 @@ func (c *Coordinator) Lease(worker string) (*Grant, bool) {
 	defer c.mu.Unlock()
 	now := c.opts.Clock()
 	c.sweep(now)
+	c.workerLocked(worker, now)
 	if c.done == len(c.cells) {
 		return nil, true
 	}
@@ -273,7 +435,7 @@ func (c *Coordinator) Lease(worker string) (*Grant, bool) {
 		if cl.done || len(cl.leases) > 0 {
 			continue
 		}
-		return c.wireGrant(c.grantLocked(cl, worker, now, false)), false
+		return c.wireGrant(c.grantLocked(cl, worker, now, false, "")), false
 	}
 	// Nothing pending: steal from the longest-running straggler.
 	var victim *cell
@@ -301,7 +463,8 @@ func (c *Coordinator) Lease(worker string) (*Grant, bool) {
 		}
 	}
 	if victim != nil {
-		return c.wireGrant(c.grantLocked(victim, worker, now, true)), false
+		holder := victim.oldestLease().worker
+		return c.wireGrant(c.grantLocked(victim, worker, now, true, holder)), false
 	}
 	return nil, false
 }
@@ -321,21 +484,41 @@ func (c *Coordinator) wireGrant(l *lease) *Grant {
 	}
 }
 
-// Heartbeat extends worker's lease, reporting whether the lease is
-// still live. False tells the worker its cell has been (or will be)
-// re-leased — it may finish anyway; the result dedup makes that
-// harmless.
-func (c *Coordinator) Heartbeat(worker string, leaseID int64) bool {
+// Heartbeat extends worker's lease, folds the reported telemetry into
+// the worker table, and reports whether the lease is still live.
+// False tells the worker its cell has been (or will be) re-leased —
+// it may finish anyway; the result dedup makes that harmless. tel may
+// be nil (an old worker binary): the beat still counts, the telemetry
+// row just keeps its last value.
+func (c *Coordinator) Heartbeat(worker string, leaseID int64, tel *Telemetry) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.opts.Clock()
 	c.sweep(now)
-	l, ok := c.leases[leaseID]
-	if !ok || l.worker != worker {
-		return false
+	w := c.workerLocked(worker, now)
+	w.beats++
+	if tel != nil {
+		w.tel = *tel
+		w.hasTel = true
 	}
-	l.expires = now.Add(c.opts.leaseTTL())
-	return true
+	l, ok := c.leases[leaseID]
+	live := ok && l.worker == worker
+	cellIdx := -1
+	if live {
+		l.expires = now.Add(c.opts.leaseTTL())
+		l.cell.attempts[l.attempt].beats++
+		cellIdx = l.cell.job.Index
+	}
+	if c.journal != nil {
+		c.journal.event(JournalEvent{
+			Type: EventHeartbeat, TNs: now.UnixNano(),
+			Cell: cellIdx, Worker: worker, Lease: leaseID, Live: live, Telemetry: tel,
+		})
+	}
+	if c.opts.Beat != nil {
+		c.opts.Beat()
+	}
+	return live
 }
 
 // Result accepts one cell result from a worker. Delivery is
@@ -358,12 +541,25 @@ func (c *Coordinator) Result(worker string, leaseID int64, rec *dist.Record) (du
 		return false, fmt.Errorf("fabric: key %q delivered at index %d, campaign expands it at %d",
 			rec.Key, rec.Index, cl.job.Index)
 	}
+	w := c.workerLocked(worker, now)
+	var own *lease
 	if l, ok := c.leases[leaseID]; ok && l.worker == worker && l.cell == cl {
-		delete(c.leases, leaseID)
-		delete(cl.leases, leaseID)
+		own = l
+		delete(c.leases, l.id)
+		delete(cl.leases, l.id)
+		w.leases--
 	}
 	if cl.done {
+		if own != nil {
+			cl.attempts[own.attempt].outcome = AttemptSuperseded
+		}
 		c.dups++
+		if c.journal != nil {
+			c.journal.event(JournalEvent{
+				Type: EventDuplicate, TNs: now.UnixNano(),
+				Cell: cl.job.Index, Worker: worker, Lease: leaseID, Key: cl.key,
+			})
+		}
 		return true, nil
 	}
 	canon := &dist.Record{
@@ -378,14 +574,45 @@ func (c *Coordinator) Result(worker string, leaseID int64, rec *dist.Record) (du
 		return false, err
 	}
 	cl.done = true
+	cl.doneAt = now
+	cl.deliveredBy = worker
+	cl.failed = rec.Err != ""
+	cl.timeout = strings.HasPrefix(rec.Err, campaign.ErrCellTimeout)
+	if own != nil {
+		cl.attempts[own.attempt].outcome = AttemptDelivered
+	}
 	// Any other lease on this cell (a straggler or a thief) is moot.
-	for id := range cl.leases {
+	for id, l := range cl.leases {
+		cl.attempts[l.attempt].outcome = AttemptSuperseded
+		if lw, ok := c.workers[l.worker]; ok {
+			lw.leases--
+		}
 		delete(c.leases, id)
 		delete(cl.leases, id)
 	}
+	w.delivered++
 	c.done++
 	if rec.Err != "" {
 		c.failed++
+	}
+	if c.journal != nil {
+		var waitNs, runNs int64
+		if !cl.firstGrant.IsZero() {
+			waitNs = cl.firstGrant.Sub(c.start).Nanoseconds()
+			runNs = now.Sub(cl.firstGrant).Nanoseconds()
+		}
+		c.journal.event(JournalEvent{
+			Type: EventResult, TNs: now.UnixNano(),
+			Cell: cl.job.Index, Worker: worker, Lease: leaseID, Key: cl.key,
+			Failed: cl.failed, Timeout: cl.timeout,
+			WaitNs: waitNs, RunNs: runNs, Attempts: len(cl.attempts),
+		})
+		if cl.timeout {
+			c.journal.event(JournalEvent{
+				Type: EventTimeout, TNs: now.UnixNano(),
+				Cell: cl.job.Index, Worker: worker,
+			})
+		}
 	}
 	if c.opts.Progress != nil {
 		c.opts.Progress(c.done, len(c.cells), &campaign.Outcome{
@@ -398,25 +625,41 @@ func (c *Coordinator) Result(worker string, leaseID int64, rec *dist.Record) (du
 	return false, nil
 }
 
-// Status is a point-in-time snapshot of coordinator state.
-type Status struct {
-	Campaign         string `json:"campaign,omitempty"`
-	Total            int    `json:"total"`
-	Done             int    `json:"done"`
-	Failed           int    `json:"failed"`
-	Pending          int    `json:"pending"`
-	InFlight         int    `json:"in_flight"`
-	ActiveLeases     int    `json:"active_leases"`
-	ExpiredLeases    int    `json:"expired_leases"`
-	StolenLeases     int    `json:"stolen_leases"`
-	DuplicateResults int    `json:"duplicate_results"`
+// WorkerStatus is one worker's row in Status: coordinator-side lease
+// accounting plus the worker's own heartbeat telemetry.
+type WorkerStatus struct {
+	Worker     string    `json:"worker"`
+	Leases     int       `json:"leases"`
+	Delivered  int       `json:"delivered"`
+	Heartbeats int64     `json:"heartbeats"`
+	LastSeenNs int64     `json:"last_seen_ns"` // age of the last contact
+	Telemetry  Telemetry `json:"telemetry"`
 }
 
-// Status sweeps expiry and snapshots progress.
+// Status is a point-in-time snapshot of coordinator state.
+type Status struct {
+	Campaign         string         `json:"campaign,omitempty"`
+	Total            int            `json:"total"`
+	Done             int            `json:"done"`
+	Failed           int            `json:"failed"`
+	Pending          int            `json:"pending"`
+	InFlight         int            `json:"in_flight"`
+	ActiveLeases     int            `json:"active_leases"`
+	ExpiredLeases    int            `json:"expired_leases"`
+	StolenLeases     int            `json:"stolen_leases"`
+	DuplicateResults int            `json:"duplicate_results"`
+	Workers          []WorkerStatus `json:"workers,omitempty"`
+}
+
+// Status snapshots progress without touching lease state: it runs no
+// expiry sweep, so a monitoring poller hammering GET /v1/status can
+// never shift when a lease actually dies (sweeps happen on Lease,
+// Heartbeat, and Result only). A lease past its TTL therefore still
+// counts as active here until the next state-changing call notices it.
 func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.sweep(c.opts.Clock())
+	now := c.opts.Clock()
 	st := Status{
 		Campaign:         c.name,
 		Total:            len(c.cells),
@@ -436,7 +679,114 @@ func (c *Coordinator) Status() Status {
 			st.Pending++
 		}
 	}
+	if len(c.workers) > 0 {
+		names := make([]string, 0, len(c.workers))
+		for name := range c.workers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		st.Workers = make([]WorkerStatus, 0, len(names))
+		for _, name := range names {
+			w := c.workers[name]
+			st.Workers = append(st.Workers, WorkerStatus{
+				Worker:     name,
+				Leases:     w.leases,
+				Delivered:  w.delivered,
+				Heartbeats: w.beats,
+				LastSeenNs: now.Sub(w.last).Nanoseconds(),
+				Telemetry:  w.tel,
+			})
+		}
+	}
 	return st
+}
+
+// Cell lifecycle states, as served by Cells.
+const (
+	CellPending = "pending" // no live lease
+	CellLeased  = "leased"  // granted, no heartbeat yet
+	CellRunning = "running" // granted and heartbeating
+	CellDone    = "done"    // result accepted
+)
+
+// AttemptStatus is one entry of a cell's lifecycle history.
+type AttemptStatus struct {
+	Worker     string `json:"worker"`
+	Lease      int64  `json:"lease"`
+	GrantedNs  int64  `json:"granted_ns"` // since coordinator start
+	Stolen     bool   `json:"stolen,omitempty"`
+	Heartbeats int    `json:"heartbeats"`
+	Outcome    string `json:"outcome"`
+}
+
+// CellStatus is one cell's lifecycle snapshot: its state machine
+// position, full attempt history, and — once done — where its
+// wall-clock went (queue wait vs run time) and who delivered it.
+type CellStatus struct {
+	Index    int             `json:"index"`
+	Key      string          `json:"key"`
+	Name     string          `json:"name"`
+	State    string          `json:"state"`
+	Attempts []AttemptStatus `json:"attempts,omitempty"`
+	WaitNs   int64           `json:"wait_ns,omitempty"` // pending before the first grant
+	RunNs    int64           `json:"run_ns,omitempty"`  // first grant to acceptance (done cells)
+	Worker   string          `json:"worker,omitempty"`  // delivered by
+	Expired  int             `json:"expired,omitempty"` // leases lost to expiry
+	Failed   bool            `json:"failed,omitempty"`
+	Timeout  bool            `json:"timeout,omitempty"`
+}
+
+// Cells snapshots every cell's lifecycle, in expansion order. Like
+// Status it is a pure read: no sweep, no state change.
+func (c *Coordinator) Cells() []CellStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CellStatus, len(c.cells))
+	for i, cl := range c.cells {
+		cs := CellStatus{
+			Index:   cl.job.Index,
+			Key:     cl.key,
+			Name:    cl.job.Scenario.Name,
+			State:   CellPending,
+			Expired: cl.expired,
+			Failed:  cl.failed,
+			Timeout: cl.timeout,
+			Worker:  cl.deliveredBy,
+		}
+		switch {
+		case cl.done:
+			cs.State = CellDone
+		case len(cl.leases) > 0:
+			cs.State = CellLeased
+			for _, l := range cl.leases {
+				if cl.attempts[l.attempt].beats > 0 {
+					cs.State = CellRunning
+					break
+				}
+			}
+		}
+		if !cl.firstGrant.IsZero() {
+			cs.WaitNs = cl.firstGrant.Sub(c.start).Nanoseconds()
+		}
+		if cl.done && !cl.firstGrant.IsZero() {
+			cs.RunNs = cl.doneAt.Sub(cl.firstGrant).Nanoseconds()
+		}
+		if len(cl.attempts) > 0 {
+			cs.Attempts = make([]AttemptStatus, len(cl.attempts))
+			for ai, a := range cl.attempts {
+				cs.Attempts[ai] = AttemptStatus{
+					Worker:     a.worker,
+					Lease:      a.leaseID,
+					GrantedNs:  a.granted.Sub(c.start).Nanoseconds(),
+					Stolen:     a.stolen,
+					Heartbeats: a.beats,
+					Outcome:    a.outcome,
+				}
+			}
+		}
+		out[i] = cs
+	}
+	return out
 }
 
 // Done returns a channel closed when every cell has a result.

@@ -113,7 +113,7 @@ func TestExpiredLeaseReassignedWithinTwoHeartbeatIntervals(t *testing.T) {
 	// One heartbeat interval in: w1's last-ever heartbeat. The lease is
 	// alive, so the cell is not up for grabs (w2 gets cell 1, not 0).
 	clk.Advance(hb)
-	if !c.Heartbeat("w1", g.LeaseID) {
+	if !c.Heartbeat("w1", g.LeaseID, nil) {
 		t.Fatal("live lease refused a heartbeat")
 	}
 	g2 := mustLease(t, c, "w2")
@@ -122,7 +122,7 @@ func TestExpiredLeaseReassignedWithinTwoHeartbeatIntervals(t *testing.T) {
 	}
 	// One interval later w1 has missed one heartbeat — not yet expired.
 	clk.Advance(hb)
-	if !c.Heartbeat("w2", g2.LeaseID) {
+	if !c.Heartbeat("w2", g2.LeaseID, nil) {
 		t.Fatal("w2 heartbeat refused")
 	}
 	if g3 := mustLease(t, c, "w3"); g3.Index != 2 {
@@ -131,14 +131,14 @@ func TestExpiredLeaseReassignedWithinTwoHeartbeatIntervals(t *testing.T) {
 	// Two heartbeat intervals after w1's last heartbeat, its lease is
 	// expired and the very next asking worker inherits cell 0.
 	clk.Advance(hb)
-	if !c.Heartbeat("w2", g2.LeaseID) {
+	if !c.Heartbeat("w2", g2.LeaseID, nil) {
 		t.Fatal("w2 heartbeat refused")
 	}
 	g4 := mustLease(t, c, "w4")
 	if g4.Index != 0 {
 		t.Fatalf("expired cell not reassigned: w4 got index %d, want 0", g4.Index)
 	}
-	if c.Heartbeat("w1", g.LeaseID) {
+	if c.Heartbeat("w1", g.LeaseID, nil) {
 		t.Fatal("expired lease accepted a heartbeat")
 	}
 	if st := c.Status(); st.ExpiredLeases != 1 {
@@ -153,7 +153,7 @@ func TestHeartbeatKeepsLeaseAliveIndefinitely(t *testing.T) {
 	g := mustLease(t, c, "w1")
 	for i := 0; i < 10; i++ {
 		clk.Advance(HeartbeatInterval(ttl))
-		if !c.Heartbeat("w1", g.LeaseID) {
+		if !c.Heartbeat("w1", g.LeaseID, nil) {
 			t.Fatalf("lease died despite heartbeats (interval %d)", i)
 		}
 	}

@@ -17,9 +17,10 @@ import (
 //	POST /v1/lease     {"worker":w}                → {"status":"lease","grant":{…}}
 //	                                              | {"status":"wait","retry_ns":n}
 //	                                              | {"status":"done"}
-//	POST /v1/heartbeat {"worker":w,"lease_id":id} → {"ok":bool}
+//	POST /v1/heartbeat {"worker":w,"lease_id":id,"telemetry":{…}} → {"ok":bool}
 //	POST /v1/result    {"worker":w,"lease_id":id,"record":{…}} → {"duplicate":bool}
 //	GET  /v1/status                               → Status
+//	GET  /v1/cells                                → CellsResponse
 //
 // 4xx responses mark permanent protocol errors (malformed request,
 // unknown cell key); 5xx responses are transient (a sink write failed)
@@ -44,8 +45,9 @@ type LeaseResponse struct {
 }
 
 type heartbeatRequest struct {
-	Worker  string `json:"worker"`
-	LeaseID int64  `json:"lease_id"`
+	Worker    string     `json:"worker"`
+	LeaseID   int64      `json:"lease_id"`
+	Telemetry *Telemetry `json:"telemetry,omitempty"`
 }
 
 type heartbeatResponse struct {
@@ -60,6 +62,14 @@ type resultRequest struct {
 
 type resultResponse struct {
 	Duplicate bool `json:"duplicate"`
+}
+
+// CellsResponse is the wire shape of GET /v1/cells: every cell's
+// lifecycle snapshot, in expansion order.
+type CellsResponse struct {
+	Campaign string       `json:"campaign,omitempty"`
+	Total    int          `json:"total"`
+	Cells    []CellStatus `json:"cells"`
 }
 
 // Handler returns the coordinator's HTTP API.
@@ -85,7 +95,7 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, &heartbeatResponse{OK: c.Heartbeat(req.Worker, req.LeaseID)})
+		writeJSON(w, &heartbeatResponse{OK: c.Heartbeat(req.Worker, req.LeaseID, req.Telemetry)})
 	})
 	mux.HandleFunc("POST /v1/result", func(w http.ResponseWriter, r *http.Request) {
 		var req resultRequest
@@ -110,6 +120,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
 		st := c.Status()
 		writeJSON(w, &st)
+	})
+	mux.HandleFunc("GET /v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, &CellsResponse{Campaign: c.name, Total: len(c.cells), Cells: c.Cells()})
 	})
 	return mux
 }

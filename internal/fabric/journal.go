@@ -1,0 +1,213 @@
+package fabric
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JournalVersion is the schema version stamped into every journal's
+// meta line. Bump it when a line shape changes incompatibly;
+// scripts/journalcheck.go refuses versions it does not know.
+const JournalVersion = 1
+
+// Journal event types, one per coordinator state transition. Every
+// event line carries a monotonic sequence number and an
+// injectable-clock timestamp, so a fake-clock test run produces
+// byte-identical journals and a real run totally orders the fleet's
+// history without trusting worker clocks.
+const (
+	EventMeta      = "meta"      // first line: schema + campaign shape
+	EventGrant     = "grant"     // a pending cell leased to a worker
+	EventSteal     = "steal"     // an in-flight cell leased to a second worker
+	EventHeartbeat = "heartbeat" // a worker checked in (with telemetry)
+	EventExpire    = "expire"    // a lease died of heartbeat silence
+	EventResult    = "result"    // a cell result accepted into the stream
+	EventDuplicate = "duplicate" // a delivery for an already-done cell, dropped
+	EventTimeout   = "timeout"   // the accepted result was a cell-timeout failure
+)
+
+// JournalMeta is the journal's first line: enough campaign shape that
+// a post-mortem needs no spec file — per-cell names and keys indexed
+// by expansion index, the timing knobs in force, and which cells a
+// resumed coordinator started with already done.
+type JournalMeta struct {
+	Type         string   `json:"type"` // EventMeta
+	V            int      `json:"v"`
+	Campaign     string   `json:"campaign,omitempty"`
+	Cells        int      `json:"cells"`
+	LeaseTTLNs   int64    `json:"lease_ttl_ns"`
+	StealAfterNs int64    `json:"steal_after_ns"`
+	MaxLeases    int      `json:"max_leases"`
+	Names        []string `json:"names"`
+	Keys         []string `json:"keys"`
+	PreDone      []int    `json:"pre_done,omitempty"` // expansion indices done at start (resume)
+}
+
+// JournalEvent is every non-meta journal line. Type decides which of
+// the optional fields are present; the always-on trio is Seq (dense,
+// starting at 1), TNs (coordinator clock, unix nanoseconds), and Cell
+// (expansion index; -1 when the event could not be tied to a cell,
+// e.g. a heartbeat for a lease that no longer exists).
+type JournalEvent struct {
+	Type string `json:"type"`
+	Seq  int64  `json:"seq"`
+	TNs  int64  `json:"t_ns"`
+	Cell int    `json:"cell"`
+
+	Worker  string `json:"worker,omitempty"`
+	Lease   int64  `json:"lease,omitempty"`
+	Attempt int    `json:"attempt,omitempty"` // grant/steal/expire: 1-based attempt number
+	Holder  string `json:"holder,omitempty"`  // steal: the straggler losing exclusivity
+
+	Live      bool       `json:"live,omitempty"`      // heartbeat: the lease was still held
+	Telemetry *Telemetry `json:"telemetry,omitempty"` // heartbeat: worker-reported payload
+
+	Key      string `json:"key,omitempty"`      // result: the cell's scenario key
+	Failed   bool   `json:"failed,omitempty"`   // result: the record carried an error
+	Timeout  bool   `json:"timeout,omitempty"`  // result: the error was a cell timeout
+	WaitNs   int64  `json:"wait_ns,omitempty"`  // result: pending before the first grant
+	RunNs    int64  `json:"run_ns,omitempty"`   // result: first grant to acceptance
+	Attempts int    `json:"attempts,omitempty"` // result: grants consumed (incl. steals)
+}
+
+// Journal appends coordinator events as JSONL: one meta line, then
+// one line per event, each written with a single Write so a crash
+// tears at most the final line (the same contract as dist.JSONLSink).
+// The Coordinator emits under its own lock, so Journal itself needs
+// none; the first write or encode failure is latched and returned by
+// Close — observability must never fail the campaign it observes.
+type Journal struct {
+	w   io.Writer
+	c   io.Closer
+	seq int64
+	err error
+}
+
+// NewJournal journals to w.
+func NewJournal(w io.Writer) *Journal {
+	j := &Journal{w: w}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// CreateJournal journals to a fresh file at path.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJournal(f), nil
+}
+
+// Close closes the underlying writer (when closable) and reports the
+// first emission error, if any.
+func (j *Journal) Close() error {
+	var cerr error
+	if j.c != nil {
+		cerr = j.c.Close()
+	}
+	if j.err != nil {
+		return j.err
+	}
+	return cerr
+}
+
+// meta writes the journal's first line.
+func (j *Journal) meta(m JournalMeta) {
+	m.Type = EventMeta
+	m.V = JournalVersion
+	j.write(&m)
+}
+
+// event stamps the next sequence number onto ev and appends it.
+func (j *Journal) event(ev JournalEvent) {
+	j.seq++
+	ev.Seq = j.seq
+	j.write(&ev)
+}
+
+func (j *Journal) write(v any) {
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		j.err = fmt.Errorf("fabric: encode journal line: %v", err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		j.err = fmt.Errorf("fabric: write journal line: %v", err)
+	}
+}
+
+// ReadJournal parses a journal stream back into its meta line and
+// events. A torn final line (no trailing newline — a crashed
+// coordinator) is dropped; corruption anywhere else is an error.
+func ReadJournal(r io.Reader) (*JournalMeta, []JournalEvent, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var meta *JournalMeta
+	var events []JournalEvent
+	for lineNo := 1; ; lineNo++ {
+		line, err := br.ReadBytes('\n')
+		terminated := err == nil
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var probe struct {
+				Type string `json:"type"`
+			}
+			uerr := json.Unmarshal(trimmed, &probe)
+			if uerr == nil && lineNo == 1 {
+				if probe.Type != EventMeta {
+					return nil, nil, fmt.Errorf("fabric: journal line 1 is %q, want meta", probe.Type)
+				}
+				var m JournalMeta
+				uerr = json.Unmarshal(trimmed, &m)
+				meta = &m
+			} else if uerr == nil {
+				var ev JournalEvent
+				if uerr = json.Unmarshal(trimmed, &ev); uerr == nil {
+					events = append(events, ev)
+				}
+			}
+			if uerr != nil {
+				if !terminated {
+					break // torn final line: the coordinator died mid-write
+				}
+				return nil, nil, fmt.Errorf("fabric: journal line %d: %v", lineNo, uerr)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if meta == nil {
+		return nil, nil, fmt.Errorf("fabric: journal has no meta line")
+	}
+	if meta.V != JournalVersion {
+		return nil, nil, fmt.Errorf("fabric: journal version %d, this binary reads %d", meta.V, JournalVersion)
+	}
+	return meta, events, nil
+}
+
+// ReadJournalFile reads a journal from disk.
+func ReadJournalFile(path string) (*JournalMeta, []JournalEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	meta, events, err := ReadJournal(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return meta, events, nil
+}

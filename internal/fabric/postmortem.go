@@ -1,0 +1,406 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// CellReport is one cell's post-mortem row: where its wall-clock went
+// and how many grants it burned getting there.
+type CellReport struct {
+	Index      int
+	Key        string
+	Name       string
+	Done       bool
+	PreDone    bool // done before this journal started (resume)
+	Worker     string
+	Failed     bool
+	Timeout    bool
+	WaitNs     int64
+	RunNs      int64
+	Attempts   int
+	Expiries   int
+	Steals     int
+	Duplicates int
+	Heartbeats int
+}
+
+// WorkerReport is one worker's post-mortem row.
+type WorkerReport struct {
+	Worker     string
+	Granted    int // leases received (incl. steals)
+	Stolen     int // of those, steals this worker performed
+	Delivered  int
+	Duplicates int // deliveries dropped as duplicates
+	Expiries   int // leases this worker lost to heartbeat silence
+	Heartbeats int
+	Telemetry  Telemetry // last reported payload
+	HasTel     bool
+}
+
+// StealReport is one steal's efficacy row: whether breaking the
+// holder's exclusivity actually produced the accepted result.
+type StealReport struct {
+	Index  int
+	Name   string
+	Thief  string
+	Holder string
+	TNs    int64 // journal timestamp of the steal
+	Won    bool  // the thief delivered the accepted result
+}
+
+// Postmortem is a campaign's journal folded into an attribution
+// report: per-cell queue-wait vs run-time, per-worker throughput,
+// steal efficacy, and expiry/attempt histograms.
+type Postmortem struct {
+	Meta    *JournalMeta
+	Cells   []CellReport
+	Workers []WorkerReport
+	Steals  []StealReport
+
+	// AttemptHist counts cells by grants consumed; ExpiryHist counts
+	// cells by leases lost to expiry (0-attempt cells are pre-done).
+	AttemptHist map[int]int
+	ExpiryHist  map[int]int
+
+	Results    int
+	Failed     int
+	Timeouts   int
+	Grants     int // non-stolen grants
+	StolenN    int
+	Expiries   int
+	Duplicates int
+
+	TotalWaitNs int64
+	TotalRunNs  int64
+	WastedNs    int64 // grant-to-duplicate time of dropped deliveries
+	SpanNs      int64 // first to last journal timestamp
+}
+
+// BuildPostmortem folds a parsed journal into its report. It tolerates
+// a truncated journal (crashed coordinator): cells with no result
+// event simply report as not done.
+func BuildPostmortem(meta *JournalMeta, events []JournalEvent) *Postmortem {
+	pm := &Postmortem{
+		Meta:        meta,
+		Cells:       make([]CellReport, meta.Cells),
+		AttemptHist: map[int]int{},
+		ExpiryHist:  map[int]int{},
+	}
+	for i := range pm.Cells {
+		pm.Cells[i].Index = i
+		if i < len(meta.Keys) {
+			pm.Cells[i].Key = meta.Keys[i]
+		}
+		if i < len(meta.Names) {
+			pm.Cells[i].Name = meta.Names[i]
+		}
+	}
+	for _, idx := range meta.PreDone {
+		if idx >= 0 && idx < len(pm.Cells) {
+			pm.Cells[idx].Done = true
+			pm.Cells[idx].PreDone = true
+		}
+	}
+	workers := map[string]*WorkerReport{}
+	wk := func(name string) *WorkerReport {
+		w, ok := workers[name]
+		if !ok {
+			w = &WorkerReport{Worker: name}
+			workers[name] = w
+		}
+		return w
+	}
+	grantT := map[int64]int64{}  // lease id → grant t_ns
+	leaseW := map[int64]string{} // lease id → worker
+	var firstT, lastT int64
+	for _, ev := range events {
+		if firstT == 0 {
+			firstT = ev.TNs
+		}
+		lastT = ev.TNs
+		var cr *CellReport
+		if ev.Cell >= 0 && ev.Cell < len(pm.Cells) {
+			cr = &pm.Cells[ev.Cell]
+		}
+		switch ev.Type {
+		case EventGrant, EventSteal:
+			grantT[ev.Lease] = ev.TNs
+			leaseW[ev.Lease] = ev.Worker
+			w := wk(ev.Worker)
+			w.Granted++
+			if cr != nil {
+				cr.Attempts++
+			}
+			if ev.Type == EventSteal {
+				pm.StolenN++
+				w.Stolen++
+				if cr != nil {
+					cr.Steals++
+				}
+				pm.Steals = append(pm.Steals, StealReport{
+					Index: ev.Cell, Name: cellName(pm, ev.Cell),
+					Thief: ev.Worker, Holder: ev.Holder, TNs: ev.TNs,
+				})
+			} else {
+				pm.Grants++
+			}
+		case EventHeartbeat:
+			w := wk(ev.Worker)
+			w.Heartbeats++
+			if ev.Telemetry != nil {
+				w.Telemetry = *ev.Telemetry
+				w.HasTel = true
+			}
+			if cr != nil {
+				cr.Heartbeats++
+			}
+		case EventExpire:
+			pm.Expiries++
+			wk(ev.Worker).Expiries++
+			if cr != nil {
+				cr.Expiries++
+			}
+		case EventResult:
+			pm.Results++
+			w := wk(ev.Worker)
+			w.Delivered++
+			if cr != nil {
+				cr.Done = true
+				cr.Worker = ev.Worker
+				cr.Failed = ev.Failed
+				cr.Timeout = ev.Timeout
+				cr.WaitNs = ev.WaitNs
+				cr.RunNs = ev.RunNs
+				if ev.Attempts > 0 {
+					cr.Attempts = ev.Attempts
+				}
+			}
+			if ev.Failed {
+				pm.Failed++
+			}
+			if ev.Timeout {
+				pm.Timeouts++
+			}
+			pm.TotalWaitNs += ev.WaitNs
+			pm.TotalRunNs += ev.RunNs
+		case EventDuplicate:
+			pm.Duplicates++
+			wk(ev.Worker).Duplicates++
+			if cr != nil {
+				cr.Duplicates++
+			}
+			if t, ok := grantT[ev.Lease]; ok && ev.Lease != 0 {
+				pm.WastedNs += ev.TNs - t
+			}
+		case EventTimeout:
+			// counted via the result's Timeout flag
+		}
+	}
+	pm.SpanNs = lastT - firstT
+	for i := range pm.Steals {
+		s := &pm.Steals[i]
+		if s.Index >= 0 && s.Index < len(pm.Cells) {
+			c := &pm.Cells[s.Index]
+			s.Won = c.Done && c.Worker == s.Thief
+		}
+	}
+	for i := range pm.Cells {
+		c := &pm.Cells[i]
+		if c.PreDone {
+			continue
+		}
+		pm.AttemptHist[c.Attempts]++
+		pm.ExpiryHist[c.Expiries]++
+	}
+	names := make([]string, 0, len(workers))
+	for n := range workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pm.Workers = append(pm.Workers, *workers[n])
+	}
+	return pm
+}
+
+func cellName(pm *Postmortem, idx int) string {
+	if idx >= 0 && idx < len(pm.Cells) {
+		return pm.Cells[idx].Name
+	}
+	return ""
+}
+
+// stragglers returns the n slowest done cells by run time.
+func (pm *Postmortem) stragglers(n int) []CellReport {
+	done := make([]CellReport, 0, len(pm.Cells))
+	for _, c := range pm.Cells {
+		if c.Done && !c.PreDone {
+			done = append(done, c)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].RunNs != done[j].RunNs {
+			return done[i].RunNs > done[j].RunNs
+		}
+		return done[i].Index < done[j].Index
+	})
+	if len(done) > n {
+		done = done[:n]
+	}
+	return done
+}
+
+func pmDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func pmFlags(c *CellReport) string {
+	switch {
+	case c.Timeout:
+		return "timeout"
+	case c.Failed:
+		return "failed"
+	case c.PreDone:
+		return "pre-done"
+	case c.Done:
+		return "ok"
+	default:
+		return "incomplete"
+	}
+}
+
+// WriteMarkdown renders the post-mortem as a markdown report.
+func (pm *Postmortem) WriteMarkdown(w io.Writer) error {
+	name := pm.Meta.Campaign
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(w, "# Campaign post-mortem: %s\n\n", name)
+	fmt.Fprintf(w, "%d cells · %d results (%d failed, %d timeouts) · span %s\n\n",
+		pm.Meta.Cells, pm.Results, pm.Failed, pm.Timeouts, pmDur(pm.SpanNs))
+	fmt.Fprintf(w, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(w, "| grants | %d |\n", pm.Grants)
+	fmt.Fprintf(w, "| steals | %d |\n", pm.StolenN)
+	fmt.Fprintf(w, "| lease expiries | %d |\n", pm.Expiries)
+	fmt.Fprintf(w, "| duplicate deliveries | %d |\n", pm.Duplicates)
+	fmt.Fprintf(w, "| total queue wait | %s |\n", pmDur(pm.TotalWaitNs))
+	fmt.Fprintf(w, "| total run time | %s |\n", pmDur(pm.TotalRunNs))
+	fmt.Fprintf(w, "| duplicate work wasted | %s |\n", pmDur(pm.WastedNs))
+	if len(pm.Meta.PreDone) > 0 {
+		fmt.Fprintf(w, "| cells resumed as done | %d |\n", len(pm.Meta.PreDone))
+	}
+	fmt.Fprintln(w)
+
+	if top := pm.stragglers(10); len(top) > 0 {
+		fmt.Fprintf(w, "## Stragglers (slowest %d cells)\n\n", len(top))
+		fmt.Fprintf(w, "| cell | scenario | wait | run | attempts | expiries | worker | state |\n")
+		fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
+		for i := range top {
+			c := &top[i]
+			fmt.Fprintf(w, "| %d | %s | %s | %s | %d | %d | %s | %s |\n",
+				c.Index, c.Name, pmDur(c.WaitNs), pmDur(c.RunNs),
+				c.Attempts, c.Expiries, c.Worker, pmFlags(c))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(pm.Workers) > 0 {
+		fmt.Fprintf(w, "## Workers\n\n")
+		fmt.Fprintf(w, "| worker | granted | stolen | delivered | dup | expiries | heartbeats | throughput |\n")
+		fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|\n")
+		for i := range pm.Workers {
+			wr := &pm.Workers[i]
+			thr := "-"
+			if wr.Delivered > 0 && pm.SpanNs > 0 {
+				thr = fmt.Sprintf("%.2f cells/s", float64(wr.Delivered)/(float64(pm.SpanNs)/1e9))
+			}
+			fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %d | %d | %s |\n",
+				wr.Worker, wr.Granted, wr.Stolen, wr.Delivered,
+				wr.Duplicates, wr.Expiries, wr.Heartbeats, thr)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(pm.Steals) > 0 {
+		won := 0
+		for _, s := range pm.Steals {
+			if s.Won {
+				won++
+			}
+		}
+		fmt.Fprintf(w, "## Steal efficacy\n\n")
+		fmt.Fprintf(w, "%d steal(s), %d won (thief delivered the accepted result); duplicate work wasted %s.\n\n",
+			len(pm.Steals), won, pmDur(pm.WastedNs))
+		fmt.Fprintf(w, "| cell | scenario | thief | holder | outcome |\n|---|---|---|---|---|\n")
+		for _, s := range pm.Steals {
+			outcome := "lost"
+			if s.Won {
+				outcome = "won"
+			}
+			fmt.Fprintf(w, "| %d | %s | %s | %s | %s |\n", s.Index, s.Name, s.Thief, s.Holder, outcome)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "## Attempt histogram\n\n| attempts | cells |\n|---|---|\n")
+	writeHist(w, pm.AttemptHist)
+	fmt.Fprintf(w, "\n## Expiry histogram\n\n| expiries | cells |\n|---|---|\n")
+	writeHist(w, pm.ExpiryHist)
+	return nil
+}
+
+func writeHist(w io.Writer, h map[int]int) {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "| %d | %d |\n", k, h[k])
+	}
+}
+
+// WriteCSV renders one row per cell for downstream tooling (the same
+// shape the paper-figure pipeline consumes for FCT tables).
+func (pm *Postmortem) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cell,key,name,state,wait_ns,run_ns,attempts,expiries,steals,duplicates,heartbeats,worker,failed,timeout"); err != nil {
+		return err
+	}
+	for i := range pm.Cells {
+		c := &pm.Cells[i]
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%s,%t,%t\n",
+			c.Index, c.Key, csvEscape(c.Name), pmFlags(c), c.WaitNs, c.RunNs,
+			c.Attempts, c.Expiries, c.Steals, c.Duplicates, c.Heartbeats,
+			c.Worker, c.Failed, c.Timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvEscape keeps scenario names CSV-safe; campaign expansion names
+// contain no quotes, so replacing commas is sufficient.
+func csvEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' {
+			out = append(out, ';')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

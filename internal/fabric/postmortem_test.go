@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// postmortemFromScript builds the post-mortem of the scripted
+// fake-clock run (see journalScript): 4 cells, one expiry, one steal
+// won by the thief, one duplicate, one timeout failure.
+func postmortemFromScript(t *testing.T) *Postmortem {
+	t.Helper()
+	meta, events, err := ReadJournal(bytes.NewReader(journalScript(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildPostmortem(meta, events)
+}
+
+func TestPostmortemAttribution(t *testing.T) {
+	pm := postmortemFromScript(t)
+	if pm.Results != 4 || pm.Failed != 3 || pm.Timeouts != 1 {
+		t.Fatalf("totals %d results / %d failed / %d timeouts, want 4/3/1", pm.Results, pm.Failed, pm.Timeouts)
+	}
+	if pm.Grants != 5 || pm.StolenN != 1 || pm.Expiries != 1 || pm.Duplicates != 1 {
+		t.Fatalf("grants=%d steals=%d expiries=%d dups=%d, want 5/1/1/1",
+			pm.Grants, pm.StolenN, pm.Expiries, pm.Duplicates)
+	}
+	// Cell 0 burned three attempts; every cell is accounted for in the
+	// attempt histogram.
+	if pm.AttemptHist[3] != 1 || pm.AttemptHist[1] != 3 {
+		t.Fatalf("attempt histogram %v, want {1:3, 3:1}", pm.AttemptHist)
+	}
+	if pm.ExpiryHist[1] != 1 || pm.ExpiryHist[0] != 3 {
+		t.Fatalf("expiry histogram %v, want {0:3, 1:1}", pm.ExpiryHist)
+	}
+	c0 := pm.Cells[0]
+	if !c0.Done || c0.Worker != "w3" || c0.Attempts != 3 || c0.Expiries != 1 || c0.Steals != 1 || c0.Duplicates != 1 {
+		t.Fatalf("cell 0 report %+v, want w3's 3-attempt stolen delivery with 1 expiry + 1 dup", c0)
+	}
+	// The steal won: the thief (w3) delivered the accepted result. The
+	// victim's wasted duplicate time is attributed.
+	if len(pm.Steals) != 1 || !pm.Steals[0].Won || pm.Steals[0].Thief != "w3" || pm.Steals[0].Holder != "w2" {
+		t.Fatalf("steal report %+v, want w3 winning a steal from w2", pm.Steals)
+	}
+	if pm.WastedNs <= 0 {
+		t.Fatalf("WastedNs = %d, want positive (victim's duplicate delivery)", pm.WastedNs)
+	}
+	// Per-worker rows are name-sorted and balance the grant totals.
+	if len(pm.Workers) != 3 {
+		t.Fatalf("%d worker rows, want 3", len(pm.Workers))
+	}
+	granted := 0
+	for _, w := range pm.Workers {
+		granted += w.Granted
+	}
+	if granted != pm.Grants+pm.StolenN {
+		t.Fatalf("worker grants sum %d, want %d", granted, pm.Grants+pm.StolenN)
+	}
+}
+
+func TestPostmortemRendering(t *testing.T) {
+	pm := postmortemFromScript(t)
+	var md bytes.Buffer
+	if err := pm.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Campaign post-mortem: coord",
+		"## Stragglers",
+		"## Workers",
+		"## Steal efficacy",
+		"1 steal(s), 1 won",
+		"## Attempt histogram",
+		"## Expiry histogram",
+	} {
+		if !strings.Contains(md.String(), want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+	var csv bytes.Buffer
+	if err := pm.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 5 { // header + 4 cells
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "cell,key,name,state,wait_ns,run_ns,attempts") {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	// Cell 0's row carries the steal/expiry/duplicate attribution.
+	if !strings.Contains(lines[1], ",w3,") || !strings.Contains(lines[1], ",3,1,1,1,") {
+		t.Fatalf("cell 0 CSV row %q, want w3 with attempts=3 expiries=1 steals=1 dups=1", lines[1])
+	}
+}

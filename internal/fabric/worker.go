@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"contra/internal/campaign"
@@ -74,6 +75,34 @@ type WorkerStats struct {
 	Failed int
 }
 
+// workerTel accumulates what this worker incarnation reports in its
+// heartbeat telemetry: cells delivered, startup replays, and — while a
+// cell runs — when it started. The heartbeat goroutine snapshots it
+// concurrently with the main loop's updates.
+type workerTel struct {
+	mu        sync.Mutex
+	done      int
+	replayed  int
+	cellStart time.Time
+}
+
+func (t *workerTel) delivered()           { t.mu.Lock(); t.done++; t.mu.Unlock() }
+func (t *workerTel) replay()              { t.mu.Lock(); t.done++; t.replayed++; t.mu.Unlock() }
+func (t *workerTel) cell(start time.Time) { t.mu.Lock(); t.cellStart = start; t.mu.Unlock() }
+func (t *workerTel) snapshot(c *Client) *Telemetry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tel := &Telemetry{
+		CellsDone:     t.done,
+		UploadRetries: c.UploadRetries(),
+		Replayed:      t.replayed,
+	}
+	if !t.cellStart.IsZero() {
+		tel.ElapsedNs = time.Since(t.cellStart).Nanoseconds()
+	}
+	return tel
+}
+
 // RunWorker drives one worker against a coordinator until the
 // campaign completes, the context ends, or delivery permanently
 // fails. The loop is: poll for a lease, run the cell (bounded by the
@@ -113,6 +142,7 @@ func RunWorker(ctx context.Context, client *Client, opts WorkerOptions) (WorkerS
 	// (same cross-check as the shard resume path).
 	ck.Retain(func(k string) bool { _, ok := local[k]; return ok })
 
+	tel := &workerTel{}
 	logf(opts.Log, "worker %s: %d locally completed cell(s) to re-send", client.Worker, len(local))
 	for key, rec := range local {
 		dup, err := client.Result(ctx, 0, rec)
@@ -120,6 +150,7 @@ func RunWorker(ctx context.Context, client *Client, opts WorkerOptions) (WorkerS
 			return st, fmt.Errorf("fabric: re-send %s: %w", key, err)
 		}
 		st.Resent++
+		tel.replay()
 		if dup {
 			st.Duplicates++
 		}
@@ -168,6 +199,7 @@ func RunWorker(ctx context.Context, client *Client, opts WorkerOptions) (WorkerS
 				return st, fmt.Errorf("fabric: re-send %s: %w", g.Key, err)
 			}
 			st.Resent++
+			tel.replay()
 			if dup {
 				st.Duplicates++
 			}
@@ -178,7 +210,7 @@ func RunWorker(ctx context.Context, client *Client, opts WorkerOptions) (WorkerS
 		}
 		logf(opts.Log, "worker %s: lease %d cell %d %s%s",
 			client.Worker, g.LeaseID, g.Index, g.Scenario.Name, stolenTag(g.Stolen))
-		rec, err := runLeased(ctx, client, g, sink, ck, opts)
+		rec, err := runLeased(ctx, client, g, sink, ck, opts, tel)
 		if err != nil {
 			return st, err
 		}
@@ -191,6 +223,7 @@ func RunWorker(ctx context.Context, client *Client, opts WorkerOptions) (WorkerS
 			return st, fmt.Errorf("fabric: deliver %s: %w", g.Key, err)
 		}
 		st.Ran++
+		tel.delivered()
 		if dup {
 			st.Duplicates++
 		}
@@ -202,9 +235,11 @@ func RunWorker(ctx context.Context, client *Client, opts WorkerOptions) (WorkerS
 }
 
 // runLeased executes one granted cell through the campaign.Stream /
-// dist.Sink path, heartbeating until the run completes, and returns
-// the locally-durable record.
-func runLeased(ctx context.Context, client *Client, g *Grant, sink dist.Sink, ck *dist.Checkpoint, opts WorkerOptions) (*dist.Record, error) {
+// dist.Sink path, heartbeating (with telemetry) until the run
+// completes, and returns the locally-durable record.
+func runLeased(ctx context.Context, client *Client, g *Grant, sink dist.Sink, ck *dist.Checkpoint, opts WorkerOptions, tel *workerTel) (*dist.Record, error) {
+	tel.cell(time.Now())
+	defer tel.cell(time.Time{})
 	hbStop := make(chan struct{})
 	hbDone := make(chan struct{})
 	go func() {
@@ -222,7 +257,7 @@ func runLeased(ctx context.Context, client *Client, g *Grant, sink dist.Sink, ck
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				ok, err := client.Heartbeat(ctx, g.LeaseID)
+				ok, err := client.Heartbeat(ctx, g.LeaseID, tel.snapshot(client))
 				if err == nil && !ok {
 					// The lease expired from the coordinator's view (e.g.
 					// a long GC pause or partition): keep computing — the

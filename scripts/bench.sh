@@ -31,16 +31,19 @@ fi
 OUT="${1:-bench-out}"
 mkdir -p "$OUT"
 
-# Two tiers: microbenchmarks (tens to hundreds of ns per op) and the
-# whole-period / whole-fleet benchmarks (ms per op), so fixed iteration
-# counts can be chosen per tier.
+# Three tiers: microbenchmarks (tens to hundreds of ns per op), the
+# whole-period / whole-fleet benchmarks (ms per op), and the fabric
+# coordinator protocol ops, so fixed iteration counts can be chosen
+# per tier.
 MICRO='BenchmarkEventLoop|BenchmarkPacketTransit|BenchmarkProbeProcessing|BenchmarkDataForwarding'
 SLOW='BenchmarkPolicySwap|BenchmarkProbeFanoutFattree8$|BenchmarkProbeFanoutFattree8Packed'
+FABRIC='BenchmarkFabricHeartbeat$|BenchmarkFabricHeartbeatJournaled|BenchmarkFabricStatus'
 
 run_bench() { # regex, extra go-test flags...
   local regex=$1
   shift
-  go test -run='^$' -bench="$regex" -benchmem "$@" ./internal/sim ./internal/dataplane
+  go test -run='^$' -bench="$regex" -benchmem "$@" \
+    ./internal/sim ./internal/dataplane ./internal/fabric
 }
 
 # reps runs a tier in n SEPARATE test processes. Go seeds map hashing
@@ -67,11 +70,13 @@ if [ "$CHECK" = 1 ]; then
   {
     reps 3 "$MICRO" -count=1 -benchtime=500000x
     reps 3 "$SLOW" -count=1 -benchtime=20x
+    reps 3 "$FABRIC" -count=1 -benchtime=200000x
   } | tee "$OUT/bench.txt"
 elif [ "${BENCH_SHORT:-}" = "1" ]; then
   {
     run_bench "$MICRO" -count=1 -benchtime=100x
     run_bench "$SLOW" -count=1 -benchtime=5x
+    run_bench "$FABRIC" -count=1 -benchtime=100x
   } | tee "$OUT/bench.txt"
 else
   # The record mode uses the same fixed iteration counts as -check, so
@@ -81,6 +86,7 @@ else
   {
     reps 3 "$MICRO" -count=2 -benchtime=500000x
     reps 3 "$SLOW" -count=2 -benchtime=20x
+    reps 3 "$FABRIC" -count=2 -benchtime=200000x
   } | tee "$OUT/bench.txt"
 fi
 
@@ -116,14 +122,16 @@ if [ "$CHECK" = 1 ]; then
   # The zero-alloc list pins the observability-off data path:
   # DataForwarding must stay allocation-free with the trace and
   # telemetry hooks compiled in, and the traced/sampled variants must
-  # stay allocation-free in steady state (ring reuse). The maxratio
-  # bounds keep decision tracing and telemetry sampling an
-  # observability tax, not a rewrite of the hot path's cost model.
+  # stay allocation-free in steady state (ring reuse). FabricHeartbeat
+  # extends the same contract to the coordinator: with no journal
+  # configured, the steady-state lease-protocol op allocates nothing.
+  # The maxratio bounds keep decision tracing and telemetry sampling
+  # an observability tax, not a rewrite of the hot path's cost model.
   go run scripts/benchcmp.go \
     -base BENCH_PR5.json -cur "$OUT/BENCH_PR5.json" \
     -tol "${BENCH_TOL:-0.20}" \
     -maxratio 'BenchmarkProbeFanoutFattree8Packed/BenchmarkProbeFanoutFattree8=0.5,BenchmarkDataForwardingTraced/BenchmarkDataForwarding=3.0,BenchmarkDataForwardingMetrics/BenchmarkDataForwarding=3.0' \
-    -zeroalloc 'BenchmarkDataForwarding,BenchmarkDataForwardingTraced,BenchmarkDataForwardingMetrics'
+    -zeroalloc 'BenchmarkDataForwarding,BenchmarkDataForwardingTraced,BenchmarkDataForwardingMetrics,BenchmarkFabricHeartbeat'
   echo "bench gate passed against committed BENCH_PR5.json"
   exit 0
 fi

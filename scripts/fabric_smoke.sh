@@ -37,9 +37,12 @@ go build -o "$WORK/contracamp" ./cmd/contracamp
 
 # Coordinator (ephemeral port, external workers only) + 4 workers.
 # The short lease TTL keeps the kill -9 recovery fast; it cannot
-# affect output bytes, only scheduling.
+# affect output bytes, only scheduling. The run is journaled: the
+# flight recorder must be strictly additive, so the byte-compares and
+# the golden digest below hold with it on.
 "$WORK/contracamp" -spec "$SPEC" -serve 127.0.0.1:0 -workers 0 \
   -stream "$WORK/$NAME.jsonl" -url-file "$WORK/url" -lease-ttl 1s -q -notable \
+  -journal "$WORK/$NAME.journal.jsonl" \
   -out "$WORK/$NAME.fabric.json" -csv "$WORK/$NAME.fabric.csv" &
 COORD=$!
 for _ in $(seq 1 100); do [ -s "$WORK/url" ] && break; sleep 0.1; done
@@ -66,6 +69,23 @@ wait "$COORD"
 cmp "$WORK/$NAME.json" "$WORK/$NAME.fabric.json"
 cmp "$WORK/$NAME.csv" "$WORK/$NAME.fabric.csv"
 echo "fabric output is byte-identical to the single-process run"
+
+# The flight recorder: the journal must validate structurally, and the
+# auto-run post-mortem artifacts must exist and be non-empty.
+go run scripts/journalcheck.go "$WORK/$NAME.journal.jsonl"
+for ext in pm.md pm.csv; do
+  [ -s "$WORK/$NAME.journal.jsonl.$ext" ] || {
+    echo "missing post-mortem artifact $NAME.journal.jsonl.$ext" >&2; exit 1; }
+done
+grep -q '^# Campaign post-mortem' "$WORK/$NAME.journal.jsonl.pm.md"
+echo "journal validated; post-mortem artifacts present"
+
+# CI uploads the observability artifacts when FABRIC_SMOKE_OUT is set.
+if [ -n "${FABRIC_SMOKE_OUT:-}" ]; then
+  mkdir -p "$FABRIC_SMOKE_OUT"
+  cp "$WORK/$NAME.journal.jsonl" "$WORK/$NAME.journal.jsonl.pm.md" \
+     "$WORK/$NAME.journal.jsonl.pm.csv" "$FABRIC_SMOKE_OUT/"
+fi
 
 if [ "${1:-}" = "--update" ]; then
   mkdir -p "$(dirname "$GOLDEN")"

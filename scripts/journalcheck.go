@@ -1,0 +1,219 @@
+//go:build ignore
+
+// Command journalcheck validates coordinator journal JSONL files (the
+// format internal/fabric.Journal emits): a versioned meta line first,
+// then one event line per coordinator state transition with a dense
+// monotonic sequence, non-decreasing timestamps, in-range cell
+// indices, 1-based attempt numbering per cell, live-lease tracking
+// within the configured cap, and at most one result per cell whose
+// key matches the meta table. CI's fabric-smoke job runs it over the
+// journal a coordinator wrote, so schema drift fails the build
+// instead of silently breaking post-mortems.
+//
+// Usage:
+//
+//	go run scripts/journalcheck.go journal.jsonl [journal2.jsonl ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"contra/scripts/internal/jsonl"
+)
+
+type jmetaLine struct {
+	V            *int     `json:"v"`
+	Cells        *int     `json:"cells"`
+	LeaseTTLNs   int64    `json:"lease_ttl_ns"`
+	StealAfterNs int64    `json:"steal_after_ns"`
+	MaxLeases    int      `json:"max_leases"`
+	Names        []string `json:"names"`
+	Keys         []string `json:"keys"`
+	PreDone      []int    `json:"pre_done"`
+}
+
+type jeventLine struct {
+	Seq      *int64 `json:"seq"`
+	TNs      *int64 `json:"t_ns"`
+	Cell     *int   `json:"cell"`
+	Worker   string `json:"worker"`
+	Lease    int64  `json:"lease"`
+	Attempt  int    `json:"attempt"`
+	Holder   string `json:"holder"`
+	Key      string `json:"key"`
+	Attempts int    `json:"attempts"`
+}
+
+// checker accumulates cross-line state: lease and attempt tables
+// replayed from the event stream, checked against the meta line.
+type checker struct {
+	meta      *jmetaLine
+	lastSeq   int64
+	lastT     int64
+	grants    map[int]int   // cell → grants + steals consumed
+	steals    map[int]int   // cell → steal events
+	results   map[int]int   // cell → result-accepted events
+	live      map[int64]int // live lease id → cell
+	liveCells map[int]int   // cell → live lease count
+	preDone   map[int]bool
+	events    int
+}
+
+func (c *checker) cellOK(cell int) bool { return cell >= 0 && cell < *c.meta.Cells }
+
+func (c *checker) check(typ string, raw []byte) error {
+	if c.meta == nil {
+		if typ != "meta" {
+			return fmt.Errorf("first line must be meta, got %q", typ)
+		}
+		var m jmetaLine
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return err
+		}
+		switch {
+		case m.V == nil || *m.V != 1:
+			return fmt.Errorf("meta v must be 1")
+		case m.Cells == nil || *m.Cells <= 0:
+			return fmt.Errorf("meta needs cells > 0")
+		case m.LeaseTTLNs <= 0 || m.StealAfterNs <= 0:
+			return fmt.Errorf("meta needs positive lease_ttl_ns and steal_after_ns")
+		case m.MaxLeases <= 0:
+			return fmt.Errorf("meta needs max_leases > 0")
+		case len(m.Names) != *m.Cells || len(m.Keys) != *m.Cells:
+			return fmt.Errorf("meta names/keys tables must have one entry per cell")
+		}
+		c.meta = &m
+		c.grants = map[int]int{}
+		c.steals = map[int]int{}
+		c.results = map[int]int{}
+		c.live = map[int64]int{}
+		c.liveCells = map[int]int{}
+		c.preDone = map[int]bool{}
+		for _, idx := range m.PreDone {
+			if idx < 0 || idx >= *m.Cells {
+				return fmt.Errorf("pre_done index %d outside the cell table", idx)
+			}
+			c.preDone[idx] = true
+		}
+		return nil
+	}
+	if typ == "meta" {
+		return fmt.Errorf("second meta line")
+	}
+	var ev jeventLine
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		return err
+	}
+	switch {
+	case ev.Seq == nil || *ev.Seq != c.lastSeq+1:
+		return fmt.Errorf("%s seq missing or not dense (prev %d)", typ, c.lastSeq)
+	case ev.TNs == nil || *ev.TNs < c.lastT:
+		return fmt.Errorf("%s t_ns missing or out of order", typ)
+	case ev.Cell == nil:
+		return fmt.Errorf("%s line has no cell", typ)
+	}
+	c.lastSeq, c.lastT = *ev.Seq, *ev.TNs
+	c.events++
+	cell := *ev.Cell
+	switch typ {
+	case "grant", "steal":
+		switch {
+		case !c.cellOK(cell):
+			return fmt.Errorf("%s cell %d outside the cell table", typ, cell)
+		case c.preDone[cell] || c.results[cell] > 0:
+			return fmt.Errorf("%s of already-done cell %d", typ, cell)
+		case ev.Worker == "" || ev.Lease <= 0:
+			return fmt.Errorf("%s line needs a worker and a lease id", typ)
+		}
+		c.grants[cell]++
+		c.live[ev.Lease] = cell
+		c.liveCells[cell]++
+		if c.liveCells[cell] > c.meta.MaxLeases {
+			return fmt.Errorf("cell %d has %d concurrent leases, cap %d", cell, c.liveCells[cell], c.meta.MaxLeases)
+		}
+		if ev.Attempt != c.grants[cell] {
+			return fmt.Errorf("%s of cell %d numbered attempt %d, want %d", typ, cell, ev.Attempt, c.grants[cell])
+		}
+		if typ == "steal" {
+			c.steals[cell]++
+			if ev.Holder == "" || ev.Holder == ev.Worker {
+				return fmt.Errorf("steal of cell %d: holder %q vs thief %q", cell, ev.Holder, ev.Worker)
+			}
+		}
+	case "heartbeat":
+		// cell is -1 when the lease was already gone; a live heartbeat
+		// must reference a lease the journal granted.
+		if cell >= 0 {
+			if got, ok := c.live[ev.Lease]; !ok || got != cell {
+				return fmt.Errorf("heartbeat for cell %d rides unknown lease %d", cell, ev.Lease)
+			}
+		}
+	case "expire":
+		got, ok := c.live[ev.Lease]
+		if !ok || got != cell {
+			return fmt.Errorf("expire of unknown lease %d on cell %d", ev.Lease, cell)
+		}
+		delete(c.live, ev.Lease)
+		c.liveCells[cell]--
+	case "result":
+		switch {
+		case !c.cellOK(cell):
+			return fmt.Errorf("result cell %d outside the cell table", cell)
+		case c.preDone[cell]:
+			return fmt.Errorf("result for pre-done cell %d (should be a duplicate)", cell)
+		case ev.Key != c.meta.Keys[cell]:
+			return fmt.Errorf("result for cell %d carries key %q, meta says %q", cell, ev.Key, c.meta.Keys[cell])
+		case ev.Attempts != c.grants[cell]:
+			return fmt.Errorf("result for cell %d reports %d attempts, journal granted %d", cell, ev.Attempts, c.grants[cell])
+		}
+		c.results[cell]++
+		if c.results[cell] > 1 {
+			return fmt.Errorf("cell %d accepted a second result", cell)
+		}
+		// Acceptance releases every lease on the cell.
+		for id, lc := range c.live {
+			if lc == cell {
+				delete(c.live, id)
+			}
+		}
+		c.liveCells[cell] = 0
+	case "duplicate":
+		if !c.cellOK(cell) {
+			return fmt.Errorf("duplicate cell %d outside the cell table", cell)
+		}
+		if c.results[cell] == 0 && !c.preDone[cell] {
+			return fmt.Errorf("duplicate for cell %d before any result", cell)
+		}
+	case "timeout":
+		if !c.cellOK(cell) || c.results[cell] == 0 {
+			return fmt.Errorf("timeout event for cell %d without its result", cell)
+		}
+	default:
+		return fmt.Errorf("unknown type %q", typ)
+	}
+	return nil
+}
+
+func checkFile(path string) (string, error) {
+	var c checker
+	if _, err := jsonl.Walk(path, c.check); err != nil {
+		return "", err
+	}
+	if c.meta == nil {
+		return "", fmt.Errorf("no meta line")
+	}
+	done, steals := 0, 0
+	for _, n := range c.results {
+		done += n
+	}
+	for _, n := range c.steals {
+		steals += n
+	}
+	return fmt.Sprintf("%d cell(s), %d event(s), %d result(s), %d steal(s), %d pre-done",
+		*c.meta.Cells, c.events, done, steals, len(c.preDone)), nil
+}
+
+func main() {
+	jsonl.Main("journalcheck", "<journal.jsonl> [...]", checkFile)
+}
