@@ -198,8 +198,14 @@ func runFleet(ctx context.Context, o options, url string) error {
 			dir := filepath.Join(baseDir, "worker"+strconv.Itoa(i))
 			id := "local" + strconv.Itoa(i)
 			for {
-				cmd := exec.CommandContext(ctx, self,
-					"-worker", url, "-worker-dir", dir, "-worker-id", id, "-q")
+				args := []string{"-worker", url, "-worker-dir", dir, "-worker-id", id, "-q"}
+				if o.recordDir != "" {
+					// Local workers share one trace dir: cell names are
+					// unique and trace content is deterministic, so a
+					// stolen cell's re-write is byte-identical.
+					args = append(args, "-record-dir", o.recordDir)
+				}
+				cmd := exec.CommandContext(ctx, self, args...)
 				cmd.Stderr = os.Stderr
 				err := cmd.Run()
 				if err == nil || ctx.Err() != nil {
@@ -253,6 +259,7 @@ func runWorkerMode(o options) error {
 		Dir:         o.workerDir,
 		CellTimeout: workerCellTimeout(o.cellTimeout),
 		Log:         logw,
+		RecordDir:   o.recordDir,
 	})
 	if err != nil {
 		return err

@@ -48,6 +48,7 @@ import (
 	"contra/internal/cliutil"
 	"contra/internal/dist"
 	"contra/internal/figures"
+	"contra/internal/flowtrace"
 	"contra/internal/scenario"
 	"contra/internal/trace"
 )
@@ -61,6 +62,7 @@ type options struct {
 	noTable         bool
 	traceLevel      string
 	traceDir        string
+	recordDir       string
 	metricsInterval int64
 	metricsDir      string
 	figuresDir      string
@@ -107,6 +109,7 @@ func main() {
 	flag.BoolVar(&o.noTable, "notable", false, "skip the scheme-comparison table")
 	flag.StringVar(&o.traceLevel, "trace-level", "", "override the spec's trace_level (off|flows|decisions; off clears it)")
 	flag.StringVar(&o.traceDir, "trace-dir", "", "write per-scenario trace JSONL files into `dir` (in-memory runs only)")
+	flag.StringVar(&o.recordDir, "record-dir", "", "record each cell's flow trace into `dir` as <cell name>.flow.jsonl; a trace-kind spec pointing workload.trace at the dir replays the campaign byte-identically (see docs/trace-format.md)")
 	flag.Int64Var(&o.metricsInterval, "metrics-interval", -1, "override the spec's metrics_interval_ns: sample telemetry every `ns` (0 forces off, -1 leaves the spec)")
 	flag.StringVar(&o.metricsDir, "metrics-dir", "", "write per-scenario telemetry JSONL files into `dir` (in-memory runs only)")
 	flag.StringVar(&o.figuresDir, "figures", "", "emit paper-figure gnuplot data into `dir` (in-memory runs only; enables telemetry sampling if the spec left it off)")
@@ -274,6 +277,7 @@ func runInMemory(o options) error {
 	applyTraceLevel(spec, o)
 	applyMetricsInterval(spec, o)
 	applyCellTimeout(spec, o)
+	spec.Record = o.recordDir != ""
 	if !o.quiet {
 		fmt.Fprintf(os.Stderr, "campaign %q: %d scenarios on %d workers\n",
 			spec.Name, spec.Size(), o.workers)
@@ -285,6 +289,11 @@ func runInMemory(o options) error {
 	})
 	if err != nil {
 		return err
+	}
+	if o.recordDir != "" {
+		if err := writeFlowTraces(report, o.recordDir, o.quiet); err != nil {
+			return err
+		}
 	}
 	if o.traceDir != "" {
 		if err := writeTraces(report, o.traceDir, o.quiet); err != nil {
@@ -356,6 +365,12 @@ func runStreaming(o options) error {
 			}
 		}
 	}
+	if o.recordDir != "" {
+		spec.Record = true
+		if err := os.MkdirAll(o.recordDir, 0o755); err != nil {
+			return err
+		}
+	}
 	sink, err := dist.CreateJSONL(o.stream, o.resume)
 	if err != nil {
 		return err
@@ -368,6 +383,7 @@ func runStreaming(o options) error {
 		Progress:    completed,
 		Started:     started,
 		CellTimeout: spec.CellTimeout(),
+		RecordDir:   o.recordDir,
 	}, sink)
 	if cerr := sink.Close(); runErr == nil {
 		runErr = cerr
@@ -466,6 +482,34 @@ func applyTraceLevel(spec *campaign.Spec, o options) {
 	if o.traceLevel != "" {
 		spec.TraceLevel = o.traceLevel
 	}
+}
+
+// writeFlowTraces writes one v1 flow-trace file per recorded cell into
+// dir (the in-memory half of -record-dir; streamed and fabric runs
+// write them as each cell completes).
+func writeFlowTraces(report *campaign.Report, dir string, quiet bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	n := 0
+	for i := range report.Outcomes {
+		out := &report.Outcomes[i]
+		if out.Result == nil || out.Result.FlowTrace == nil {
+			continue
+		}
+		path := filepath.Join(dir, flowtrace.FileName(out.Scenario.Name))
+		if err := out.Result.FlowTrace.WriteFile(path); err != nil {
+			return err
+		}
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("-record-dir: no cell captured a flow trace")
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "recorded %d flow trace(s) to %s\n", n, dir)
+	}
+	return nil
 }
 
 // writeTraces writes one JSONL file per traced scenario into dir,

@@ -10,9 +10,11 @@
 //	contrasim -topo dc -scheme ecmp -load 0.4 -queues
 //	contrasim -topo dc -scheme contra -failover
 //	contrasim -topo abilene+hosts -scheme spain -dist cache -load 0.3
-//	contrasim -topo dc -scheme contra -fail E0-A0 -load 0.5
+//	contrasim -topo dc -scheme contra -fail l0-s0 -load 0.5
 //	contrasim -topo dc -scheme contra -trace-level decisions -trace-out trace.jsonl
 //	contrasim -topo dc -scheme contra -class-stats -counterfactual 10
+//	contrasim -topo dc -scheme contra -load 0.6 -record run.flow.jsonl
+//	contrasim -topo dc -scheme contra -replay run.flow.jsonl
 package main
 
 import (
@@ -54,6 +56,8 @@ func main() {
 	packing := flag.Bool("probe-packing", false, "pack multi-origin probes into one frame per port per period (contra/hula)")
 	suppressEps := flag.Float64("suppress-eps", 0, "delta-suppression epsilon; > 0 (or -refresh-every) enables suppression")
 	refreshEvery := flag.Int("refresh-every", 0, "forced re-advertisement every N probe periods under suppression (default 4)")
+	record := flag.String("record", "", "capture the offered flows as a v1 flow trace in `file` (see docs/trace-format.md)")
+	replay := flag.String("replay", "", "replay the flows recorded in `file` instead of generating a workload (byte-identical results given the same non-workload flags)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to `file` (pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to `file` at exit (pprof)")
 	var obs obsOpts
@@ -74,7 +78,7 @@ func main() {
 	}
 	runErr := run(*topoSpec, *scheme, *policyArg, *dist, *load, *durationMs,
 		*maxFlows, *seed, *queues, *loops, *failover, *failLink,
-		*packing, *suppressEps, *refreshEvery, obs)
+		*packing, *suppressEps, *refreshEvery, *record, *replay, obs)
 	if err := stop(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -86,13 +90,16 @@ func main() {
 
 func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 	maxFlows int, seed int64, queues, loops, failover bool, failLink string,
-	packing bool, suppressEps float64, refreshEvery int, obs obsOpts) error {
+	packing bool, suppressEps float64, refreshEvery int, record, replay string, obs obsOpts) error {
 	src, err := cliutil.ReadPolicyArg(policyArg)
 	if err != nil {
 		return err
 	}
 	if _, err := trace.ParseLevel(obs.traceLevel); err != nil {
 		return err
+	}
+	if (record != "" || replay != "") && obs.counterK > 0 {
+		return fmt.Errorf("-record/-replay do not combine with -counterfactual")
 	}
 	if obs.traceOut != "" && (obs.traceLevel == "" || obs.traceLevel == "off") {
 		return fmt.Errorf("-trace-out needs -trace-level flows or decisions")
@@ -123,11 +130,21 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 		s.Events = append(s.Events, scenario.Event{Kind: scenario.LinkDown, AtNs: 0, Link: failLink})
 	}
 
+	s.RecordFlows = record != ""
+
 	if failover {
 		s.Workload = scenario.Workload{Kind: scenario.WorkloadCBR}
+		if replay != "" {
+			// Replay reproduces the recorded arrivals; the event script
+			// (here the failover link_down) still comes from the flags.
+			s.Workload = scenario.Workload{Kind: scenario.WorkloadTrace, TracePath: replay}
+		}
 		s.Events = append(s.Events, scenario.Event{Kind: scenario.LinkDown, AtNs: 50_000_000, Link: "auto"})
 		res, err := scenario.Run(s)
 		if err != nil {
+			return err
+		}
+		if err := writeFlowTrace(res, record); err != nil {
 			return err
 		}
 		fmt.Printf("baseline %.2f Gbps, dip to %.2f Gbps, recovery %.2f ms after failure\n",
@@ -154,6 +171,9 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 		DurationNs: int64(durationMs) * 1_000_000,
 		MaxFlows:   maxFlows,
 	}
+	if replay != "" {
+		s.Workload = scenario.Workload{Kind: scenario.WorkloadTrace, TracePath: replay}
+	}
 
 	if obs.counterK > 0 {
 		rep, baseRes, err := scenario.Counterfactual(s, scenario.CounterfactualConfig{
@@ -179,6 +199,9 @@ func run(topoSpec, scheme, policyArg, dist string, load float64, durationMs,
 	printClasses(res)
 	printTraceSummary(res)
 	printMetricsSummary(res)
+	if err := writeFlowTrace(res, record); err != nil {
+		return err
+	}
 	if err := writeTrace(res, obs.traceOut); err != nil {
 		return err
 	}
@@ -285,6 +308,21 @@ func writeMetrics(res *scenario.Result, out string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeFlowTrace writes the captured flow trace (-record).
+func writeFlowTrace(res *scenario.Result, out string) error {
+	if out == "" {
+		return nil
+	}
+	if res.FlowTrace == nil {
+		return fmt.Errorf("-record: no flow trace was captured")
+	}
+	if err := res.FlowTrace.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d flow(s) to %s\n", len(res.FlowTrace.Flows), out)
+	return nil
 }
 
 // writeTrace emits the recorded trace as JSONL.

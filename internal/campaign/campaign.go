@@ -88,6 +88,13 @@ type Spec struct {
 	// scenario parameter: it never enters scenario keys, checkpoints,
 	// or golden digests.
 	CellTimeoutNs int64 `json:"cell_timeout_ns,omitempty"`
+
+	// Record captures each cell's materialized workload as a v1 flow
+	// trace (the -record-dir flag). Go-only and excluded from scenario
+	// keys: recording observes cells, it never changes them, so a
+	// recorded campaign checkpoints and digests identically to an
+	// unrecorded one.
+	Record bool `json:"-"`
 }
 
 // CellTimeout returns the spec's per-cell wall-clock budget as a
@@ -124,8 +131,16 @@ func (s *Spec) validate() error {
 	if len(s.Schemes) == 0 {
 		return fmt.Errorf("campaign %q: no schemes", s.Name)
 	}
-	if len(s.Loads) == 0 && s.Workload.Kind != scenario.WorkloadCBR {
-		return fmt.Errorf("campaign %q: no loads", s.Name)
+	switch s.Workload.Kind {
+	case scenario.WorkloadCBR, scenario.WorkloadTrace, scenario.WorkloadCohorts:
+		// CBR sets an absolute rate, a trace replays recorded traffic,
+		// and cohorts carry their own per-cohort rates: a load axis is
+		// optional for all three (for cohorts it scales every cohort;
+		// for traces it is a label matching the recording campaign).
+	default:
+		if len(s.Loads) == 0 {
+			return fmt.Errorf("campaign %q: no loads", s.Name)
+		}
 	}
 	if s.CellTimeoutNs < 0 {
 		return fmt.Errorf("campaign %q: negative cell_timeout_ns", s.Name)
@@ -247,6 +262,7 @@ func (s *Spec) Expand() ([]scenario.Scenario, error) {
 						if s.TraceLevel != "" && s.TraceLevel != "off" {
 							sc.TraceLevel = s.TraceLevel
 						}
+						sc.RecordFlows = s.Record
 						if err := sc.Validate(); err != nil {
 							return nil, err
 						}

@@ -2,9 +2,11 @@ package dist
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"contra/internal/campaign"
+	"contra/internal/flowtrace"
 )
 
 // Options tunes one shard's streaming run.
@@ -30,6 +32,14 @@ type Options struct {
 	// CellTimeout bounds one scenario's wall-clock execution
 	// (campaign.Options.CellTimeout); <= 0 means no bound.
 	CellTimeout time.Duration
+
+	// RecordDir, when set, writes each cell's v1 flow trace there
+	// (<sanitized cell name>.flow.jsonl) before the record is emitted —
+	// the same crash ordering as the record stream, so a checkpointed
+	// cell always has a durable trace. Traces shard with their cells:
+	// each shard writes only the cells it owns, and the directory's
+	// union across shards covers the campaign.
+	RecordDir string
 }
 
 // Stats summarizes one shard run.
@@ -82,6 +92,14 @@ func Run(spec *campaign.Spec, opts Options, sink Sink) (Stats, error) {
 				Scenario: &j.Scenario,
 				Result:   o.Result,
 				Err:      o.Err,
+			}
+			// Trace first, then record, then mark: a cell the checkpoint
+			// calls done always has both artifacts on disk.
+			if opts.RecordDir != "" && o.Result != nil && o.Result.FlowTrace != nil {
+				path := filepath.Join(opts.RecordDir, flowtrace.FileName(j.Scenario.Name))
+				if err := o.Result.FlowTrace.WriteFile(path); err != nil {
+					return fmt.Errorf("dist: writing trace for %s: %v", j.Scenario.Name, err)
+				}
 			}
 			if err := sink.Emit(rec); err != nil {
 				return err

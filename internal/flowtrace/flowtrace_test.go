@@ -1,0 +1,109 @@
+package flowtrace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Meta: Meta{
+			Kind: KindFCT, Topo: "fattree:4", Seed: 7,
+			Dist: "websearch", Load: 0.4, DeadlineNs: 1_023_072_000,
+		},
+		Flows: []Flow{
+			{ID: 1, Src: "h0", Dst: "h5", Bytes: 1200, StartNs: 3_100_000, Class: "base"},
+			{ID: 2, Src: "h2", Dst: "h9", Bytes: 6_700_000, StartNs: 3_250_000, Class: "base"},
+			{ID: 1<<32 + 1, Src: "h4", Dst: "h1", Bytes: 980, StartNs: 5_000_000, Class: "surge1"},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.V != Version || got.Meta.Flows != 3 {
+		t.Fatalf("meta not normalized: %+v", got.Meta)
+	}
+	if len(got.Flows) != 3 || got.Flows[2].ID != 1<<32+1 || got.Flows[2].Class != "surge1" {
+		t.Fatalf("flows did not round-trip: %+v", got.Flows)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := sample().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same trace differ")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), FileName("cell#0123abcd"))
+	if err := sample().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Flows) != 3 {
+		t.Fatalf("got %d flows", len(got.Flows))
+	}
+}
+
+// TestReadStrictness pins the reject cases: a trace is replay input,
+// so every corruption mode must fail with a precise error.
+func TestReadStrictness(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"empty", "", "empty trace"},
+		{"bad version", strings.Replace(lines[0], `"v":1`, `"v":2`, 1) + "\n", "unsupported trace version 2"},
+		{"flows first", lines[1] + "\n", `type "flow", want "meta"`},
+		{"torn tail", lines[0] + "\n" + lines[1] + "\n", "meta declares 3 flows, file carries 1"},
+		{"half line", strings.Join(lines[:3], "\n") + "\n" + lines[3][:20] + "\n", "line 4"},
+		{"unknown kind", strings.Replace(lines[0], `"kind":"fct"`, `"kind":"voodoo"`, 1) + "\n", `unknown workload kind "voodoo"`},
+		{"zero id", lines[0] + "\n" + strings.Replace(lines[1], `"id":1,`, `"id":0,`, 1) + "\n", "flow id 0 is reserved"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFileName(t *testing.T) {
+	got := FileName("fattree:4/contra/load0.4/none/seed1#00ff00ff00ff00ff")
+	want := "fattree_4_contra_load0.4_none_seed1_00ff00ff00ff00ff.flow.jsonl"
+	if got != want {
+		t.Fatalf("FileName = %q, want %q", got, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"contra/internal/cliutil"
 	"contra/internal/core"
 	"contra/internal/dataplane"
+	"contra/internal/flowtrace"
 	"contra/internal/metrics"
 	"contra/internal/policy"
 	"contra/internal/sim"
@@ -119,11 +120,12 @@ type Result struct {
 	SimulatedNs int64 `json:"simulated_ns"`
 
 	// Artifacts excluded from the deterministic encoding.
-	WallTime time.Duration     `json:"-"`
-	Series   []stats.Point     `json:"-"` // bin start ns -> delivered bits/sec
-	QueueMSS *stats.Sample     `json:"-"`
-	Trace    *trace.Recorder   `json:"-"` // set when TraceLevel is active
-	Metrics  *metrics.Recorder `json:"-"` // set when MetricsIntervalNs > 0
+	WallTime  time.Duration     `json:"-"`
+	Series    []stats.Point     `json:"-"` // bin start ns -> delivered bits/sec
+	QueueMSS  *stats.Sample     `json:"-"`
+	Trace     *trace.Recorder   `json:"-"` // set when TraceLevel is active
+	Metrics   *metrics.Recorder `json:"-"` // set when MetricsIntervalNs > 0
+	FlowTrace *flowtrace.Trace  `json:"-"` // set when RecordFlows is on
 }
 
 // ProbeFrac returns probe bytes as a fraction of all fabric bytes.
@@ -449,11 +451,28 @@ func Run(s Scenario) (*Result, error) {
 		g.SetDown(id, true)
 	}
 
+	// A trace workload resolves and loads its recording up front: the
+	// meta line decides the engine-seed offset, measurement deadline,
+	// and (for CBR recordings) the default bin width before any
+	// simulation state exists.
+	var replay *flowtrace.Trace
+	if s.Workload.Kind == WorkloadTrace {
+		replay, err = loadReplay(&s, g)
+		if err != nil {
+			return nil, err
+		}
+		if replay.Meta.Kind == flowtrace.KindCBR && s.BinNs == 0 {
+			s.BinNs = 500_000
+		}
+	}
+
 	// Engine seeds are offset per workload kind to stay bit-compatible
 	// with the harness this engine replaced (RunFCT used seed+1,
-	// RunFailover seed+5), keeping historical runs reproducible.
+	// RunFailover seed+5), keeping historical runs reproducible; a
+	// replay adopts its recording's offset so the two runs' event
+	// streams align exactly.
 	engSeed := s.Seed + 1
-	if s.Workload.Kind == WorkloadCBR {
+	if s.Workload.Kind == WorkloadCBR || (replay != nil && replay.Meta.Kind == flowtrace.KindCBR) {
 		engSeed = s.Seed + 5
 	}
 	e := sim.NewEngine(engSeed)
@@ -523,6 +542,10 @@ func Run(s Scenario) (*Result, error) {
 	switch s.Workload.Kind {
 	case WorkloadCBR:
 		err = runCBR(&s, e, n, g, warmup, netEvents, res)
+	case WorkloadCohorts:
+		err = runCohorts(&s, e, n, g, warmup, netEvents, res)
+	case WorkloadTrace:
+		err = runReplay(&s, e, n, g, warmup, netEvents, replay, res)
 	default:
 		err = runFCT(&s, e, n, g, warmup, netEvents, surges, res)
 	}
@@ -668,6 +691,17 @@ func runFCT(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup in
 	if classes != nil {
 		res.Classes = classes.stats()
 	}
+	if s.RecordFlows {
+		recordFlows(s, g, res, flows, flowtrace.Meta{
+			Kind: flowtrace.KindFCT, Dist: dist.Name, Pattern: w.Pattern,
+			Load: w.Load, DeadlineNs: deadline,
+		}, func(f sim.FlowSpec) string {
+			if co := f.ID >> 32; co > 0 {
+				return fmt.Sprintf("surge%d", co)
+			}
+			return "base"
+		})
+	}
 	return nil
 }
 
@@ -715,6 +749,11 @@ func runCBR(s *Scenario, e *sim.Engine, n *sim.Network, g *topo.Graph, warmup in
 	e.Run(w.EndNs)
 	res.Flows = len(flows)
 	res.RateBps = w.RateBps
+	if s.RecordFlows {
+		recordFlows(s, g, res, flows, flowtrace.Meta{
+			Kind: flowtrace.KindCBR, RateBps: w.RateBps, EndNs: w.EndNs,
+		}, func(sim.FlowSpec) string { return "cbr" })
+	}
 	return nil
 }
 

@@ -134,6 +134,15 @@ const (
 	// measures a delivered-throughput time series — the Figure 14
 	// failover workload.
 	WorkloadCBR = "cbr"
+	// WorkloadCohorts composes named client cohorts — each with its own
+	// interarrival process, size distribution, temporal profile, and
+	// placement policy — into one FCT-measured load (docs/workloads.md).
+	WorkloadCohorts = "cohorts"
+	// WorkloadTrace replays a recorded v1 flow trace
+	// (docs/trace-format.md) byte-deterministically: the trace's flows
+	// are offered exactly as captured and the run is measured like the
+	// recording's kind.
+	WorkloadTrace = "trace"
 )
 
 // Workload describes a scenario's offered traffic.
@@ -173,6 +182,16 @@ type Workload struct {
 	// CBR knobs.
 	RateBps float64 `json:"rate_bps,omitempty"` // aggregate; default 4.25 Gbps
 	EndNs   int64   `json:"end_ns,omitempty"`   // absolute end; default 80ms
+
+	// Cohorts declares the cohorts workload's client populations
+	// (kind "cohorts" only). Load, when set (the campaign load axis),
+	// scales every cohort's rate together.
+	Cohorts []workload.CohortSpec `json:"cohorts,omitempty"`
+
+	// TracePath locates the recorded flow trace of a trace workload
+	// (kind "trace" only): a trace file, or a record directory in which
+	// each campaign cell resolves its own trace by cell name.
+	TracePath string `json:"trace,omitempty"`
 }
 
 // Scenario is one declarative experiment.
@@ -241,6 +260,13 @@ type Scenario struct {
 	ClassStats    bool  `json:"class_stats,omitempty"`
 	ElephantBytes int64 `json:"elephant_bytes,omitempty"`
 
+	// RecordFlows captures the materialized workload as a v1 flow trace
+	// (Result.FlowTrace), the -record / -record-dir hook. Go-only and
+	// excluded from the Key: recording observes a run, it never changes
+	// one, so a recorded cell keys (and checkpoints) identically to an
+	// unrecorded one.
+	RecordFlows bool `json:"-"`
+
 	// Overrides pins flows to an alternative forwarding choice — the
 	// counterfactual replay hook, honored by the Contra data plane.
 	// Go-only: replay artifacts never enter the canonical encoding or
@@ -290,6 +316,18 @@ func (s *Scenario) fill() {
 		if w.MaxFlows == 0 {
 			w.MaxFlows = 4000
 		}
+	case WorkloadCohorts:
+		// Cohort loads share the FCT window defaults; the size
+		// distribution lives inside each cohort, so Dist stays empty.
+		if w.DurationNs == 0 {
+			w.DurationNs = 20_000_000
+		}
+		if w.DrainNs == 0 {
+			w.DrainNs = 1_000_000_000
+		}
+		if w.MaxFlows == 0 {
+			w.MaxFlows = 4000
+		}
 	case WorkloadCBR:
 		if w.RateBps == 0 {
 			w.RateBps = 4.25e9 // Figure 14
@@ -301,6 +339,8 @@ func (s *Scenario) fill() {
 			s.BinNs = 500_000
 		}
 	}
+	// The trace kind fills nothing: its window, rates, and measurement
+	// deadline all come from the recorded trace's meta line.
 }
 
 // Validate rejects malformed scenarios before they burn a worker.
@@ -314,7 +354,7 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("scenario %q: unknown scheme %q", s.Name, s.Scheme)
 	}
 	switch s.Workload.Kind {
-	case "", WorkloadFCT, WorkloadCBR:
+	case "", WorkloadFCT, WorkloadCBR, WorkloadCohorts, WorkloadTrace:
 	default:
 		return fmt.Errorf("scenario %q: unknown workload kind %q", s.Name, s.Workload.Kind)
 	}
@@ -326,6 +366,37 @@ func (s *Scenario) Validate() error {
 	if !workload.ValidPattern(s.Workload.Pattern) {
 		return fmt.Errorf("scenario %q: unknown traffic pattern %q (want one of %v)",
 			s.Name, s.Workload.Pattern, workload.Patterns())
+	}
+	switch s.Workload.Kind {
+	case WorkloadCohorts:
+		// Cohorts own their sizes and placement; the flat FCT knobs
+		// would silently be ignored, so reject them loudly.
+		if s.Workload.Dist != "" {
+			return fmt.Errorf("scenario %q: cohorts workload does not take dist %q (size distributions live in each cohort)", s.Name, s.Workload.Dist)
+		}
+		if s.Workload.Pattern != "" {
+			return fmt.Errorf("scenario %q: cohorts workload does not take pattern %q (placement lives in each cohort)", s.Name, s.Workload.Pattern)
+		}
+		if len(s.Workload.Pairs) > 0 {
+			return fmt.Errorf("scenario %q: cohorts workload does not take pairs", s.Name)
+		}
+		if err := workload.ValidateCohorts(s.Workload.Cohorts); err != nil {
+			return fmt.Errorf("scenario %q: %v", s.Name, err)
+		}
+	case WorkloadTrace:
+		if s.Workload.TracePath == "" {
+			return fmt.Errorf("scenario %q: trace workload needs a trace file (workload.trace)", s.Name)
+		}
+		if s.Workload.Dist != "" || s.Workload.Pattern != "" || len(s.Workload.Pairs) > 0 || len(s.Workload.Cohorts) > 0 {
+			return fmt.Errorf("scenario %q: trace workload takes only a trace path (generation knobs come from the recording)", s.Name)
+		}
+	default:
+		if len(s.Workload.Cohorts) > 0 {
+			return fmt.Errorf("scenario %q: cohorts require workload kind %q, not %q", s.Name, WorkloadCohorts, s.Workload.Kind)
+		}
+		if s.Workload.TracePath != "" {
+			return fmt.Errorf("scenario %q: a trace path requires workload kind %q, not %q", s.Name, WorkloadTrace, s.Workload.Kind)
+		}
 	}
 	if _, err := trace.ParseLevel(s.TraceLevel); err != nil {
 		return fmt.Errorf("scenario %q: %v", s.Name, err)
@@ -349,14 +420,17 @@ func (s *Scenario) Validate() error {
 		switch ev.Kind {
 		case LinkDown, LinkUp, Degrade:
 		case Surge:
-			if s.Workload.Kind == WorkloadCBR {
+			// Trace replays keep surge events as script labels: the surge
+			// traffic itself is already materialized in the recording, so
+			// replay offers it from the trace, not from the event.
+			if k := s.Workload.Kind; k != "" && k != WorkloadFCT && k != WorkloadTrace {
 				return fmt.Errorf("scenario %q: surge events require an fct workload", s.Name)
 			}
 			if ev.Load <= 0 || ev.DurationNs <= 0 {
 				return fmt.Errorf("scenario %q: surge event %d needs load and duration_ns", s.Name, i)
 			}
 		case Ramp:
-			if s.Workload.Kind == WorkloadCBR {
+			if k := s.Workload.Kind; k != "" && k != WorkloadFCT && k != WorkloadTrace {
 				return fmt.Errorf("scenario %q: ramp events require an fct workload", s.Name)
 			}
 			if ev.Load <= 0 || ev.DurationNs <= 0 {

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Samplers for the generative workload layer: deterministic draws from
+// the classical renewal-process and heavy-tail families, parameterized
+// the way workload specs want them (means and shapes, not raw scales).
+// Every sampler consumes only the *rand.Rand it is handed, so a fixed
+// seed replays the identical sequence on any platform.
+
+// SampleGamma draws from a Gamma distribution with the given shape k
+// and scale theta (mean k*theta) using the Marsaglia-Tsang method,
+// with Ahrens-Dieter boosting for shape < 1. Panics on non-positive
+// parameters (spec validation rejects them first).
+func SampleGamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: gamma needs positive shape and scale")
+	}
+	if shape < 1 {
+		// Gamma(k) = Gamma(k+1) * U^(1/k).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return SampleGamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// SampleWeibull draws from a Weibull distribution with the given shape
+// and scale by inverse transform: scale * (-ln U)^(1/shape). Panics on
+// non-positive parameters.
+func SampleWeibull(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: weibull needs positive shape and scale")
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// WeibullMean returns the mean of a Weibull(shape, scale) distribution:
+// scale * Gamma(1 + 1/shape).
+func WeibullMean(shape, scale float64) float64 {
+	return scale * math.Gamma(1+1/shape)
+}
+
+// SampleLogNormal draws from a log-normal distribution parameterized by
+// its arithmetic mean and the sigma of the underlying normal: the
+// location mu is derived as ln(mean) - sigma^2/2 so the sample mean
+// converges to the requested mean regardless of sigma. Panics on
+// non-positive mean or negative sigma.
+func SampleLogNormal(rng *rand.Rand, mean, sigma float64) float64 {
+	if mean <= 0 || sigma < 0 {
+		panic("stats: lognormal needs positive mean and non-negative sigma")
+	}
+	mu := math.Log(mean) - sigma*sigma/2
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// SamplePareto draws from a Pareto distribution with minimum xm and
+// tail index alpha by inverse transform: xm * U^(-1/alpha). The mean
+// is finite only for alpha > 1 (it is xm*alpha/(alpha-1)); spec
+// validation enforces that, this sampler only requires positivity.
+func SamplePareto(rng *rand.Rand, xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("stats: pareto needs positive minimum and alpha")
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return xm * math.Pow(u, -1/alpha)
+}
+
+// ParetoMean returns the mean of a Pareto(xm, alpha) distribution for
+// alpha > 1; callers must not ask for a mean of a heavier tail.
+func ParetoMean(xm, alpha float64) float64 {
+	if alpha <= 1 {
+		panic("stats: pareto mean diverges for alpha <= 1")
+	}
+	return xm * alpha / (alpha - 1)
+}

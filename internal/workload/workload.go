@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"contra/internal/sim"
 	"contra/internal/topo"
@@ -61,15 +62,41 @@ func Cache() *Distribution {
 		[]float64{0.1, 0.25, 0.4, 0.55, 0.7, 0.8, 0.9, 0.95, 0.98, 0.996, 1})
 }
 
+// registry maps canonical distribution names to constructors. ByName's
+// error message lists these names, so adding a distribution here is the
+// whole registration step — the valid-name list can never go stale.
+var registry = map[string]func() *Distribution{
+	"websearch": WebSearch,
+	"cache":     Cache,
+}
+
+// aliases maps alternate CLI spellings onto canonical registry names.
+var aliases = map[string]string{
+	"web-search": "websearch",
+	"web":        "websearch",
+}
+
+// Names returns the canonical distribution names, sorted (CLI help,
+// error messages).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ByName resolves a distribution by its CLI name.
 func ByName(name string) (*Distribution, error) {
-	switch name {
-	case "websearch", "web-search", "web":
-		return WebSearch(), nil
-	case "cache":
-		return Cache(), nil
+	canon := name
+	if a, ok := aliases[name]; ok {
+		canon = a
 	}
-	return nil, fmt.Errorf("workload: unknown distribution %q (want websearch or cache)", name)
+	if mk, ok := registry[canon]; ok {
+		return mk(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown distribution %q (want %s)", name, strings.Join(Names(), " or "))
 }
 
 // Sample draws one flow size in bytes.

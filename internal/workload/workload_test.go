@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"contra/internal/topo"
@@ -239,6 +240,30 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name should error")
+	}
+}
+
+// TestByNameErrorListsRegistry pins the ByName error message to the
+// registry: every registered name must appear in it, so adding a
+// distribution can never leave the valid-name list stale again.
+func TestByNameErrorListsRegistry(t *testing.T) {
+	_, err := ByName("nope")
+	if err == nil {
+		t.Fatal("unknown name should error")
+	}
+	names := Names()
+	if len(names) < 2 {
+		t.Fatalf("registry lists %d names, want at least websearch and cache", len(names))
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered distribution %q", err, name)
+		}
+	}
+	for _, alias := range []string{"web-search", "web"} {
+		if _, err := ByName(alias); err != nil {
+			t.Errorf("alias %q stopped resolving: %v", alias, err)
+		}
 	}
 }
 

@@ -1,0 +1,136 @@
+//go:build ignore
+
+// Command flowcheck validates v1 flow-trace files (the format
+// internal/flowtrace emits and docs/trace-format.md specifies): the
+// first line must be a version-1 meta record with a known workload
+// kind and the horizon field that kind requires, every following line
+// a flow with endpoints, a size or rate, and a unique nonzero id, and
+// the flow count must match the meta's declaration. CI's
+// workload-smoke job runs it over every trace a recorded campaign
+// produced, so a format drift in the recorder fails the build before
+// it breaks replay.
+//
+// Usage:
+//
+//	go run scripts/flowcheck.go run.flow.jsonl [more.flow.jsonl ...]
+//
+// Exits 0 and prints per-file summaries on success; prints the first
+// offending line and exits 1 on any violation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"contra/scripts/internal/jsonl"
+)
+
+type metaLine struct {
+	Type       string  `json:"type"`
+	V          int     `json:"v"`
+	Kind       string  `json:"kind"`
+	Topo       string  `json:"topo"`
+	Load       float64 `json:"load"`
+	RateBps    float64 `json:"rate_bps"`
+	DeadlineNs int64   `json:"deadline_ns"`
+	EndNs      int64   `json:"end_ns"`
+	Flows      *int    `json:"flows"`
+}
+
+type flowLine struct {
+	Type    string  `json:"type"`
+	ID      uint64  `json:"id"`
+	Src     string  `json:"src"`
+	Dst     string  `json:"dst"`
+	Bytes   int64   `json:"bytes"`
+	RateBps float64 `json:"rate_bps"`
+	StartNs *int64  `json:"start_ns"`
+}
+
+func checkMeta(m *metaLine) error {
+	switch {
+	case m.V != 1:
+		return fmt.Errorf("unsupported trace version %d (this checker reads v1)", m.V)
+	case m.Kind != "fct" && m.Kind != "cbr" && m.Kind != "cohorts":
+		return fmt.Errorf("unknown workload kind %q", m.Kind)
+	case m.Topo == "":
+		return fmt.Errorf("meta needs topo")
+	case m.Flows == nil || *m.Flows < 0:
+		return fmt.Errorf("meta needs flows >= 0")
+	case m.Load < 0 || m.RateBps < 0:
+		return fmt.Errorf("meta rate knobs negative")
+	}
+	if m.Kind == "cbr" {
+		if m.EndNs <= 0 || m.DeadlineNs != 0 {
+			return fmt.Errorf("cbr meta needs end_ns > 0 and no deadline_ns")
+		}
+	} else {
+		if m.DeadlineNs <= 0 || m.EndNs != 0 {
+			return fmt.Errorf("%s meta needs deadline_ns > 0 and no end_ns", m.Kind)
+		}
+	}
+	return nil
+}
+
+func checkFlow(f *flowLine, m *metaLine, seen map[uint64]bool) error {
+	switch {
+	case f.ID == 0:
+		return fmt.Errorf("flow id 0 is reserved")
+	case seen[f.ID]:
+		return fmt.Errorf("duplicate flow id %d", f.ID)
+	case f.Src == "" || f.Dst == "":
+		return fmt.Errorf("flow needs src and dst")
+	case f.StartNs == nil || *f.StartNs < 0:
+		return fmt.Errorf("flow needs start_ns >= 0")
+	case f.Bytes < 0 || f.RateBps < 0:
+		return fmt.Errorf("flow size knobs negative")
+	}
+	seen[f.ID] = true
+	if m.Kind == "cbr" {
+		if f.RateBps <= 0 {
+			return fmt.Errorf("cbr flow needs rate_bps > 0")
+		}
+	} else {
+		if f.Bytes <= 0 {
+			return fmt.Errorf("%s flow needs bytes > 0", m.Kind)
+		}
+	}
+	return nil
+}
+
+func checkFile(path string) (string, error) {
+	var meta metaLine
+	flows := 0
+	seen := map[uint64]bool{}
+	_, err := jsonl.Walk(path, func(typ string, raw []byte) error {
+		if meta.Type == "" {
+			if typ != "meta" {
+				return fmt.Errorf("first line has type %q, want \"meta\"", typ)
+			}
+			if err := json.Unmarshal(raw, &meta); err != nil {
+				return err
+			}
+			return checkMeta(&meta)
+		}
+		if typ != "flow" {
+			return fmt.Errorf("unknown type %q", typ)
+		}
+		var f flowLine
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return err
+		}
+		flows++
+		return checkFlow(&f, &meta, seen)
+	})
+	if err != nil {
+		return "", err
+	}
+	if flows != *meta.Flows {
+		return "", fmt.Errorf("trace is torn: meta declares %d flows, file carries %d", *meta.Flows, flows)
+	}
+	return fmt.Sprintf("v%d %s trace on %s: %d flow(s)", meta.V, meta.Kind, meta.Topo, flows), nil
+}
+
+func main() {
+	jsonl.Main("flowcheck", "<trace.flow.jsonl> [...]", checkFile)
+}

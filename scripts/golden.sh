@@ -5,14 +5,17 @@
 # single byte of campaign JSON/CSV output fails the check, which is
 # what lets scheduler/data-structure rewrites land with confidence.
 #
-# Three campaigns are pinned: the fattree FCT smoke (steady + link
+# Four campaigns are pinned: the fattree FCT smoke (steady + link
 # failures), the chaos smoke (whole-switch failure/reboot, seeded
-# probe loss, live policy hot-swap), and the packed smoke (multi-origin
-# probe packing + delta suppression riding a switch failure/reboot) —
-# so both the chaos subsystem's and the probe-aggregation path's
-# determinism contracts are guarded byte-for-byte. Each campaign is
-# also run as 2 shards and merged, which must match the single-process
-# bytes exactly.
+# probe loss, live policy hot-swap), the packed smoke (multi-origin
+# probe packing + delta suppression riding a switch failure/reboot),
+# and the cohorts smoke (the generative multi-client workload engine:
+# gamma/weibull arrivals, lognormal/pareto/mixture sizes, ramp/burst
+# profiles, rack-local and incast placement) — so the chaos
+# subsystem's, the probe-aggregation path's, and the workload engine's
+# determinism contracts are all guarded byte-for-byte. Each campaign
+# is also run as 2 shards and merged, which must match the
+# single-process bytes exactly.
 #
 # Usage:
 #   scripts/golden.sh            # run campaigns, verify against digests
@@ -21,7 +24,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SPECS=(fattree_smoke chaos_smoke packed_smoke)
+SPECS=(fattree_smoke chaos_smoke packed_smoke cohorts_smoke)
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
